@@ -1,0 +1,41 @@
+"""Shared state for the figure/table benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper from
+the shared full-scale study, prints the measured values next to the
+paper's, and times the analysis step with pytest-benchmark.  Expensive
+inputs (platforms, traces, campaigns) are session-scoped so the suite
+builds them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import default_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The shared full-scale study used by every figure benchmark."""
+    return default_study()
+
+
+@pytest.fixture(scope="session")
+def per_user(study):
+    return study.per_user
+
+
+@pytest.fixture(scope="session")
+def nep_dataset(study):
+    return study.nep.dataset
+
+
+@pytest.fixture(scope="session")
+def azure_dataset(study):
+    return study.azure.dataset
+
+
+def emit(text: str) -> None:
+    """Print a figure's report block under pytest's -s / captured output."""
+    print()
+    print(text)

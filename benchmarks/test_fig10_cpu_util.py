@@ -1,0 +1,60 @@
+"""Figure 10: CPU utilisation — NEP lower but more variable than Azure.
+
+Paper: 74% of NEP VMs average <10% CPU vs 47% on Azure (~6x lower mean
+usage); across-time CV medians 0.48 vs 0.24.
+"""
+
+from conftest import emit
+
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+    sketch_cdf,
+)
+from repro.core.workload_analysis import cpu_utilization_summary
+
+
+def test_fig10_cpu_utilization(benchmark, nep_dataset, azure_dataset):
+    def compute():
+        return (cpu_utilization_summary(nep_dataset),
+                cpu_utilization_summary(azure_dataset))
+
+    nep, azure = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        ("share of VMs <10% mean CPU", 0.74, nep.fraction_mean_below_10pct,
+         0.47, azure.fraction_mean_below_10pct),
+        ("median across-time CV", 0.48, nep.median_cv, 0.24,
+         azure.median_cv),
+        ("overall mean utilisation", "-", nep.overall_mean_utilization,
+         "-", azure.overall_mean_utilization),
+    ]
+    checks = [
+        check_ratio("NEP share <10%", 0.74, nep.fraction_mean_below_10pct,
+                    tolerance=0.15),
+        check_ratio("Azure share <10%", 0.47,
+                    azure.fraction_mean_below_10pct, tolerance=0.35),
+        check_ratio("NEP median CV", 0.48, nep.median_cv, tolerance=0.3),
+        check_ratio("Azure median CV", 0.24, azure.median_cv,
+                    tolerance=0.4),
+        check_ordering("NEP less utilised than Azure",
+                       "NEP mean usage below Azure's",
+                       nep.overall_mean_utilization
+                       < azure.overall_mean_utilization,
+                       f"{nep.overall_mean_utilization:.3f} vs "
+                       f"{azure.overall_mean_utilization:.3f}"),
+        check_ordering("NEP usage more variable across time",
+                       "NEP median CV above Azure's",
+                       nep.median_cv > azure.median_cv,
+                       f"{nep.median_cv:.2f} vs {azure.median_cv:.2f}"),
+    ]
+    emit(format_table(["metric", "paper NEP", "measured NEP",
+                       "paper Azure", "measured Azure"], rows,
+                      title="Figure 10 — CPU utilisation"))
+    emit(sketch_cdf(nep.mean_cdf, label="NEP mean-CPU CDF"))
+    emit(sketch_cdf(azure.mean_cdf, label="Azure mean-CPU CDF"))
+    emit(sketch_cdf(nep.p95_max_cdf, label="NEP P95-max CDF"))
+    emit(comparison_block("Figure 10 vs paper", checks))
+    assert all(c.holds for c in checks)

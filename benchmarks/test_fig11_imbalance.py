@@ -1,0 +1,80 @@
+"""Figure 11: resource usage is highly unbalanced across machines/sites.
+
+Paper (11 sampled Guangdong sites + the machines of one site): bandwidth
+gaps up to 19.8x across machines of one site and 731x across sites;
+P95-max CPU gap up to 8.7x across sites; up to 14x CPU across machines.
+"""
+
+from conftest import emit
+
+from repro.core.balance import machine_imbalance, site_imbalance
+from repro.core.report import check_ordering, comparison_block, format_table
+
+
+def _busiest_province(dataset):
+    counts = {}
+    for vm in dataset.vms.values():
+        counts.setdefault(vm.province, set()).add(vm.site_id)
+    return max(counts, key=lambda p: len(counts[p]))
+
+
+def _busiest_site(dataset, province):
+    counts = {}
+    for vm in dataset.vms.values():
+        if vm.province == province:
+            counts[vm.site_id] = counts.get(vm.site_id, 0) + 1
+    return max(counts, key=counts.get)
+
+
+def test_fig11_load_imbalance(benchmark, nep_dataset, study):
+    province = _busiest_province(nep_dataset)
+    site = _busiest_site(nep_dataset, province)
+    rng = study.scenario.random.stream("fig11")
+
+    def compute():
+        return {
+            "machines/cpu": machine_imbalance(nep_dataset, site, "cpu"),
+            "machines/bw": machine_imbalance(nep_dataset, site, "bw"),
+            "sites/cpu": site_imbalance(nep_dataset, province, "cpu",
+                                        rng=rng),
+            "sites/bw": site_imbalance(nep_dataset, province, "bw",
+                                       rng=rng),
+        }
+
+    views = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        ("machines (one site) / cpu", "up to 14x",
+         views["machines/cpu"].max_gap, len(views["machines/cpu"].unit_ids)),
+        ("machines (one site) / bw", "up to 19.8x",
+         views["machines/bw"].max_gap, len(views["machines/bw"].unit_ids)),
+        ("sites (one province) / cpu", "up to 8.7x",
+         views["sites/cpu"].max_gap, len(views["sites/cpu"].unit_ids)),
+        ("sites (one province) / bw", "up to 731x",
+         views["sites/bw"].max_gap, len(views["sites/bw"].unit_ids)),
+    ]
+    checks = [
+        check_ordering("machine bandwidth usage skewed",
+                       "max/min gap well above 1x",
+                       views["machines/bw"].max_gap > 2.0,
+                       f"{views['machines/bw'].max_gap:.1f}x"),
+        check_ordering("site bandwidth usage highly skewed",
+                       "gap across sites larger than across machines",
+                       views["sites/bw"].max_gap
+                       >= views["machines/bw"].max_gap,
+                       f"{views['sites/bw'].max_gap:.0f}x vs "
+                       f"{views['machines/bw'].max_gap:.1f}x"),
+        check_ordering("site bandwidth gap is orders of magnitude",
+                       "up to 731x in the paper",
+                       views["sites/bw"].max_gap > 10.0,
+                       f"{views['sites/bw'].max_gap:.0f}x"),
+        check_ordering("site CPU usage skewed", "gap > 2x",
+                       views["sites/cpu"].max_gap > 2.0,
+                       f"{views['sites/cpu'].max_gap:.1f}x"),
+    ]
+    emit(format_table(["view", "paper gap", "measured gap", "units"],
+                      rows,
+                      title=f"Figure 11 — load imbalance "
+                            f"({province}, site {site})"))
+    emit(comparison_block("Figure 11 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,71 @@
+"""Figure 13: cross-VM usage gap within one app's fleet.
+
+Paper: 16.3% of NEP apps show a >50x P95/P5 gap in per-VM mean CPU vs
+0.1% on Azure; zooming into one app, one VM runs above the 80% safety
+threshold >33% of the time while others idle below 30%.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.balance import (
+    app_balance_summary,
+    find_unbalanced_app,
+    hottest_app_day_view,
+)
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+
+
+def test_fig13_app_cross_vm_balance(benchmark, nep_dataset, azure_dataset):
+    def compute():
+        return (app_balance_summary(nep_dataset),
+                app_balance_summary(azure_dataset))
+
+    nep, azure = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        ("share of apps with >50x gap", 0.163, nep.fraction_above_50x,
+         0.001, azure.fraction_above_50x),
+        ("median gap", "-", nep.gaps_cdf.median, "-",
+         azure.gaps_cdf.median),
+        ("apps measured", "-", nep.app_count, "-", azure.app_count),
+    ]
+    checks = [
+        check_ratio("NEP share of apps >50x gap", 0.163,
+                    nep.fraction_above_50x, tolerance=0.7),
+        check_ordering("Azure apps far better balanced",
+                       "Azure share near zero",
+                       azure.fraction_above_50x < 0.03,
+                       f"{azure.fraction_above_50x:.3f}"),
+        check_ordering("NEP much more unbalanced than Azure",
+                       "NEP share >> Azure share",
+                       nep.fraction_above_50x
+                       > azure.fraction_above_50x + 0.05,
+                       f"{nep.fraction_above_50x:.3f} vs "
+                       f"{azure.fraction_above_50x:.3f}"),
+    ]
+
+    # Figure 13(b): the showcase app with one hot VM and idle peers.
+    app_id = find_unbalanced_app(nep_dataset, min_vms=8)
+    day_view = hottest_app_day_view(nep_dataset, app_id)
+    means = {vm: float(series.mean()) for vm, series in day_view.items()}
+    hottest = max(means, key=means.get)
+    coldest = min(means, key=means.get)
+    checks.append(check_ordering(
+        "one VM hot while siblings idle (Fig 13(b))",
+        "hottest VM >> coldest VM of the same app",
+        means[hottest] > 5 * max(means[coldest], 1e-6),
+        f"{means[hottest]:.2f} vs {means[coldest]:.3f} mean CPU"))
+
+    emit(format_table(["metric", "paper NEP", "measured NEP",
+                       "paper Azure", "measured Azure"], rows,
+                      title="Figure 13(a) — per-app cross-VM gap"))
+    emit(f"Figure 13(b): app {app_id}: {len(day_view)} VMs, day-0 mean "
+         f"CPU spread {means[coldest]:.3f}..{means[hottest]:.2f}")
+    emit(comparison_block("Figure 13 vs paper", checks))
+    assert all(c.holds for c in checks)

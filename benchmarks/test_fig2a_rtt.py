@@ -1,0 +1,67 @@
+"""Figure 2(a): mean RTT CDFs from users to edge/cloud baselines.
+
+Paper headline numbers (median, ms):
+
+  WiFi: nearest edge 16.1 (nearest cloud 1.47x, all clouds 2.49x slower),
+  LTE : nearest edge 37.6 (1.33x / 1.79x),
+  5G  : nearest edge 10.4 (1.23x / 3.0x).
+"""
+
+from conftest import emit
+
+from repro.core.latency_analysis import rtt_cdfs
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+    sketch_cdf,
+)
+from repro.netsim.access import AccessType
+
+PAPER_MEDIANS = {
+    AccessType.WIFI: {"nearest_edge": 16.1, "nearest_cloud": 23.6,
+                      "all_cloud": 40.0, "third_edge": 18.9},
+    AccessType.LTE: {"nearest_edge": 37.6, "nearest_cloud": 50.0,
+                     "all_cloud": 67.3},
+    AccessType.FIVE_G: {"nearest_edge": 10.4, "nearest_cloud": 12.8,
+                        "all_cloud": 31.2},
+}
+
+
+def test_fig2a_rtt_cdfs(benchmark, per_user):
+    def compute():
+        return {access: rtt_cdfs(per_user, access)
+                for access in PAPER_MEDIANS}
+
+    cdfs = benchmark(compute)
+
+    rows = []
+    checks = []
+    for access, paper in PAPER_MEDIANS.items():
+        for baseline, paper_median in paper.items():
+            measured = cdfs[access][baseline].median
+            rows.append((access.value, baseline, paper_median, measured))
+            checks.append(check_ratio(
+                f"{access.value}/{baseline} median RTT",
+                paper_median, measured, tolerance=0.5))
+        checks.append(check_ordering(
+            f"{access.value}: edge < nearest cloud < all clouds",
+            "monotone baselines",
+            cdfs[access]["nearest_edge"].median
+            < cdfs[access]["nearest_cloud"].median
+            < cdfs[access]["all_cloud"].median,
+            "measured medians are monotone"
+            if cdfs[access]["nearest_edge"].median
+            < cdfs[access]["nearest_cloud"].median
+            < cdfs[access]["all_cloud"].median else "ordering broken",
+        ))
+
+    emit(format_table(["access", "baseline", "paper med (ms)",
+                       "measured med (ms)"], rows,
+                      title="Figure 2(a) — mean RTT medians"))
+    for access in PAPER_MEDIANS:
+        for name, cdf in cdfs[access].items():
+            emit(sketch_cdf(cdf, label=f"{access.value}/{name}"))
+    emit(comparison_block("Figure 2(a) vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,56 @@
+"""Figure 2(b): RTT coefficient-of-variation CDFs (network jitter).
+
+Paper: median RTT CV for the nearest edge is 1.1%/2.3%/0.7% under
+WiFi/LTE/5G; the nearest cloud is ~4-6x higher, and the all-cloud
+average can reach ~30x.
+"""
+
+from conftest import emit
+
+from repro.core.latency_analysis import cv_cdfs
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+from repro.netsim.access import AccessType
+
+PAPER_EDGE_CV = {AccessType.WIFI: 0.011, AccessType.LTE: 0.023,
+                 AccessType.FIVE_G: 0.007}
+PAPER_CLOUD_RATIO = {AccessType.WIFI: 5.8, AccessType.LTE: 3.9,
+                     AccessType.FIVE_G: 5.7}
+
+
+def test_fig2b_rtt_cv_cdfs(benchmark, per_user):
+    def compute():
+        return {access: cv_cdfs(per_user, access)
+                for access in PAPER_EDGE_CV}
+
+    cdfs = benchmark(compute)
+
+    rows, checks = [], []
+    for access in PAPER_EDGE_CV:
+        edge_cv = cdfs[access]["nearest_edge"].median
+        cloud_cv = cdfs[access]["nearest_cloud"].median
+        all_cv = cdfs[access]["all_cloud"].median
+        ratio = cloud_cv / max(edge_cv, 1e-9)
+        rows.append((access.value, PAPER_EDGE_CV[access], edge_cv,
+                     PAPER_CLOUD_RATIO[access], ratio))
+        checks.append(check_ratio(
+            f"{access.value} nearest-edge median CV",
+            PAPER_EDGE_CV[access], edge_cv, tolerance=1.5))
+        checks.append(check_ordering(
+            f"{access.value}: cloud jitter > edge jitter",
+            "cloud CV exceeds edge CV",
+            cloud_cv > edge_cv and all_cv > edge_cv,
+            f"edge {edge_cv:.4f} < cloud {cloud_cv:.4f} < all {all_cv:.4f}"
+            if cloud_cv > edge_cv else "ordering broken",
+        ))
+
+    emit(format_table(
+        ["access", "paper edge CV", "measured edge CV",
+         "paper cloud/edge", "measured cloud/edge"],
+        rows, title="Figure 2(b) — RTT jitter (CV)"))
+    emit(comparison_block("Figure 2(b) vs paper", checks))
+    assert all(c.holds for c in checks)

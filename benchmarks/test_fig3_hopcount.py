@@ -1,0 +1,48 @@
+"""Figure 3: hop counts between end devices and edge/cloud servers.
+
+Paper: 5-12 hops (median ~8) to the nearest edge vs 10-16 to clouds —
+far from the 1-2 hop MEC vision.
+"""
+
+from conftest import emit
+
+from repro.core.latency_analysis import hop_count_cdf
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+
+
+def test_fig3_hop_counts(benchmark, per_user):
+    def compute():
+        return (hop_count_cdf(per_user, "nearest_edge"),
+                hop_count_cdf(per_user, "nearest_cloud"))
+
+    edge, cloud = benchmark(compute)
+
+    rows = [
+        ("nearest edge", "5-12", f"{edge.quantile(0.02):.0f}-"
+                                 f"{edge.quantile(0.98):.0f}",
+         8, edge.median),
+        ("nearest cloud", "10-16", f"{cloud.quantile(0.02):.0f}-"
+                                   f"{cloud.quantile(0.98):.0f}",
+         13, cloud.median),
+    ]
+    checks = [
+        check_ratio("edge median hops", 8, edge.median, tolerance=0.3),
+        check_ratio("cloud median hops", 13, cloud.median, tolerance=0.4),
+        check_ordering("cloud needs more hops than edge", "edge < cloud",
+                       edge.median < cloud.median,
+                       f"{edge.median:.0f} < {cloud.median:.0f}"),
+        check_ordering("edge not at the 1-2 hop MEC vision",
+                       "min edge hops >= 5",
+                       edge.quantile(0.02) >= 4,
+                       f"p2 = {edge.quantile(0.02):.0f}"),
+    ]
+    emit(format_table(["target", "paper range", "measured range",
+                       "paper med", "measured med"], rows,
+                      title="Figure 3 — hop counts"))
+    emit(comparison_block("Figure 3 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,55 @@
+"""Figure 4: inter-site RTTs of the edge platform vs distance.
+
+Paper: RTTs grow with distance and reach ~100 ms at 3000 km; on average
+each site has 1.2 / 2.9 / 10.6 other sites within 5 / 10 / 20 ms.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.latency_analysis import intersite_summary
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+from repro.core.stats import pearson_correlation
+
+
+def test_fig4_intersite_rtts(benchmark, study):
+    rng = study.scenario.random.stream("fig4")
+
+    def compute():
+        return intersite_summary(study.nep.platform, rng)
+
+    summary = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    far = summary.rtts_ms[summary.distances_km > 2800]
+    corr = pearson_correlation(summary.distances_km, summary.rtts_ms)
+    rows = [
+        ("RTT at ~3000 km (ms)", 100.0, float(np.mean(far))),
+        ("sites within 5 ms", 1.2, summary.mean_sites_within_5ms),
+        ("sites within 10 ms", 2.9, summary.mean_sites_within_10ms),
+        ("sites within 20 ms", 10.6, summary.mean_sites_within_20ms),
+    ]
+    checks = [
+        check_ratio("RTT at 3000 km", 100.0, float(np.mean(far)),
+                    tolerance=0.35),
+        check_ratio("sites within 10 ms", 2.9,
+                    summary.mean_sites_within_10ms, tolerance=1.5),
+        check_ratio("sites within 20 ms", 10.6,
+                    summary.mean_sites_within_20ms, tolerance=1.5),
+        check_ordering("RTT grows with distance", "strong correlation",
+                       corr > 0.8, f"pearson = {corr:.2f}"),
+        check_ordering("proximity counts nested",
+                       "within5 <= within10 <= within20",
+                       summary.mean_sites_within_5ms
+                       <= summary.mean_sites_within_10ms
+                       <= summary.mean_sites_within_20ms,
+                       "nested"),
+    ]
+    emit(format_table(["metric", "paper", "measured"], rows,
+                      title="Figure 4 — inter-site RTTs"))
+    emit(comparison_block("Figure 4 vs paper", checks))
+    assert all(c.holds for c in checks)

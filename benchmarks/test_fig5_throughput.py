@@ -1,0 +1,62 @@
+"""Figure 5: TCP throughput vs geographical distance per access type.
+
+Paper: correlation with distance is negligible (|corr| < 0.2) for WiFi,
+LTE, and the TDD-capped 5G uplink; significant (|corr| > 0.7) only for
+5G downlink (mean 497 Mbps) and wired access (mean 480 Mbps).
+"""
+
+from conftest import emit
+
+from repro.core.report import check_ordering, comparison_block, format_table
+from repro.core.throughput_analysis import all_series
+from repro.netsim.access import AccessType
+
+#: (access, direction) -> does the paper call the correlation significant?
+PAPER_SIGNIFICANT = {
+    (AccessType.WIFI, "downlink"): False,
+    (AccessType.WIFI, "uplink"): False,
+    (AccessType.LTE, "downlink"): False,
+    (AccessType.LTE, "uplink"): False,
+    (AccessType.FIVE_G, "downlink"): True,
+    (AccessType.FIVE_G, "uplink"): False,
+    (AccessType.WIRED, "downlink"): True,
+}
+
+
+def test_fig5_throughput_vs_distance(benchmark, study):
+    observations = study.throughput_results.throughput
+
+    def compute():
+        return {(s.access, s.direction): s for s in all_series(observations)}
+
+    series = benchmark(compute)
+
+    rows, checks = [], []
+    for key, significant in PAPER_SIGNIFICANT.items():
+        panel = series[key]
+        rows.append((key[0].value, key[1], panel.mean_mbps,
+                     panel.correlation,
+                     "significant" if significant else "negligible"))
+        if significant:
+            holds = panel.correlation < -0.6
+            expectation = "corr < -0.7 (distance matters)"
+        else:
+            holds = abs(panel.correlation) < 0.35
+            expectation = "|corr| < 0.2 (capacity-limited)"
+        checks.append(check_ordering(
+            f"{key[0].value}/{key[1]} correlation class", expectation,
+            holds, f"corr = {panel.correlation:+.2f}"))
+
+    # The capacity story: 5G downlink and wired are the fast last miles.
+    checks.append(check_ordering(
+        "5G downlink much faster than WiFi/LTE", "~497 vs <100 Mbps",
+        series[(AccessType.FIVE_G, "downlink")].mean_mbps
+        > 2.5 * series[(AccessType.WIFI, "downlink")].mean_mbps,
+        f"{series[(AccessType.FIVE_G, 'downlink')].mean_mbps:.0f} vs "
+        f"{series[(AccessType.WIFI, 'downlink')].mean_mbps:.0f} Mbps"))
+
+    emit(format_table(["access", "direction", "mean Mbps", "corr",
+                       "paper class"], rows,
+                      title="Figure 5 — throughput vs distance"))
+    emit(comparison_block("Figure 5 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,89 @@
+"""Figure 6: cloud-gaming response delay across networks/devices/games.
+
+Paper: edge backend ~91 ms vs ~145 ms on the farthest cloud; remote VMs
+add up to ~60 ms; the server side (~70 ms) dominates; the high-end phone
+is only slightly faster; Pingus is slower and jitterier.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.qoe_analysis import GamingExperiment
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+from repro.netsim.access import AccessType
+
+
+def test_fig6_cloud_gaming(benchmark, study):
+    rng = study.scenario.random.stream("fig6")
+    experiment = GamingExperiment(study.qoe_testbed, rng, trials=50)
+
+    def compute():
+        return {
+            "networks": experiment.sweep_networks(),
+            "devices": experiment.sweep_devices(),
+            "games": experiment.sweep_games(),
+        }
+
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    by_vm = {(r.vm_label, r.access): r for r in sweeps["networks"]}
+    edge = by_vm[("Edge", AccessType.WIFI)]
+    far = by_vm[("Cloud-3", AccessType.WIFI)]
+
+    rows = [(r.vm_label, r.access.value, r.mean_ms, r.p95_ms)
+            for r in sweeps["networks"]]
+    emit(format_table(["backend", "network", "mean delay (ms)",
+                       "p95 (ms)"], rows,
+                      title="Figure 6(a) — response delay by network"))
+
+    device_rows = [(r.device_name, r.vm_label, r.mean_ms)
+                   for r in sweeps["devices"] if r.vm_label == "Edge"]
+    emit(format_table(["device", "backend", "mean delay (ms)"],
+                      device_rows,
+                      title="Figure 6(b) — devices (edge backend)"))
+
+    game_rows = [(r.game_name, r.vm_label, r.mean_ms,
+                  float(np.std(r.delays_ms)))
+                 for r in sweeps["games"] if r.vm_label == "Edge"]
+    emit(format_table(["game", "backend", "mean delay (ms)", "std (ms)"],
+                      game_rows,
+                      title="Figure 6(c) — games (edge backend)"))
+
+    devices_edge = {r.device_name: r.mean_ms
+                    for r in sweeps["devices"] if r.vm_label == "Edge"}
+    games_edge = {r.game_name: r for r in sweeps["games"]
+                  if r.vm_label == "Edge"}
+    checks = [
+        check_ratio("edge WiFi response delay", 91.0, edge.mean_ms,
+                    tolerance=0.25),
+        check_ratio("farthest-cloud WiFi delay", 145.0, far.mean_ms,
+                    tolerance=0.25),
+        check_ordering("remote clouds add up to ~60 ms",
+                       "cloud-3 minus edge in 30-70 ms",
+                       30 <= far.mean_ms - edge.mean_ms <= 70,
+                       f"delta = {far.mean_ms - edge.mean_ms:.0f} ms"),
+        check_ordering("server side dominates", "~70 ms of the total",
+                       55 <= edge.breakdown["server_ms"] <= 85,
+                       f"server = {edge.breakdown['server_ms']:.0f} ms"),
+        check_ordering("Note 10+ fastest device, but not by much",
+                       "within ~10 ms of the slowest phone",
+                       devices_edge["Samsung Note 10+"]
+                       == min(devices_edge.values())
+                       and max(devices_edge.values())
+                       - min(devices_edge.values()) < 15,
+                       f"spread = {max(devices_edge.values()) - min(devices_edge.values()):.1f} ms"),
+        check_ordering("Pingus slowest and jitteriest game",
+                       "Pingus > Flare in mean and std",
+                       games_edge["Pingus"].mean_ms
+                       > games_edge["Flare"].mean_ms
+                       and float(np.std(games_edge["Pingus"].delays_ms))
+                       > float(np.std(games_edge["Flare"].delays_ms)),
+                       "ordering holds"),
+    ]
+    emit(comparison_block("Figure 6 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,60 @@
+"""Figure 8: VM sizes — NEP subscribes far bigger VMs than Azure.
+
+Paper: medians 8 vs 1 cores and 32 vs 4 GB; 90% of Azure VMs at <=4
+vCPUs and ~70% at <=4 GB; NEP storage median/mean 100/650 GB.
+"""
+
+from conftest import emit
+
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+from repro.core.workload_analysis import vm_size_summary
+
+
+def test_fig8_vm_sizes(benchmark, nep_dataset, azure_dataset):
+    def compute():
+        return vm_size_summary(nep_dataset), vm_size_summary(azure_dataset)
+
+    nep, azure = benchmark(compute)
+
+    rows = [
+        ("median CPU cores", 8, nep.median_cpu, 1, azure.median_cpu),
+        ("median memory GB", 32, nep.median_memory_gb, 4,
+         azure.median_memory_gb),
+        ("median disk GB", 100, nep.median_disk_gb, "n/a",
+         azure.median_disk_gb),
+        ("mean disk GB", 650, nep.mean_disk_gb, "n/a", azure.mean_disk_gb),
+    ]
+    azure_small_cpu = azure.cpu_cdf.fraction_below(4.0)
+    azure_small_mem = azure.memory_cdf.fraction_below(4.0)
+    checks = [
+        check_ratio("NEP median cores", 8, nep.median_cpu, tolerance=0.5),
+        check_ratio("NEP median memory GB", 32, nep.median_memory_gb,
+                    tolerance=0.5),
+        check_ratio("Azure median memory GB", 4, azure.median_memory_gb,
+                    tolerance=0.5),
+        check_ratio("Azure share <=4 vCPUs", 0.90, azure_small_cpu,
+                    tolerance=0.12),
+        check_ratio("Azure share <=4 GB", 0.70, azure_small_mem,
+                    tolerance=0.2),
+        check_ratio("NEP median disk GB", 100, nep.median_disk_gb,
+                    tolerance=0.5),
+        check_ratio("NEP mean disk GB", 650, nep.mean_disk_gb,
+                    tolerance=0.6),
+        check_ordering("NEP VMs bigger than Azure VMs",
+                       "medians dominate on both axes",
+                       nep.median_cpu > azure.median_cpu
+                       and nep.median_memory_gb > azure.median_memory_gb,
+                       f"{nep.median_cpu:.0f}C/{nep.median_memory_gb:.0f}G "
+                       f"vs {azure.median_cpu:.0f}C/"
+                       f"{azure.median_memory_gb:.0f}G"),
+    ]
+    emit(format_table(["metric", "paper NEP", "measured NEP",
+                       "paper Azure", "measured Azure"], rows,
+                      title="Figure 8 — VM sizes"))
+    emit(comparison_block("Figure 8 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,40 @@
+"""Table 1: deployment density of clouds and edges.
+
+Regenerates the density column of Table 1 from region counts and land
+areas, and checks the simulated NEP build lands at the paper's >135
+regions per million square miles.
+"""
+
+from conftest import emit
+
+from repro.core.deployment import (
+    PAPER_DENSITIES,
+    PLATFORM_DEPLOYMENTS,
+    density_of,
+    simulated_nep_density,
+)
+from repro.core.report import check_ratio, comparison_block, format_table
+
+
+def _compute_table():
+    return [(r.platform, r.regions, r.coverage, density_of(r))
+            for r in PLATFORM_DEPLOYMENTS]
+
+
+def test_table1_deployment_density(benchmark, study):
+    rows = benchmark(_compute_table)
+    emit(format_table(
+        ["platform", "regions", "coverage", "density /10^6 mi^2"],
+        rows, title="Table 1 — deployment density"))
+
+    checks = [
+        check_ratio(f"density({name})", paper, density_of(record),
+                    tolerance=0.1)
+        for name, paper in PAPER_DENSITIES.items()
+        for record in PLATFORM_DEPLOYMENTS if record.platform == name
+    ]
+    simulated = simulated_nep_density(study.nep.platform)
+    checks.append(check_ratio("simulated NEP density", 135.0, simulated,
+                              tolerance=0.25))
+    emit(comparison_block("Table 1 vs paper", checks))
+    assert all(c.holds for c in checks)

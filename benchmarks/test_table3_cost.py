@@ -1,0 +1,91 @@
+"""Table 3: monetary cost of the 50 heaviest apps, NEP vs virtual clouds.
+
+Paper (cost normalised to NEP):
+
+  vCloud-1: by-bandwidth mean 1.82x / median 1.21x,
+            by-quantity mean 2.76x, pre-reserved mean 4.93x.
+  vCloud-2: 1.76x / 1.25x, 2.66x, 4.82x.
+
+Plus: network is 76% of the NEP bill on average (up to 96%), and the
+average saving vs on-demand-by-bandwidth is ~45%/43%.
+"""
+
+from conftest import emit
+
+from repro.billing.cloud import NetworkModel
+from repro.core.cost_analysis import run_cost_study
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+
+PAPER_MEANS = {
+    "vCloud-1": {NetworkModel.ON_DEMAND_BANDWIDTH: 1.82,
+                 NetworkModel.ON_DEMAND_QUANTITY: 2.76,
+                 NetworkModel.PRE_RESERVED: 4.93},
+    "vCloud-2": {NetworkModel.ON_DEMAND_BANDWIDTH: 1.76,
+                 NetworkModel.ON_DEMAND_QUANTITY: 2.66,
+                 NetworkModel.PRE_RESERVED: 4.82},
+}
+
+
+def test_table3_monetary_cost(benchmark, study, nep_dataset):
+    def compute():
+        return {
+            "vCloud-1": run_cost_study(
+                nep_dataset, study.vcloud1, study.vcloud_regions,
+                study.nep_billing,
+                app_count=study.scenario.heaviest_app_count),
+            "vCloud-2": run_cost_study(
+                nep_dataset, study.vcloud2, study.vcloud_regions,
+                study.nep_billing,
+                app_count=study.scenario.heaviest_app_count),
+        }
+
+    studies = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows, checks = [], []
+    for cloud_name, paper_means in PAPER_MEANS.items():
+        result = studies[cloud_name]
+        for model, paper_mean in paper_means.items():
+            summary = result.summary(model)
+            rows.append((cloud_name, model.value, paper_mean,
+                         summary["mean"], summary["median"],
+                         f"{summary['min']:.2f}-{summary['max']:.2f}"))
+            checks.append(check_ratio(
+                f"{cloud_name}/{model.value} mean ratio", paper_mean,
+                summary["mean"], tolerance=0.6))
+        means = {m: result.summary(m)["mean"] for m in NetworkModel}
+        checks.append(check_ordering(
+            f"{cloud_name}: billing-model ordering",
+            "by-bandwidth < by-quantity and < pre-reserved",
+            means[NetworkModel.ON_DEMAND_BANDWIDTH]
+            <= means[NetworkModel.ON_DEMAND_QUANTITY]
+            and means[NetworkModel.ON_DEMAND_BANDWIDTH]
+            <= means[NetworkModel.PRE_RESERVED],
+            " / ".join(f"{m.value}={v:.2f}" for m, v in means.items())))
+
+    vcloud1 = studies["vCloud-1"]
+    shares = vcloud1.network_share_of_nep_cost()
+    checks.extend([
+        check_ratio("network share of NEP cost (mean)", 0.76,
+                    shares["mean"], tolerance=0.25),
+        check_ratio("network share of NEP cost (max)", 0.96,
+                    shares["max"], tolerance=0.1),
+        check_ratio("mean saving vs vCloud-1 by-bandwidth", 0.45,
+                    vcloud1.mean_saving_by_bandwidth, tolerance=0.5),
+        check_ordering("a few apps are cheaper on the cloud",
+                       "min by-bandwidth ratio can dip below ~1",
+                       vcloud1.summary(
+                           NetworkModel.ON_DEMAND_BANDWIDTH)["min"] < 1.4,
+                       f"min = {vcloud1.summary(NetworkModel.ON_DEMAND_BANDWIDTH)['min']:.2f}"),
+    ])
+
+    emit(format_table(["cloud", "network model", "paper mean",
+                       "measured mean", "measured median",
+                       "measured range"], rows,
+                      title="Table 3 — cost ratios (cloud / NEP)"))
+    emit(comparison_block("Table 3 vs paper", checks))
+    assert all(c.holds for c in checks)

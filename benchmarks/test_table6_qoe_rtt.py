@@ -1,0 +1,48 @@
+"""Table 6 (Appendix C): RTTs to the QoE testbed's four backend VMs.
+
+Paper (ms): WiFi 11.4/16.6/40.9/55.1, LTE 22.2/25.6/54.6/63.2,
+5G 18.1/22.8/49.5/60.8 for Edge/Cloud-1/Cloud-2/Cloud-3.
+"""
+
+from conftest import emit
+
+from repro.core.report import (
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+)
+from repro.measurement.qoe.testbed import PAPER_TABLE6_RTT_MS
+
+
+def test_table6_testbed_rtts(benchmark, study):
+    def compute():
+        return study.qoe_testbed.rtt_table(pings=30)
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows, checks = [], []
+    for access, paper_row in PAPER_TABLE6_RTT_MS.items():
+        measured_row = table[access]
+        for vm_label, paper_rtt in paper_row.items():
+            rows.append((access.value, vm_label, paper_rtt,
+                         measured_row[vm_label]))
+            # Tolerance is wide: the paper's Cloud-1 RTT (16.6 ms at
+            # 670 km over WiFi) sits below the fibre round-trip floor
+            # plus its own access latency, so exact replication is not
+            # physically reachable; the monotone shape is the claim.
+            checks.append(check_ratio(
+                f"{access.value}/{vm_label} RTT", paper_rtt,
+                measured_row[vm_label], tolerance=1.0))
+        ordered = [measured_row[vm] for vm in
+                   ("Edge", "Cloud-1", "Cloud-2", "Cloud-3")]
+        checks.append(check_ordering(
+            f"{access.value}: RTT grows with backend distance",
+            "Edge < Cloud-1 < Cloud-2 < Cloud-3",
+            ordered == sorted(ordered), "monotone"))
+
+    emit(format_table(["access", "backend", "paper RTT (ms)",
+                       "measured RTT (ms)"], rows,
+                      title="Table 6 — QoE testbed RTTs"))
+    emit(comparison_block("Table 6 vs paper", checks))
+    assert all(c.holds for c in checks)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Build-out planner: watching growth create the §4.3 imbalance.
+
+Replays NEP's expansion (new sites opening while geo-scoped
+subscriptions keep arriving) against a what-if where every site existed
+from day one, then shows where an operator should intervene: the young
+sites that sell nothing while day-one sites fill up.
+
+Run:  python examples/buildout_planner.py
+"""
+
+from repro import Scenario
+from repro.core import format_table
+from repro.platform import simulate_growth
+
+
+def main() -> None:
+    scenario = Scenario.smoke_scale()
+    grown = simulate_growth(scenario, epochs=6, initial_fraction=0.2,
+                            requests_per_epoch=12)
+    static = simulate_growth(scenario, epochs=6, initial_fraction=1.0,
+                             requests_per_epoch=12)
+
+    rows = [(e.index, e.active_sites, e.placed_vms, e.skew,
+             static.epochs[e.index].skew)
+            for e in grown.epochs]
+    print(format_table(
+        ["epoch", "active sites", "VMs placed", "skew (build-out)",
+         "skew (static what-if)"], rows,
+        title="Across-site sales-rate skew while NEP builds out"))
+
+    print()
+    by_age = grown.rate_by_activation_epoch()
+    print(format_table(
+        ["site cohort (activation epoch)", "mean final sales rate"],
+        list(by_age.items()),
+        title="Who actually sold capacity"))
+
+    first, last = by_age[0], by_age[max(by_age)]
+    print(f"\nDay-one sites sold {first / max(last, 1e-6):.0f}x more than "
+          f"the newest cohort — §4.3's growth-driven skew. An operator "
+          f"can counter it with demand-aware activation (open sites where "
+          f"subscriptions queue) or cross-site migration "
+          f"(see examples/rebalancer_demo.py).")
+
+
+if __name__ == "__main__":
+    main()

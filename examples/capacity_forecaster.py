@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Capacity forecasting: predict next-half-hour CPU per VM (§4.4).
+
+Trains Holt-Winters and the 24-unit LSTM on individual VM series from
+the edge and cloud traces, then prints per-VM RMSE and the seasonality
+strengths that explain the gap — the paper's "edge VMs are easier to
+predict" result, usable as an actual capacity-planning tool.
+
+Run:  python examples/capacity_forecaster.py
+"""
+
+import numpy as np
+
+from repro import EdgeStudy, Scenario
+from repro.core import format_table
+from repro.prediction import (
+    ExperimentSpec,
+    evaluate_holt_winters,
+    evaluate_lstm,
+    seasonality_strength,
+)
+
+VMS_PER_PLATFORM = 4
+
+
+def main() -> None:
+    study = EdgeStudy(Scenario.smoke_scale())
+    spec = ExperimentSpec(
+        cpu_interval_minutes=study.scenario.cpu_interval_minutes,
+        window_minutes=60,
+        train_days=5, test_days=2,
+    )
+
+    rows = []
+    for label, dataset in (("edge", study.nep.dataset),
+                           ("cloud", study.azure.dataset)):
+        vm_ids = [v for v in dataset.vm_ids()
+                  if dataset.mean_cpu(v) > 0.03][:VMS_PER_PLATFORM]
+        for index, vm_id in enumerate(vm_ids):
+            series = dataset.cpu_series[vm_id].astype(float)
+            hw = evaluate_holt_winters(vm_id, series, "max", spec)
+            lstm = evaluate_lstm(vm_id, series, "max", spec, epochs=12,
+                                 seed=index)
+            strength = seasonality_strength(series,
+                                            dataset.cpu_points_per_day)
+            rows.append((label, vm_id, strength, hw.rmse_percent,
+                         lstm.rmse_percent))
+
+    print(format_table(
+        ["platform", "VM", "seasonality", "Holt-Winters RMSE %",
+         "LSTM RMSE %"],
+        rows, title="Next-hour max-CPU forecasting per VM (Figure 14)"))
+
+    edge_err = np.mean([r[3] for r in rows if r[0] == "edge"])
+    cloud_err = np.mean([r[3] for r in rows if r[0] == "cloud"])
+    print(f"\nMean Holt-Winters RMSE: edge {edge_err:.1f}% vs cloud "
+          f"{cloud_err:.1f}% — stronger seasonality makes edge capacity "
+          f"plannable, the paper's opportunity for 'more fine-grained, "
+          f"intelligent resource management'.")
+
+
+if __name__ == "__main__":
+    main()

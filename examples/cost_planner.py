@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Monthly-bill planner: should a video startup deploy on edge or cloud?
+
+Takes the synthetic NEP trace, picks the heaviest video apps, and prices
+each one on NEP and on the two virtual clouds under all three network
+billing models — the §4.5 decision a real customer faces.  Also shows
+the paper's counter-example: a bursty online-education app that the
+cloud's per-minute billing treats better than NEP's daily-peak billing.
+
+Run:  python examples/cost_planner.py
+"""
+
+from repro import EdgeStudy, Scenario
+from repro.billing.cloud import NetworkModel
+from repro.core import format_table
+from repro.core.cost_analysis import (
+    build_app_usage,
+    cluster_usage_to_cloud,
+    heaviest_apps,
+    site_locations,
+)
+
+
+def main() -> None:
+    study = EdgeStudy(Scenario.smoke_scale())
+    dataset = study.nep.dataset
+    locations = site_locations(dataset)
+
+    rows = []
+    for app_id in heaviest_apps(dataset, count=5):
+        usage = build_app_usage(dataset, app_id)
+        clustered = cluster_usage_to_cloud(usage, locations,
+                                           study.vcloud_regions)
+        nep_bill = study.nep_billing.bill(usage)
+        cloud_bills = {
+            model: study.vcloud1.bill(clustered, model).total_rmb
+            for model in NetworkModel
+        }
+        best_cloud = min(cloud_bills.values())
+        rows.append((
+            app_id,
+            dataset.apps[app_id].category,
+            len(usage.hardware),
+            nep_bill.total_rmb,
+            best_cloud,
+            best_cloud / nep_bill.total_rmb,
+            f"{nep_bill.network_share:.0%}",
+        ))
+
+    print(format_table(
+        ["app", "category", "VMs", "NEP bill (RMB/mo)",
+         "best cloud bill", "cloud/NEP", "network share"],
+        rows, title="Monthly cost of the heaviest apps (Table 3 view)"))
+
+    # The paper's exception case: peaky traffic + NEP's coarse billing.
+    education = [app_id for app_id in dataset.app_ids_with_vms()
+                 if dataset.apps[app_id].category == "online_education"]
+    if education:
+        app_id = max(
+            education,
+            key=lambda a: float(dataset.app_bandwidth(a).max())
+            / max(float(dataset.app_bandwidth(a).mean()), 1e-9),
+        )
+        usage = build_app_usage(dataset, app_id)
+        clustered = cluster_usage_to_cloud(usage, locations,
+                                           study.vcloud_regions)
+        nep_bill = study.nep_billing.bill(usage).total_rmb
+        cloud_bill = study.vcloud1.bill(
+            clustered, NetworkModel.ON_DEMAND_BANDWIDTH).total_rmb
+        series = dataset.app_bandwidth(app_id)
+        print(f"\nBursty education app {app_id}: peak/mean bandwidth = "
+              f"{float(series.max()) / float(series.mean()):.1f}x")
+        print(f"  NEP (daily-peak billing):      {nep_bill:10.0f} RMB/mo")
+        print(f"  vCloud-1 (per-hour billing):   {cloud_bill:10.0f} RMB/mo")
+        if cloud_bill < nep_bill:
+            print("  -> the cloud wins here, as §4.5 predicts for apps "
+                  "with high temporal network variance.")
+        else:
+            print("  -> NEP still wins for this app; sharper bursts would "
+                  "flip it (§4.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""QoE lab: rerun the paper's §3.3 testbeds and its what-if knobs.
+
+Measures cloud-gaming response delay and live-streaming delay against
+the 4-VM testbed (one edge + three clouds), then explores the paper's
+optimisation hints: GPU rendering on the game server, ffplay instead of
+MPlayer, and the jitter-buffer trade-off.
+
+Run:  python examples/qoe_lab.py
+"""
+
+import numpy as np
+
+from repro import Scenario
+from repro.core import format_table
+from repro.core.qoe_analysis import GamingExperiment, StreamingExperiment
+from repro.measurement.qoe import QoETestbed
+from repro.measurement.qoe.streaming import Player
+from repro.netsim.access import AccessType
+
+
+def main() -> None:
+    scenario = Scenario.smoke_scale()
+    testbed = QoETestbed(scenario.random.stream("qoe-lab"))
+    rng = scenario.random.stream("qoe-lab-trials")
+
+    gaming = GamingExperiment(testbed, rng, trials=50)
+    streaming = StreamingExperiment(testbed, rng, trials=50)
+
+    # --- gaming: backend distance and the GPU knob -----------------------
+    rows = []
+    for vm in testbed.vms:
+        base = gaming.run_config(vm.label, AccessType.WIFI)
+        gpu = gaming.run_config(vm.label, AccessType.WIFI,
+                                gpu_rendering=True)
+        rows.append((vm.label, base.mean_ms, gpu.mean_ms,
+                     base.mean_ms - gpu.mean_ms))
+    print(format_table(
+        ["backend", "response delay (ms)", "with GPU render", "saving"],
+        rows, title="Cloud gaming (WiFi): distance + GPU rendering"))
+    print("The network stops being the bottleneck on the edge; the "
+          "~15 ms GPU saving matches the paper's 10-20 ms estimate.\n")
+
+    # --- streaming: player software and the jitter buffer ----------------
+    rows = []
+    for player in (Player.MPLAYER, Player.FFPLAY):
+        for buffer_mb in (0.0, 2.0):
+            result = streaming.run_config("Edge", AccessType.WIFI,
+                                          player=player,
+                                          jitter_buffer_mb=buffer_mb)
+            rows.append((player.value, buffer_mb, result.mean_ms,
+                         float(np.std(result.delays_ms))))
+    print(format_table(
+        ["player", "buffer (MB)", "streaming delay (ms)", "std (ms)"],
+        rows, title="Live streaming (edge backend)"))
+    print("ffplay shaves ~90 ms off MPlayer; a 2 MB jitter buffer costs "
+          "seconds — 'the software matters' (§3.3.2).")
+
+
+if __name__ == "__main__":
+    main()

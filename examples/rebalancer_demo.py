@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Rebalancer demo: fixing the §4.3 imbalance with the §5 machinery.
+
+The paper measures badly skewed per-server load and argues for dynamic
+VM migration and load-aware request scheduling.  This script builds the
+NEP workload, finds the most unbalanced loaded site, runs the greedy
+usage rebalancer over it, and contrasts nearest-site scheduling with
+load-aware GSLB for the site's busiest app.
+
+Run:  python examples/rebalancer_demo.py
+"""
+
+import numpy as np
+
+from repro import EdgeStudy, Scenario
+from repro.core import format_table
+from repro.platform import LoadAwareScheduler, NearestSiteScheduler, UsageRebalancer
+
+
+def main() -> None:
+    study = EdgeStudy(Scenario.smoke_scale())
+    platform, dataset = study.nep.platform, study.nep.dataset
+
+    def vm_usage(vm_id: str) -> float:
+        return dataset.mean_cpu(vm_id)
+
+    rebalancer = UsageRebalancer(usage=vm_usage, target_spread=0.05)
+
+    # Most unbalanced site with at least 3 VMs on >= 2 servers.
+    def spread(site_id: str) -> float:
+        servers = {vm.server_id for vm in dataset.vms_on_site(site_id)}
+        if len(servers) < 2:
+            return -1.0
+        loads = [rebalancer.server_load(platform, s) for s in servers]
+        return max(loads) - min(loads)
+
+    site_id = max((s for s in dataset.sites), key=spread)
+    site = platform.site(site_id)
+    before = [rebalancer.server_load(platform, s.server_id)
+              for s in site.servers]
+    moves = rebalancer.rebalance_site(platform, site_id)
+    after = [rebalancer.server_load(platform, s.server_id)
+             for s in site.servers]
+
+    print(f"Site {site_id} ({site.city}): {len(site.servers)} servers, "
+          f"{len(dataset.vms_on_site(site_id))} VMs")
+    print(format_table(
+        ["metric", "before", "after"],
+        [
+            ("max server load", max(before), max(after)),
+            ("load spread (max-min)", max(before) - min(before),
+             max(after) - min(after)),
+            ("migrations", "-", len(moves)),
+            ("total migration downtime (s)", "-",
+             sum(m.cost.downtime_seconds for m in moves)),
+        ],
+        title="Greedy usage rebalancing (§5 'sites as a cluster')"))
+
+    # Load-aware scheduling for the busiest app on the platform.
+    app_id = max(dataset.app_ids_with_vms(),
+                 key=lambda a: len(dataset.vms_of_app(a)))
+    nearest = NearestSiteScheduler()
+    load_state: dict[str, float] = {
+        vm.vm_id: 0.0 for vm in platform.vms_of_app(app_id)}
+    gslb = LoadAwareScheduler(load=lambda v: load_state[v],
+                              detour_km=300.0, overload=0.8)
+    rng = np.random.default_rng(7)
+    nearest_hits: dict[str, int] = {}
+    gslb_hits: dict[str, int] = {}
+    for _ in range(200):
+        from repro.geo import CHINA_CITIES
+        user = CHINA_CITIES[rng.integers(0, len(CHINA_CITIES))].location
+        n = nearest.schedule(platform, app_id, user)
+        nearest_hits[n.vm_id] = nearest_hits.get(n.vm_id, 0) + 1
+        g = gslb.schedule(platform, app_id, user)
+        gslb_hits[g.vm_id] = gslb_hits.get(g.vm_id, 0) + 1
+        load_state[g.vm_id] += 0.02
+
+    print(f"\nApp {app_id} ({len(load_state)} VMs), 200 user requests:")
+    print(f"  nearest-site scheduling: hottest VM serves "
+          f"{max(nearest_hits.values())} requests "
+          f"across {len(nearest_hits)} VMs")
+    print(f"  load-aware GSLB:         hottest VM serves "
+          f"{max(gslb_hits.values())} requests "
+          f"across {len(gslb_hits)} VMs")
+    print("Load-aware scheduling trades a bounded detour for the flatter "
+          "hotspot the paper finds missing in production (§4.3).")
+
+
+if __name__ == "__main__":
+    main()

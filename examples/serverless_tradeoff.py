@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Serverless trade-off: should an edge app leave its reserved VMs?
+
+§5 of the paper argues future edge platforms should embrace serverless
+for elasticity and fine-grained billing, but warns that cold starts
+undercut ultra-low-delay apps.  This script takes real (synthetic) NEP
+apps, derives their request-rate shape from the CPU trace, and compares
+a reserved VM against a function pool on cost and tail latency.
+
+Run:  python examples/serverless_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import EdgeStudy, Scenario
+from repro.billing.models import NEP_HARDWARE
+from repro.core import format_table
+from repro.platform.serverless import FunctionSpec, compare_vm_vs_faas
+
+PEAK_RPS = 30.0
+
+
+def main() -> None:
+    study = EdgeStudy(Scenario.smoke_scale())
+    dataset = study.nep.dataset
+    rng = study.scenario.random.stream("serverless-example")
+    spec = FunctionSpec(name="request-handler", memory_mb=512,
+                        exec_ms=60.0, cold_start_ms=450.0)
+
+    # One representative app per category, its diurnal shape taken from
+    # the generated trace (one day of CPU usage as a request-rate proxy).
+    seen: dict[str, str] = {}
+    for app_id in dataset.app_ids_with_vms():
+        category = dataset.apps[app_id].category
+        seen.setdefault(category, app_id)
+
+    rows = []
+    for category, app_id in sorted(seen.items()):
+        vm = dataset.vms_of_app(app_id)[0]
+        day = dataset.cpu_series[vm.vm_id][: dataset.cpu_points_per_day]
+        shape = day / max(float(day.max()), 1e-6)
+        rate = PEAK_RPS * shape.astype(float)
+        vm_monthly = NEP_HARDWARE.monthly_cost(vm.cpu_cores, vm.memory_gb,
+                                               vm.disk_gb)
+        result = compare_vm_vs_faas(
+            rate, window_s=float(dataset.cpu_interval_minutes * 60),
+            spec=spec, vm_monthly_rmb=vm_monthly,
+            vm_capacity_rps=PEAK_RPS / 0.8, rng=rng)
+        rows.append((
+            category,
+            vm_monthly,
+            result.faas_monthly_rmb,
+            "FaaS" if result.faas_cheaper else "VM",
+            f"{result.faas_cold_start_fraction:.2%}",
+            result.faas_p95_latency_ms,
+        ))
+
+    print(format_table(
+        ["category", "VM (RMB/mo)", "FaaS (RMB/mo)", "cheaper",
+         "cold starts", "FaaS p95 (ms)"],
+        rows, title="Reserved VM vs serverless per app category"))
+    print("\nThe paper's §5 trade-off in numbers: elasticity wins on "
+          "idle-heavy apps, but the cold-start tail is what a 100 ms "
+          "gaming budget cannot absorb.")
+
+
+if __name__ == "__main__":
+    main()

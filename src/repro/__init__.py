@@ -1,0 +1,58 @@
+"""edgescope: a reproduction of "From Cloud to Edge: A First Look at
+Public Edge Platforms" (Xu et al., IMC 2021).
+
+The library simulates everything the paper measured behind paid/closed
+doors — the NEP edge platform, the crowd-sourced performance campaign,
+the QoE testbeds, the 3-month VM trace, and the billing engines — and
+implements the paper's analyses on top.
+
+Quickstart::
+
+    from repro import EdgeStudy, Scenario
+
+    study = EdgeStudy(Scenario.smoke_scale())
+    records = study.per_user               # Fig 2/3 inputs
+    nep_trace = study.nep.dataset          # Fig 8-14 inputs
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from .config import DEFAULT_SCENARIO, RandomState, Scenario
+from .errors import (
+    BillingError,
+    CapacityError,
+    ConfigurationError,
+    GeoError,
+    MeasurementError,
+    PlacementError,
+    PredictionError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+    TraceError,
+)
+from .study import EdgeStudy, default_study, smoke_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BillingError",
+    "CapacityError",
+    "ConfigurationError",
+    "DEFAULT_SCENARIO",
+    "EdgeStudy",
+    "GeoError",
+    "MeasurementError",
+    "PlacementError",
+    "PredictionError",
+    "RandomState",
+    "ReproError",
+    "Scenario",
+    "SchedulingError",
+    "TopologyError",
+    "TraceError",
+    "default_study",
+    "smoke_study",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Billing substrate: NEP and cloud pricing engines, virtual baselines."""
+
+from .baseline import CloudRegion, cluster_usage_to_cloud, nearest_region
+from .cloud import (
+    CloudBilling,
+    NetworkModel,
+    alicloud_billing,
+    huawei_billing,
+)
+from .models import (
+    ALICLOUD_HARDWARE,
+    BillingBreakdown,
+    CLOUD_PER_GB,
+    CLOUD_PRERESERVED_MONTHLY,
+    HUAWEI_HARDWARE,
+    HardwareRates,
+    NEP_BANDWIDTH_UNIT_RANGE,
+    NEP_HARDWARE,
+    TieredRate,
+    series_to_daily_peaks,
+    series_to_hourly_peaks,
+    traffic_gb,
+)
+from .nep import CityPriceBook, NepBilling
+from .usage import AppUsage, HardwareSubscription
+
+__all__ = [
+    "ALICLOUD_HARDWARE",
+    "AppUsage",
+    "BillingBreakdown",
+    "CLOUD_PER_GB",
+    "CLOUD_PRERESERVED_MONTHLY",
+    "CityPriceBook",
+    "CloudBilling",
+    "CloudRegion",
+    "HUAWEI_HARDWARE",
+    "HardwareRates",
+    "HardwareSubscription",
+    "NEP_BANDWIDTH_UNIT_RANGE",
+    "NEP_HARDWARE",
+    "NepBilling",
+    "NetworkModel",
+    "TieredRate",
+    "alicloud_billing",
+    "cluster_usage_to_cloud",
+    "huawei_billing",
+    "nearest_region",
+    "series_to_daily_peaks",
+    "series_to_hourly_peaks",
+    "traffic_gb",
+]

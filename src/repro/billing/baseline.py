@@ -1,0 +1,67 @@
+"""Virtual-cloud baselines: re-homing NEP usage onto cloud regions (§4.5).
+
+The paper's "virtual baselines" simulate NEP's edge apps deployed on a
+cloud platform "by clustering and merging the VMs' usage (both hardware
+and bandwidth) of NEP into the site distribution of cloud platforms based
+on geographical distances".  :func:`cluster_usage_to_cloud` does exactly
+that: every NEP site's share of an app's traffic moves to the nearest
+cloud region, and the per-region series are summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BillingError
+from ..geo.coords import GeoPoint
+from .usage import AppUsage
+
+
+@dataclass(frozen=True)
+class CloudRegion:
+    """One region of a virtual cloud baseline."""
+
+    region_id: str
+    city: str
+    location: GeoPoint
+
+
+def nearest_region(location: GeoPoint,
+                   regions: list[CloudRegion]) -> CloudRegion:
+    """The cloud region geographically nearest to ``location``.
+
+    Raises:
+        BillingError: if the region list is empty.
+    """
+    if not regions:
+        raise BillingError("virtual cloud has no regions")
+    return min(regions, key=lambda r: r.location.distance_km(location))
+
+
+def cluster_usage_to_cloud(usage: AppUsage,
+                           site_locations: dict[str, GeoPoint],
+                           regions: list[CloudRegion]) -> AppUsage:
+    """Re-home an app's NEP usage onto the cloud's region distribution.
+
+    Hardware subscriptions carry over unchanged (the virtual baseline
+    subscribes the same VM shapes); bandwidth series merge per nearest
+    region.
+
+    Raises:
+        BillingError: if a site in the usage has no known location.
+    """
+    clustered = AppUsage(
+        app_id=usage.app_id,
+        trace_days=usage.trace_days,
+        interval_minutes=usage.interval_minutes,
+        hardware=list(usage.hardware),
+    )
+    for location_id, series in usage.location_series.items():
+        if location_id not in site_locations:
+            raise BillingError(
+                f"app {usage.app_id}: unknown site {location_id!r} "
+                f"in usage bundle"
+            )
+        region = nearest_region(site_locations[location_id], regions)
+        clustered.add_location_series(region.region_id, region.city, series)
+    return clustered

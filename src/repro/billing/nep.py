@@ -1,0 +1,85 @@
+"""NEP's billing engine (§4.5 and Appendix D).
+
+Hardware: flat per-unit monthly rates (65/CPU, 20/GB, 0.35/GB SSD).
+
+Network: same-site traffic is combined and charged **by bandwidth** at a
+city/ISP-dependent unit price (15-50 RMB/Mbps/month).  The billed
+bandwidth is the *95th percentile of the daily peak* over the month —
+NEP records each day's peak usage and bills the 4th-highest of ~30.
+This coarse model is what makes NEP cheap for steady video traffic but
+unfriendly to apps with one sharp daily burst (the online-education case
+the paper highlights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BillingError
+from .models import (
+    BillingBreakdown,
+    NEP_BANDWIDTH_UNIT_RANGE,
+    NEP_HARDWARE,
+    series_to_daily_peaks,
+)
+from .usage import AppUsage
+
+
+class CityPriceBook:
+    """Deterministic per-city NEP bandwidth unit prices.
+
+    Real NEP prices vary by city and ISP (guangzhou-telecom 50 vs
+    chengdu-cmcc 15).  The book assigns each city a stable draw from the
+    published range using a seeded stream, so every billing run of one
+    scenario sees the same prices.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._prices: dict[str, float] = {}
+
+    def unit_price(self, city: str) -> float:
+        """RMB per Mbps per month for ``city``."""
+        if not city:
+            raise BillingError("city name must be non-empty")
+        if city not in self._prices:
+            low, high = NEP_BANDWIDTH_UNIT_RANGE
+            # Skew toward the cheap end: most NEP sites are in second-tier
+            # cities where edge bandwidth is cheapest.
+            draw = low + (high - low) * float(self._rng.beta(1.6, 3.0))
+            self._prices[city] = draw
+        return self._prices[city]
+
+
+class NepBilling:
+    """Bills one app's monthly cost on NEP."""
+
+    provider = "NEP"
+
+    def __init__(self, price_book: CityPriceBook) -> None:
+        self._prices = price_book
+
+    def hardware_cost(self, usage: AppUsage) -> float:
+        return sum(
+            NEP_HARDWARE.monthly_cost(hw.cpu_cores, hw.memory_gb, hw.disk_gb)
+            for hw in usage.hardware
+        )
+
+    def network_cost(self, usage: AppUsage) -> float:
+        """Sum over sites of p95(daily peak) x city unit price."""
+        total = 0.0
+        for location_id, series in usage.location_series.items():
+            daily_peaks = series_to_daily_peaks(series, usage.points_per_day)
+            billed_mbps = float(np.percentile(daily_peaks, 95))
+            city = usage.location_city[location_id]
+            total += billed_mbps * self._prices.unit_price(city)
+        return total
+
+    def bill(self, usage: AppUsage) -> BillingBreakdown:
+        """The app's full monthly bill on NEP."""
+        return BillingBreakdown(
+            provider=self.provider,
+            network_model="on-demand-by-bandwidth (daily-peak p95)",
+            hardware_rmb=self.hardware_cost(usage),
+            network_rmb=self.network_cost(usage),
+        )

@@ -1,0 +1,84 @@
+"""App-level usage bundles fed into the billing engines.
+
+Billing needs, per app: the hardware subscribed by each VM and the
+bandwidth series aggregated per site (NEP combines same-site traffic on
+one bill; the virtual-cloud baselines aggregate per cloud region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BillingError
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class HardwareSubscription:
+    """One VM's billable hardware."""
+
+    cpu_cores: int
+    memory_gb: int
+    disk_gb: int
+
+
+@dataclass
+class AppUsage:
+    """One app's billable usage over the trace."""
+
+    app_id: str
+    trace_days: int
+    interval_minutes: int
+    hardware: list[HardwareSubscription] = field(default_factory=list)
+    #: Public bandwidth (Mbps) aggregated per location id.
+    location_series: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Location id -> city name, for city-dependent unit prices.
+    location_city: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trace_days <= 0 or self.interval_minutes <= 0:
+            raise BillingError("trace_days and interval must be positive")
+        if MINUTES_PER_DAY % self.interval_minutes:
+            raise BillingError(
+                f"interval {self.interval_minutes} does not divide a day"
+            )
+
+    @property
+    def points_per_day(self) -> int:
+        return MINUTES_PER_DAY // self.interval_minutes
+
+    @property
+    def points_per_hour(self) -> int:
+        return max(1, 60 // self.interval_minutes)
+
+    def add_location_series(self, location_id: str, city: str,
+                            series: np.ndarray) -> None:
+        """Accumulate a VM's bandwidth series onto its location's bill."""
+        expected = self.trace_days * self.points_per_day
+        if series.size != expected:
+            raise BillingError(
+                f"app {self.app_id}: series of {series.size} points, "
+                f"expected {expected}"
+            )
+        if location_id in self.location_series:
+            self.location_series[location_id] = (
+                self.location_series[location_id] + series.astype(np.float64)
+            )
+        else:
+            self.location_series[location_id] = series.astype(np.float64)
+            self.location_city[location_id] = city
+
+    def total_series(self) -> np.ndarray:
+        """The app's platform-wide bandwidth series."""
+        total = np.zeros(self.trace_days * self.points_per_day)
+        for series in self.location_series.values():
+            total += series
+        return total
+
+    def total_traffic_gb(self) -> float:
+        """Total public traffic over the trace, in GB."""
+        megabits = float(self.total_series().sum()) * self.interval_minutes * 60
+        return megabits / 8.0 / 1000.0

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any paper figure from a terminal.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro info [--scale smoke]     # scenario + platform summary
+    python -m repro run fig2a table3         # regenerate figures
+    python -m repro run all --scale smoke --seed 7
+    python -m repro export ./datasets        # the paper's two datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .reports import REPORTS
+from .study import EdgeStudy, default_study, smoke_study
+
+#: Human-readable one-liners for `repro list`.
+DESCRIPTIONS = {
+    "table1": "deployment density of clouds vs NEP",
+    "fig2a": "mean RTT CDFs per access network and baseline",
+    "fig2b": "RTT jitter (coefficient of variation)",
+    "table2": "per-hop latency shares",
+    "fig3": "hop counts to edge vs cloud",
+    "fig4": "inter-site RTT vs distance",
+    "fig5": "throughput vs distance per access type",
+    "fig6": "cloud-gaming response delay",
+    "fig7": "live-streaming delay",
+    "fig8": "VM sizes, NEP vs Azure",
+    "fig9": "VMs per app",
+    "fig10": "CPU utilisation distributions",
+    "fig11": "load imbalance across machines/sites",
+    "fig12": "weekly bandwidth of sample VMs",
+    "fig13": "per-app cross-VM usage gap",
+    "fig14": "CPU usage predictability (Holt-Winters + LSTM)",
+    "table3": "monetary cost, NEP vs virtual clouds",
+    "table6": "QoE testbed RTTs",
+    "sales": "sales-rate skew (§4.1 prose)",
+    "categories": "application types and traffic shares (§4.1)",
+    "findings": "the paper's eight findings with measured values",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures of 'From Cloud to Edge' (IMC'21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    info = sub.add_parser("info", help="show the scenario and platforms")
+    _add_scenario_args(info)
+
+    run = sub.add_parser("run", help="regenerate one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids (see 'list'), or 'all'")
+    _add_scenario_args(run)
+
+    export = sub.add_parser(
+        "export",
+        help="write the performance + workload datasets to a directory")
+    export.add_argument("directory", help="output directory")
+    _add_scenario_args(export)
+    return parser
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("smoke", "default"),
+                        default="smoke",
+                        help="simulation scale (default: smoke)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario seed")
+
+
+def _study(args: argparse.Namespace) -> EdgeStudy:
+    """The study for the CLI args, sharing the module-level cache."""
+    if args.scale == "smoke":
+        return smoke_study(args.seed)
+    return default_study(args.seed)
+
+
+def _command_list() -> int:
+    width = max(len(name) for name in REPORTS)
+    for name in REPORTS:
+        print(f"{name.ljust(width)}  {DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    study = _study(args)
+    scenario = study.scenario
+    print(f"scenario: scale={args.scale} seed={scenario.seed}")
+    print(f"  NEP: {scenario.nep_site_count} sites, "
+          f"{scenario.nep_vm_count} VMs, {scenario.trace_days} trace days "
+          f"at {scenario.cpu_interval_minutes}-min CPU resolution")
+    print(f"  campaign: {scenario.participant_count} participants, "
+          f"{scenario.pings_per_target} pings per target")
+    platform = study.nep.platform
+    print(f"built NEP: {len(platform.sites)} sites / "
+          f"{platform.server_count} servers / {len(platform.vms)} VMs, "
+          f"{len(platform.apps)} apps")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    names = list(REPORTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in REPORTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)} "
+              f"(see 'repro list')", file=sys.stderr)
+        return 2
+    study = _study(args)
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(REPORTS[name](study))
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .measurement.campaign import CampaignResults
+    from .measurement.io import save_campaign
+    from .trace.io import save_dataset
+
+    study = _study(args)
+    root = Path(args.directory)
+    # Fresh container: never mutate the study's cached results.
+    results = CampaignResults(
+        latency=list(study.latency_results.latency),
+        throughput=list(study.throughput_results.throughput),
+    )
+    campaign_dir = save_campaign(results, root / "campaign")
+    nep_dir = save_dataset(study.nep.dataset, root / "nep-trace")
+    azure_dir = save_dataset(study.azure.dataset, root / "azure-trace")
+    print(f"performance dataset: {campaign_dir}")
+    print(f"NEP workload trace:  {nep_dir}")
+    print(f"cloud workload trace: {azure_dir}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "info":
+            return _command_info(args)
+        if args.command == "export":
+            return _command_export(args)
+        return _command_run(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: the POSIX
+        # convention is to exit quietly, not to traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

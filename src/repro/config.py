@@ -1,0 +1,186 @@
+"""Scenario configuration and deterministic randomness.
+
+Everything stochastic in the library draws from a :class:`numpy.random.
+Generator` funnelled through :class:`RandomState`, which derives independent
+named substreams from one root seed.  Two runs with the same
+:class:`Scenario` produce bit-identical datasets, campaigns, and analyses.
+
+The real NEP trace spans 3 months of 1-minute CPU readings over *every* VM of
+the platform; regenerating that verbatim would need tens of gigabytes.  The
+default scenario keeps the structure (per-VM series, per-server placement,
+>500 sites) but reduces the VM count and sampling resolution.  All knobs are
+explicit fields, and :meth:`Scenario.paper_scale` returns the full-fidelity
+settings for users with the patience for them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+_DEFAULT_SEED = 20211102  # IMC 2021 opening day
+
+
+class RandomState:
+    """A root seed plus a family of named, independent substreams.
+
+    Substreams are derived with :class:`numpy.random.SeedSequence` spawn
+    keys based on a stable hash of the stream name, so adding a new stream
+    never perturbs existing ones and the same name always yields the same
+    stream for a given root seed.
+    """
+
+    def __init__(self, seed: int = _DEFAULT_SEED) -> None:
+        if seed < 0:
+            raise ConfigurationError(f"seed must be non-negative, got {seed}")
+        self.seed = int(seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the named substream.
+
+        Calling twice with the same name returns two generators in the same
+        initial state, which keeps independently-constructed components
+        reproducible without shared mutable state.
+        """
+        if not name:
+            raise ConfigurationError("stream name must be non-empty")
+        # A stable (non-salted) digest of the name; Python's hash() is
+        # randomised per process and must not be used here.
+        digest = 0
+        for ch in name:
+            digest = (digest * 131 + ord(ch)) % (2**31 - 1)
+        seq = np.random.SeedSequence([self.seed, digest])
+        return np.random.default_rng(seq)
+
+    def child(self, name: str) -> "RandomState":
+        """Derive a child RandomState, for components that themselves fan out."""
+        digest = 0
+        for ch in name:
+            digest = (digest * 131 + ord(ch)) % (2**31 - 1)
+        return RandomState((self.seed * 1_000_003 + digest) % (2**63 - 1))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """All scale and calibration knobs for one end-to-end reproduction.
+
+    Attributes mirror the experiment design of the paper (§2.1); see
+    DESIGN.md for the mapping from each knob to the figure it drives.
+    """
+
+    seed: int = _DEFAULT_SEED
+
+    # --- platform topology (§2, Table 1) -------------------------------
+    nep_site_count: int = 520          # ">500 sites in China"
+    nep_servers_per_site_min: int = 8  # "tens or hundreds of servers"
+    nep_servers_per_site_max: int = 96
+    cloud_region_count: int = 12       # AliCloud China regions
+
+    # --- workload trace (§2.1.2) ----------------------------------------
+    nep_vm_count: int = 1200
+    azure_vm_count: int = 1200
+    trace_days: int = 28               # paper: 92 days (3 months)
+    cpu_interval_minutes: int = 5      # paper: 1 minute
+    bw_interval_minutes: int = 5       # paper: 5 minutes
+
+    # --- crowd-sourced campaign (§2.1.1) --------------------------------
+    participant_count: int = 158
+    city_count: int = 41
+    pings_per_target: int = 30
+    throughput_participants: int = 25
+    throughput_edge_vms: int = 20
+    iperf_duration_seconds: int = 15
+
+    # --- QoE testbeds (§3.3) --------------------------------------------
+    qoe_samples_per_setting: int = 50
+
+    # --- prediction study (§4.4) ----------------------------------------
+    prediction_vm_sample: int = 48     # VMs sampled per platform
+    prediction_window_minutes: int = 30
+    prediction_train_days: int = 21
+    prediction_test_days: int = 7
+
+    # --- billing study (§4.5) -------------------------------------------
+    heaviest_app_count: int = 50
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "nep_site_count", "nep_servers_per_site_min",
+            "nep_servers_per_site_max", "cloud_region_count",
+            "nep_vm_count", "azure_vm_count", "trace_days",
+            "cpu_interval_minutes", "bw_interval_minutes",
+            "participant_count", "city_count", "pings_per_target",
+            "throughput_participants", "throughput_edge_vms",
+            "iperf_duration_seconds", "qoe_samples_per_setting",
+            "prediction_vm_sample", "prediction_window_minutes",
+            "prediction_train_days", "prediction_test_days",
+            "heaviest_app_count",
+        )
+        for name in positive_fields:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.nep_servers_per_site_min > self.nep_servers_per_site_max:
+            raise ConfigurationError(
+                "nep_servers_per_site_min exceeds nep_servers_per_site_max"
+            )
+        if self.prediction_window_minutes % self.cpu_interval_minutes:
+            raise ConfigurationError(
+                "prediction window must be a multiple of the CPU interval"
+            )
+
+    @property
+    def random(self) -> RandomState:
+        """Root random state for this scenario."""
+        return RandomState(self.seed)
+
+    @property
+    def trace_minutes(self) -> int:
+        """Total trace span in minutes."""
+        return self.trace_days * 24 * 60
+
+    def with_overrides(self, **changes: object) -> "Scenario":
+        """Return a copy of this scenario with the given fields replaced."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def paper_scale(cls) -> "Scenario":
+        """Full-fidelity settings matching the paper's data volumes.
+
+        This is expensive (months of 1-minute series) and exists mostly to
+        document what the defaults were scaled down from.
+        """
+        return cls(
+            trace_days=92,
+            cpu_interval_minutes=1,
+            nep_vm_count=20_000,
+            azure_vm_count=20_000,
+            prediction_vm_sample=512,
+        )
+
+    @classmethod
+    def smoke_scale(cls) -> "Scenario":
+        """Tiny settings for fast tests and CI smoke runs."""
+        return cls(
+            nep_site_count=60,
+            nep_vm_count=120,
+            azure_vm_count=120,
+            trace_days=7,
+            participant_count=24,
+            city_count=12,
+            pings_per_target=10,
+            throughput_participants=6,
+            throughput_edge_vms=5,
+            qoe_samples_per_setting=12,
+            prediction_vm_sample=8,
+            prediction_train_days=5,
+            prediction_test_days=2,
+            heaviest_app_count=10,
+        )
+
+
+DEFAULT_SCENARIO = Scenario()

@@ -1,0 +1,83 @@
+"""Deployment-density comparison across platforms (Table 1).
+
+Table 1 is static context data (region counts as of May 2021 and the land
+area they cover); it is embedded here together with the density math so
+the Table 1 benchmark regenerates the paper's numbers and can also score
+a simulated NEP build against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.cluster import Platform
+
+#: Land areas in million square miles.
+AREA_GLOBAL_M_MI2 = 196.9  # Earth land+sea as used for "global" coverage
+AREA_US_M_MI2 = 3.80
+AREA_CHINA_M_MI2 = 3.70
+
+
+@dataclass(frozen=True)
+class DeploymentRecord:
+    """One row of Table 1."""
+
+    platform: str
+    regions: int
+    coverage: str           # "Global", "U.S.", or "China"
+    area_m_mi2: float
+
+    @property
+    def density_per_m_mi2(self) -> float:
+        """Regions per million square miles."""
+        return self.regions / self.area_m_mi2
+
+
+#: Table 1 of the paper, dated May 26, 2021.
+PLATFORM_DEPLOYMENTS: tuple[DeploymentRecord, ...] = (
+    DeploymentRecord("AWS EC2 (global)", 24, "Global", 196.9),
+    DeploymentRecord("AWS EC2 (US)", 6, "U.S.", AREA_US_M_MI2),
+    DeploymentRecord("Google Cloud (global)", 24, "Global", 196.9),
+    DeploymentRecord("Google Cloud (US)", 8, "U.S.", AREA_US_M_MI2),
+    DeploymentRecord("Azure Edge Zones", 5, "U.S.", AREA_US_M_MI2),
+    DeploymentRecord("AWS Wavelength + Local Zones", 14, "U.S.", AREA_US_M_MI2),
+    DeploymentRecord("MS Azure (global)", 33, "Global", 196.9),
+    DeploymentRecord("MS Azure (US)", 8, "U.S.", AREA_US_M_MI2),
+    DeploymentRecord("Alibaba Cloud (global)", 23, "Global", 196.9),
+    DeploymentRecord("Alibaba Cloud (China)", 12, "China", AREA_CHINA_M_MI2),
+    DeploymentRecord("Huawei Cloud (China)", 5, "China", AREA_CHINA_M_MI2),
+    DeploymentRecord("NEP", 500, "China", AREA_CHINA_M_MI2),
+)
+
+#: The paper's headline densities (regions per 10^6 mi^2) for checking.
+PAPER_DENSITIES = {
+    "AWS EC2 (US)": 1.58,
+    "Google Cloud (US)": 2.10,
+    "MS Azure (US)": 2.11,
+    "Alibaba Cloud (China)": 3.23,
+    "Azure Edge Zones": 1.32,
+    "AWS Wavelength + Local Zones": 3.70,
+    "Huawei Cloud (China)": 1.35,
+    "NEP": 135.0,
+}
+
+
+def density_of(record: DeploymentRecord) -> float:
+    """Density in regions per million square miles."""
+    return record.density_per_m_mi2
+
+
+def simulated_nep_density(platform: Platform,
+                          area_m_mi2: float = AREA_CHINA_M_MI2) -> float:
+    """Density of a simulated NEP build, same units as Table 1."""
+    return len(platform.sites) / area_m_mi2
+
+
+def density_advantage_over(record_name: str,
+                           nep_sites: int = 500) -> float:
+    """How many times denser NEP is than a named Table 1 platform."""
+    nep_density = nep_sites / AREA_CHINA_M_MI2
+    for record in PLATFORM_DEPLOYMENTS:
+        if record.platform == record_name:
+            return nep_density / record.density_per_m_mi2
+    raise KeyError(f"unknown platform {record_name!r}")

@@ -1,0 +1,197 @@
+"""§3.3 analyses: cloud-gaming and live-streaming QoE experiments.
+
+Drives the QoE testbed (one edge VM + three cloud VMs) through the
+configurations of Figure 6 (network x device x game) and Figure 7
+(network x resolution x transcode), collecting the 50-sample trials and
+stage breakdowns the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..measurement.qoe.devices import Device, GAMING_DEVICES, SAMSUNG_NOTE10
+from ..measurement.qoe.gaming import (
+    CloudGamingSession,
+    FLARE,
+    GAMES,
+    Game,
+    GamingConfig,
+)
+from ..measurement.qoe.gaming import mean_breakdown as gaming_mean_breakdown
+from ..measurement.qoe.streaming import (
+    LiveStreamingSession,
+    Player,
+    Resolution,
+    StreamingConfig,
+)
+from ..measurement.qoe.streaming import mean_breakdown as streaming_mean_breakdown
+from ..measurement.qoe.testbed import QoETestbed
+from ..netsim.access import AccessType
+
+#: Figure 6 gamer tolerance line.
+GAMING_DELAY_BUDGET_MS = 100.0
+
+
+@dataclass(frozen=True)
+class GamingExperimentResult:
+    """One Figure 6 bar: a configuration's response-delay sample."""
+
+    vm_label: str
+    access: AccessType
+    device_name: str
+    game_name: str
+    delays_ms: np.ndarray
+    breakdown: dict[str, float]
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.delays_ms.mean())
+
+    @property
+    def p95_ms(self) -> float:
+        return float(np.percentile(self.delays_ms, 95))
+
+
+class GamingExperiment:
+    """Runs the §3.3.1 cloud-gaming experiment over the 4-VM testbed."""
+
+    def __init__(self, testbed: QoETestbed, rng: np.random.Generator,
+                 trials: int = 50) -> None:
+        if trials <= 0:
+            raise MeasurementError(f"trials must be positive, got {trials}")
+        self._testbed = testbed
+        self._rng = rng
+        self._trials = trials
+
+    def run_config(self, vm_label: str, access: AccessType,
+                   device: Device = SAMSUNG_NOTE10, game: Game = FLARE,
+                   gpu_rendering: bool = False) -> GamingExperimentResult:
+        """Run one testbed configuration (default = the paper's default)."""
+        rtt = self._testbed.measure_rtt_ms(access, vm_label)
+        down, up = self._testbed.link_capacities_mbps(access)
+        config = GamingConfig(device=device, game=game, rtt_ms=rtt,
+                              downlink_mbps=down, uplink_mbps=up,
+                              gpu_rendering=gpu_rendering)
+        session = CloudGamingSession(config, self._rng)
+        trials = session.run(self._trials)
+        return GamingExperimentResult(
+            vm_label=vm_label,
+            access=access,
+            device_name=device.name,
+            game_name=game.name,
+            delays_ms=np.array([t.response_delay_ms for t in trials]),
+            breakdown=gaming_mean_breakdown(trials),
+        )
+
+    def sweep_networks(self) -> list[GamingExperimentResult]:
+        """Figure 6(a): all four VMs x WiFi/LTE/5G, default device/game."""
+        results = []
+        for access in (AccessType.WIFI, AccessType.LTE, AccessType.FIVE_G):
+            for vm in self._testbed.vms:
+                results.append(self.run_config(vm.label, access))
+        return results
+
+    def sweep_devices(self) -> list[GamingExperimentResult]:
+        """Figure 6(b): the three phones on WiFi against edge and clouds."""
+        results = []
+        for device in GAMING_DEVICES:
+            for vm in self._testbed.vms:
+                results.append(self.run_config(vm.label, AccessType.WIFI,
+                                               device=device))
+        return results
+
+    def sweep_games(self) -> list[GamingExperimentResult]:
+        """Figure 6(c): the three games on WiFi against edge and clouds."""
+        results = []
+        for game in GAMES:
+            for vm in self._testbed.vms:
+                results.append(self.run_config(vm.label, AccessType.WIFI,
+                                               game=game))
+        return results
+
+
+@dataclass(frozen=True)
+class StreamingExperimentResult:
+    """One Figure 7 bar: a configuration's streaming-delay sample."""
+
+    vm_label: str
+    access: AccessType
+    resolution: Resolution
+    transcode: bool
+    jitter_buffer_mb: float
+    delays_ms: np.ndarray
+    breakdown: dict[str, float]
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.delays_ms.mean())
+
+
+class StreamingExperiment:
+    """Runs the §3.3.2 live-streaming experiment over the 4-VM testbed."""
+
+    def __init__(self, testbed: QoETestbed, rng: np.random.Generator,
+                 trials: int = 50) -> None:
+        if trials <= 0:
+            raise MeasurementError(f"trials must be positive, got {trials}")
+        self._testbed = testbed
+        self._rng = rng
+        self._trials = trials
+
+    def run_config(self, vm_label: str, access: AccessType,
+                   resolution: Resolution = Resolution.P1080,
+                   transcode: bool = False,
+                   player: Player = Player.MPLAYER,
+                   jitter_buffer_mb: float = 0.0,
+                   ) -> StreamingExperimentResult:
+        """Run one configuration; defaults follow the paper (1080p, none)."""
+        rtt = self._testbed.measure_rtt_ms(access, vm_label)
+        down, up = self._testbed.link_capacities_mbps(access)
+        config = StreamingConfig(rtt_ms=rtt, uplink_mbps=up,
+                                 downlink_mbps=down, resolution=resolution,
+                                 transcode=transcode, player=player,
+                                 jitter_buffer_mb=jitter_buffer_mb)
+        session = LiveStreamingSession(config, self._rng)
+        trials = session.run(self._trials)
+        return StreamingExperimentResult(
+            vm_label=vm_label,
+            access=access,
+            resolution=resolution,
+            transcode=transcode,
+            jitter_buffer_mb=jitter_buffer_mb,
+            delays_ms=np.array([t.streaming_delay_ms for t in trials]),
+            breakdown=streaming_mean_breakdown(trials),
+        )
+
+    def sweep_networks(self) -> list[StreamingExperimentResult]:
+        """Figure 7: WiFi/LTE/5G x all VMs, plus the WiFi-trans setting."""
+        results = []
+        for access in (AccessType.WIFI, AccessType.LTE, AccessType.FIVE_G):
+            for vm in self._testbed.vms:
+                results.append(self.run_config(vm.label, access))
+        for vm in self._testbed.vms:  # "WiFi-trans": 720p -> 1080p upscale
+            results.append(self.run_config(vm.label, AccessType.WIFI,
+                                           transcode=True))
+        return results
+
+    def sweep_resolutions(self) -> list[StreamingExperimentResult]:
+        """The 1080p-vs-720p comparison (~67 ms saving)."""
+        results = []
+        for resolution in (Resolution.P1080, Resolution.P720):
+            results.append(self.run_config("Edge", AccessType.WIFI,
+                                           resolution=resolution))
+        return results
+
+    def jitter_buffer_comparison(self) -> list[StreamingExperimentResult]:
+        """No-buffer vs 2 MB buffer: delay jumps toward 2 s and the
+        edge/cloud difference becomes trivial."""
+        results = []
+        for vm_label in ("Edge", "Cloud-3"):
+            for buffer_mb in (0.0, 2.0):
+                results.append(self.run_config(vm_label, AccessType.WIFI,
+                                               jitter_buffer_mb=buffer_mb))
+        return results

@@ -1,0 +1,214 @@
+"""Statistics toolkit used by every analysis in :mod:`repro.core`.
+
+The paper reports its results almost exclusively as CDFs, medians,
+coefficients of variation, tail ratios (P95/P5), and Pearson correlations.
+This module implements those primitives once, with explicit handling of the
+degenerate inputs (empty samples, zero means) that real traces produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ECDF",
+    "SeriesSummary",
+    "coefficient_of_variation",
+    "fairness_index",
+    "pearson_correlation",
+    "percentile",
+    "quantile_ratio",
+    "rmse",
+    "summarize",
+]
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                       dtype=float)
+    if array.ndim != 1:
+        array = array.ravel()
+    return array
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """Empirical cumulative distribution function of a 1-D sample.
+
+    Stores the sorted sample; evaluation and quantile lookup are O(log n).
+    """
+
+    values: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "ECDF":
+        array = _as_array(samples)
+        if array.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if np.isnan(array).any():
+            array = array[~np.isnan(array)]
+            if array.size == 0:
+                raise ValueError("sample contained only NaN values")
+        return cls(values=np.sort(array))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def evaluate(self, x: float) -> float:
+        """Fraction of the sample that is <= ``x``."""
+        return float(np.searchsorted(self.values, x, side="right")) / len(self)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (0..1), linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def curve(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays suitable for plotting or tabulating the CDF."""
+        if points < 2:
+            raise ValueError("need at least two curve points")
+        n = len(self)
+        xs = self.values
+        ys = np.arange(1, n + 1) / n
+        if n <= points:
+            return xs.copy(), ys
+        idx = np.linspace(0, n - 1, points).round().astype(int)
+        return xs[idx], ys[idx]
+
+    def fraction_below(self, x: float) -> float:
+        """Alias of :meth:`evaluate`, reads better in analysis code."""
+        return self.evaluate(x)
+
+
+def percentile(samples: Iterable[float], pct: float) -> float:
+    """The ``pct``-th percentile (0..100) of a sample."""
+    array = _as_array(samples)
+    if array.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    return float(np.percentile(array, pct))
+
+
+def coefficient_of_variation(samples: Iterable[float]) -> float:
+    """CV = std / mean, the paper's jitter and usage-variability metric.
+
+    Returns 0.0 for a zero-mean sample (an idle VM has no variability in
+    any meaningful sense, and the paper's plots treat it the same way).
+    """
+    array = _as_array(samples)
+    if array.size == 0:
+        raise ValueError("cannot compute CV of an empty sample")
+    mean = float(array.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(array.std() / abs(mean))
+
+
+def pearson_correlation(x: Iterable[float], y: Iterable[float]) -> float:
+    """Pearson correlation coefficient between two equally-long samples.
+
+    Returns 0.0 when either sample is constant — the paper reads a
+    negligible correlation in exactly that way for capacity-capped links.
+    """
+    ax, ay = _as_array(x), _as_array(y)
+    if ax.size != ay.size:
+        raise ValueError(f"length mismatch: {ax.size} vs {ay.size}")
+    if ax.size < 2:
+        raise ValueError("need at least two points for a correlation")
+    if ax.std() == 0.0 or ay.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(ax, ay)[0, 1])
+
+
+def quantile_ratio(samples: Iterable[float], upper: float = 95.0,
+                   lower: float = 5.0, floor: float = 1e-9) -> float:
+    """P``upper`` / P``lower`` ratio, the paper's imbalance metric (§4.3).
+
+    ``floor`` guards against division by a zero lower percentile, which
+    happens for apps containing fully idle VMs; the paper's ">50x gap"
+    statistic needs those apps to land in the large-ratio bucket, not NaN.
+    """
+    hi = percentile(samples, upper)
+    lo = percentile(samples, lower)
+    return hi / max(lo, floor)
+
+
+def fairness_index(samples: Iterable[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly even allocation; 1/n means one unit hogs
+    everything.  Complements the paper's P95/P5 gap (§4.3) with a
+    bounded, size-independent balance score.
+
+    Raises:
+        ValueError: on an empty sample or any negative value.
+    """
+    array = _as_array(samples)
+    if array.size == 0:
+        raise ValueError("cannot compute fairness of an empty sample")
+    if (array < 0).any():
+        raise ValueError("fairness index requires non-negative samples")
+    squares = float(np.sum(array ** 2))
+    if squares == 0.0:
+        return 1.0  # all-zero allocation is trivially even
+    return float(np.sum(array)) ** 2 / (array.size * squares)
+
+
+def rmse(predicted: Iterable[float], actual: Iterable[float]) -> float:
+    """Root mean square error between predictions and ground truth."""
+    p, a = _as_array(predicted), _as_array(actual)
+    if p.size != a.size:
+        raise ValueError(f"length mismatch: {p.size} vs {a.size}")
+    if p.size == 0:
+        raise ValueError("cannot compute RMSE of empty arrays")
+    return float(np.sqrt(np.mean((p - a) ** 2)))
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary used throughout the report tables."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    median: float
+    p95: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def summarize(samples: Iterable[float]) -> SeriesSummary:
+    """Build a :class:`SeriesSummary` for a non-empty sample."""
+    array = _as_array(samples)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SeriesSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        p5=float(np.percentile(array, 5)),
+        median=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )

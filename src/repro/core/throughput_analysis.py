@@ -1,0 +1,90 @@
+"""§3.2 analysis: throughput vs distance and the capacity bottleneck.
+
+Figure 5 plots each 15-second iperf result against the UE-VM distance and
+reports the Pearson correlation per access technology and direction.  The
+paper's reading: |corr| < 0.2 is negligible (capacity-limited last mile),
+|corr| > 0.7 is significant (Internet-path-limited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..measurement.campaign import ThroughputObservation
+from ..netsim.access import AccessType
+from .stats import pearson_correlation
+
+#: The paper's correlation-reading thresholds.
+NEGLIGIBLE_CORRELATION = 0.2
+SIGNIFICANT_CORRELATION = 0.7
+
+
+@dataclass(frozen=True)
+class ThroughputSeries:
+    """One Figure 5 panel: scatter points plus the correlation."""
+
+    access: AccessType
+    direction: str            # "downlink" or "uplink"
+    distances_km: np.ndarray
+    throughputs_mbps: np.ndarray
+    correlation: float
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(self.throughputs_mbps.mean())
+
+    @property
+    def distance_matters(self) -> bool:
+        """True when the paper would call the correlation significant."""
+        return abs(self.correlation) >= SIGNIFICANT_CORRELATION
+
+    @property
+    def capacity_limited(self) -> bool:
+        """True when the correlation is negligible (last-mile bound)."""
+        return abs(self.correlation) <= NEGLIGIBLE_CORRELATION
+
+
+def throughput_series(observations: list[ThroughputObservation],
+                      access: AccessType,
+                      direction: str) -> ThroughputSeries:
+    """Build one Figure 5 panel from raw campaign observations.
+
+    Raises:
+        MeasurementError: on an unknown direction or empty subset.
+    """
+    if direction not in ("downlink", "uplink"):
+        raise MeasurementError(f"unknown direction {direction!r}")
+    subset = [o for o in observations if o.access is access]
+    if len(subset) < 3:
+        raise MeasurementError(
+            f"need >=3 observations for {access}/{direction}, "
+            f"got {len(subset)}"
+        )
+    distances = np.array([o.result.distance_km for o in subset])
+    if direction == "downlink":
+        values = np.array([o.result.downlink_mbps for o in subset])
+    else:
+        values = np.array([o.result.uplink_mbps for o in subset])
+    return ThroughputSeries(
+        access=access,
+        direction=direction,
+        distances_km=distances,
+        throughputs_mbps=values,
+        correlation=pearson_correlation(distances, values),
+    )
+
+
+def all_series(observations: list[ThroughputObservation],
+               ) -> list[ThroughputSeries]:
+    """Every (access, direction) panel present in the campaign."""
+    present = {o.access for o in observations}
+    out = []
+    for access in AccessType:
+        if access not in present:
+            continue
+        for direction in ("downlink", "uplink"):
+            out.append(throughput_series(observations, access, direction))
+    return out

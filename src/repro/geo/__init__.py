@@ -1,0 +1,28 @@
+"""Geographic substrate: coordinates, the China gazetteer, site placement."""
+
+from .coords import EARTH_RADIUS_KM, GeoPoint, haversine_km
+from .regions import (
+    CHINA_CITIES,
+    City,
+    cities_in_province,
+    city,
+    provinces,
+    total_population_m,
+)
+from .topology import PlacedSite, nearest_site, place_cloud_regions, place_edge_sites
+
+__all__ = [
+    "CHINA_CITIES",
+    "City",
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "PlacedSite",
+    "cities_in_province",
+    "city",
+    "haversine_km",
+    "nearest_site",
+    "place_cloud_regions",
+    "place_edge_sites",
+    "provinces",
+    "total_population_m",
+]

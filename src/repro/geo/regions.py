@@ -1,0 +1,197 @@
+"""A static gazetteer of Chinese provinces and cities.
+
+The crowd-sourced campaign covered 20 provinces and 41 cities (§2.1.1); NEP
+deploys >500 sites across China (Table 1).  The gazetteer below lists the
+provincial capitals and other major prefecture-level cities with approximate
+coordinates and urban populations (millions), which is all the simulation
+needs: site placement is population-weighted and distances are great-circle.
+
+The data is embedded rather than loaded from a file so the library has no
+runtime data dependencies; coordinates are accurate to ~0.1 degrees, far
+below the noise floor of any latency model built on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import GeoError
+from .coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """One city: name, province, location, urban population in millions."""
+
+    name: str
+    province: str
+    location: GeoPoint
+    population_m: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.province}/{self.name}"
+
+
+def _c(name: str, province: str, lat: float, lon: float, pop: float) -> City:
+    return City(name=name, province=province, location=GeoPoint(lat, lon),
+                population_m=pop)
+
+
+#: Major cities of mainland China, grouped by province.  Tier-1 metros carry
+#: the populations that drive NEP's site density.
+CHINA_CITIES: tuple[City, ...] = (
+    # Municipalities
+    _c("Beijing", "Beijing", 39.90, 116.40, 21.5),
+    _c("Shanghai", "Shanghai", 31.23, 121.47, 24.9),
+    _c("Tianjin", "Tianjin", 39.13, 117.20, 13.9),
+    _c("Chongqing", "Chongqing", 29.56, 106.55, 16.4),
+    # Guangdong
+    _c("Guangzhou", "Guangdong", 23.13, 113.26, 18.7),
+    _c("Shenzhen", "Guangdong", 22.54, 114.06, 17.6),
+    _c("Dongguan", "Guangdong", 23.02, 113.75, 10.5),
+    _c("Foshan", "Guangdong", 23.02, 113.11, 9.5),
+    _c("Zhuhai", "Guangdong", 22.27, 113.58, 2.4),
+    _c("Shantou", "Guangdong", 23.35, 116.68, 5.5),
+    _c("Zhanjiang", "Guangdong", 21.27, 110.36, 7.0),
+    _c("Huizhou", "Guangdong", 23.11, 114.42, 6.0),
+    # Jiangsu
+    _c("Nanjing", "Jiangsu", 32.06, 118.80, 9.3),
+    _c("Suzhou", "Jiangsu", 31.30, 120.58, 12.7),
+    _c("Wuxi", "Jiangsu", 31.49, 120.31, 7.5),
+    _c("Xuzhou", "Jiangsu", 34.26, 117.18, 9.0),
+    _c("Nantong", "Jiangsu", 31.98, 120.89, 7.7),
+    _c("Changzhou", "Jiangsu", 31.81, 119.97, 5.3),
+    # Zhejiang
+    _c("Hangzhou", "Zhejiang", 30.27, 120.15, 12.2),
+    _c("Ningbo", "Zhejiang", 29.87, 121.54, 9.4),
+    _c("Wenzhou", "Zhejiang", 28.00, 120.67, 9.6),
+    _c("Jinhua", "Zhejiang", 29.08, 119.65, 7.1),
+    # Shandong
+    _c("Jinan", "Shandong", 36.65, 117.12, 9.2),
+    _c("Qingdao", "Shandong", 36.07, 120.38, 10.1),
+    _c("Yantai", "Shandong", 37.46, 121.44, 7.1),
+    _c("Weifang", "Shandong", 36.70, 119.16, 9.4),
+    _c("Linyi", "Shandong", 35.10, 118.36, 11.0),
+    # Sichuan
+    _c("Chengdu", "Sichuan", 30.57, 104.07, 20.9),
+    _c("Mianyang", "Sichuan", 31.47, 104.68, 4.9),
+    _c("Nanchong", "Sichuan", 30.84, 106.11, 5.6),
+    # Hubei
+    _c("Wuhan", "Hubei", 30.59, 114.31, 12.3),
+    _c("Yichang", "Hubei", 30.69, 111.29, 4.0),
+    _c("Xiangyang", "Hubei", 32.01, 112.12, 5.3),
+    # Hunan
+    _c("Changsha", "Hunan", 28.23, 112.94, 10.0),
+    _c("Hengyang", "Hunan", 26.89, 112.57, 6.6),
+    _c("Zhuzhou", "Hunan", 27.83, 113.13, 3.9),
+    # Henan
+    _c("Zhengzhou", "Henan", 34.75, 113.63, 12.6),
+    _c("Luoyang", "Henan", 34.62, 112.45, 7.1),
+    _c("Nanyang", "Henan", 32.99, 112.53, 9.7),
+    _c("Kaifeng", "Henan", 34.80, 114.31, 4.8),
+    # Hebei
+    _c("Shijiazhuang", "Hebei", 38.04, 114.51, 11.2),
+    _c("Tangshan", "Hebei", 39.63, 118.18, 7.7),
+    _c("Baoding", "Hebei", 38.87, 115.46, 11.5),
+    _c("Handan", "Hebei", 36.61, 114.49, 9.4),
+    # Shaanxi
+    _c("Xian", "Shaanxi", 34.27, 108.95, 13.0),
+    _c("Baoji", "Shaanxi", 34.36, 107.24, 3.3),
+    # Liaoning
+    _c("Shenyang", "Liaoning", 41.80, 123.43, 9.1),
+    _c("Dalian", "Liaoning", 38.91, 121.61, 7.5),
+    _c("Anshan", "Liaoning", 41.11, 122.99, 3.3),
+    # Jilin
+    _c("Changchun", "Jilin", 43.82, 125.32, 9.1),
+    _c("Jilin", "Jilin", 43.84, 126.55, 3.6),
+    # Heilongjiang
+    _c("Harbin", "Heilongjiang", 45.80, 126.53, 10.0),
+    _c("Daqing", "Heilongjiang", 46.59, 125.10, 2.8),
+    # Anhui
+    _c("Hefei", "Anhui", 31.82, 117.23, 9.4),
+    _c("Wuhu", "Anhui", 31.33, 118.38, 3.6),
+    _c("Fuyang", "Anhui", 32.89, 115.81, 8.2),
+    # Fujian
+    _c("Fuzhou", "Fujian", 26.07, 119.30, 8.3),
+    _c("Xiamen", "Fujian", 24.48, 118.09, 5.2),
+    _c("Quanzhou", "Fujian", 24.87, 118.68, 8.8),
+    # Jiangxi
+    _c("Nanchang", "Jiangxi", 28.68, 115.86, 6.3),
+    _c("Ganzhou", "Jiangxi", 25.83, 114.93, 9.0),
+    # Shanxi
+    _c("Taiyuan", "Shanxi", 37.87, 112.55, 5.3),
+    _c("Datong", "Shanxi", 40.08, 113.30, 3.1),
+    # Guangxi
+    _c("Nanning", "Guangxi", 22.82, 108.32, 8.7),
+    _c("Liuzhou", "Guangxi", 24.33, 109.43, 4.2),
+    _c("Guilin", "Guangxi", 25.27, 110.29, 4.9),
+    # Yunnan
+    _c("Kunming", "Yunnan", 24.88, 102.83, 8.5),
+    _c("Qujing", "Yunnan", 25.49, 103.80, 5.7),
+    # Guizhou
+    _c("Guiyang", "Guizhou", 26.65, 106.63, 5.9),
+    _c("Zunyi", "Guizhou", 27.73, 106.93, 6.6),
+    # Gansu
+    _c("Lanzhou", "Gansu", 36.06, 103.83, 4.4),
+    _c("Tianshui", "Gansu", 34.58, 105.72, 3.0),
+    # Inner Mongolia
+    _c("Hohhot", "InnerMongolia", 40.84, 111.75, 3.4),
+    _c("Baotou", "InnerMongolia", 40.66, 109.84, 2.7),
+    # Xinjiang
+    _c("Urumqi", "Xinjiang", 43.83, 87.62, 4.1),
+    _c("Kashgar", "Xinjiang", 39.47, 75.99, 0.8),
+    # Tibet
+    _c("Lhasa", "Tibet", 29.65, 91.14, 0.9),
+    # Qinghai
+    _c("Xining", "Qinghai", 36.62, 101.78, 2.5),
+    # Ningxia
+    _c("Yinchuan", "Ningxia", 38.49, 106.23, 2.9),
+    # Hainan
+    _c("Haikou", "Hainan", 20.04, 110.34, 2.9),
+    _c("Sanya", "Hainan", 18.25, 109.51, 1.0),
+)
+
+
+@lru_cache(maxsize=1)
+def _city_index() -> dict[str, City]:
+    return {city.name: city for city in CHINA_CITIES}
+
+
+@lru_cache(maxsize=1)
+def provinces() -> tuple[str, ...]:
+    """All province names in the gazetteer, in first-appearance order."""
+    seen: dict[str, None] = {}
+    for city in CHINA_CITIES:
+        seen.setdefault(city.province, None)
+    return tuple(seen)
+
+
+def city(name: str) -> City:
+    """Look up a city by name.
+
+    Raises:
+        GeoError: if the city is not in the gazetteer.
+    """
+    try:
+        return _city_index()[name]
+    except KeyError:
+        raise GeoError(f"unknown city: {name!r}") from None
+
+
+def cities_in_province(province: str) -> tuple[City, ...]:
+    """All gazetteer cities in the given province.
+
+    Raises:
+        GeoError: if the province has no cities in the gazetteer.
+    """
+    found = tuple(c for c in CHINA_CITIES if c.province == province)
+    if not found:
+        raise GeoError(f"unknown province: {province!r}")
+    return found
+
+
+def total_population_m() -> float:
+    """Sum of urban populations (millions) across the gazetteer."""
+    return sum(c.population_m for c in CHINA_CITIES)

@@ -1,0 +1,99 @@
+"""Site-placement generators for edge and cloud platforms.
+
+NEP places many small sites near where people live, so placement is
+population-weighted sampling over the gazetteer with small intra-metro
+jitter (a metro can host several sites in different districts / ISP rooms).
+Cloud platforms place a handful of large regions in the biggest metros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .coords import GeoPoint
+from .regions import CHINA_CITIES, City
+
+
+@dataclass(frozen=True)
+class PlacedSite:
+    """A site location before it is materialised into platform entities."""
+
+    city: City
+    location: GeoPoint
+
+    @property
+    def province(self) -> str:
+        return self.city.province
+
+
+def _population_weights() -> np.ndarray:
+    # Square-root damping: NEP's deployment covers county-level towns, so
+    # big metros get more sites but not proportionally more (calibrated to
+    # Figure 4's sites-within-10ms count).
+    pops = np.sqrt(np.array([c.population_m for c in CHINA_CITIES],
+                            dtype=float))
+    return pops / pops.sum()
+
+
+def place_edge_sites(count: int, rng: np.random.Generator,
+                     max_jitter_deg: float = 0.75) -> list[PlacedSite]:
+    """Place ``count`` edge sites, population-weighted with jitter.
+
+    At full scale (NEP's >500 sites) every gazetteer city receives at
+    least one site before the population-weighted remainder is drawn,
+    mirroring NEP's country-wide coverage.  At reduced scale (fewer sites
+    than cities) the biggest metros are covered first.  The default
+    jitter (~+-80 km) spreads a metro's sites into its county belt, which
+    is what NEP's ISP-room deployments look like.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"site count must be positive, got {count}")
+    weights = _population_weights()
+    if count < len(CHINA_CITIES):
+        chosen = rng.choice(len(CHINA_CITIES), size=count, replace=False,
+                            p=weights)
+        assignments = [CHINA_CITIES[i] for i in chosen]
+    else:
+        assignments = list(CHINA_CITIES)
+        extra = count - len(CHINA_CITIES)
+        extra_idx = rng.choice(len(CHINA_CITIES), size=extra, p=weights)
+        assignments.extend(CHINA_CITIES[i] for i in extra_idx)
+
+    sites = []
+    for c in assignments:
+        d_lat = float(rng.uniform(-max_jitter_deg, max_jitter_deg))
+        d_lon = float(rng.uniform(-max_jitter_deg, max_jitter_deg))
+        sites.append(PlacedSite(city=c, location=c.location.jitter(d_lat, d_lon)))
+    return sites
+
+
+def place_cloud_regions(count: int, rng: np.random.Generator) -> list[PlacedSite]:
+    """Place ``count`` cloud regions in the most populous distinct metros.
+
+    Cloud providers deliberately pick top metros; a small random tiebreak
+    keeps distinct seeds from being byte-identical without changing which
+    tier of city gets picked.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"region count must be positive, got {count}")
+    if count > len(CHINA_CITIES):
+        raise ConfigurationError(
+            f"cannot place {count} cloud regions over {len(CHINA_CITIES)} cities"
+        )
+    noise = rng.uniform(0.0, 0.01, size=len(CHINA_CITIES))
+    ranked = sorted(
+        zip(CHINA_CITIES, noise),
+        key=lambda pair: pair[0].population_m + pair[1],
+        reverse=True,
+    )
+    return [PlacedSite(city=c, location=c.location) for c, _ in ranked[:count]]
+
+
+def nearest_site(point: GeoPoint, sites: list[PlacedSite]) -> PlacedSite:
+    """The placed site geographically nearest to ``point``."""
+    if not sites:
+        raise ConfigurationError("no sites to choose from")
+    return min(sites, key=lambda s: s.location.distance_km(point))

@@ -1,0 +1,29 @@
+"""Measurement substrate: crowd campaign, probes, QoE testbeds."""
+
+from .campaign import (
+    ACCESS_SHARES,
+    CampaignResults,
+    CrowdCampaign,
+    LatencyObservation,
+    Participant,
+    ThroughputObservation,
+)
+from .io import load_campaign, save_campaign
+from .iperf import EDGE_VM_PORT_MBPS, IperfResult, run_iperf_test
+from .ping import PingResult, run_ping_test
+
+__all__ = [
+    "ACCESS_SHARES",
+    "CampaignResults",
+    "CrowdCampaign",
+    "EDGE_VM_PORT_MBPS",
+    "IperfResult",
+    "LatencyObservation",
+    "Participant",
+    "PingResult",
+    "ThroughputObservation",
+    "load_campaign",
+    "run_iperf_test",
+    "save_campaign",
+    "run_ping_test",
+]

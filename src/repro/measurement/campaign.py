@@ -1,0 +1,289 @@
+"""The crowd-sourced measurement campaign (§2.1.1).
+
+Reproduces the experiment design: participants across Chinese cities run
+the speed-testing app on WiFi/LTE/5G (59%/34%/7% of tests), pinging a VM
+on each nearby edge site and every cloud region 30 times, recording the
+traceroute when visible.  A subset of participants runs 15-second iperf3
+tests against 20 edge VMs for the throughput study.
+
+One deliberate reduction: each participant pings the ``edge_targets_per_user``
+geographically nearest edge sites instead of all >500 — sites hundreds of
+kilometres away can never be the user's nearest or 3rd-nearest edge, so
+the analyses of §3.1 are unchanged while the campaign stays laptop-sized.
+
+The paper also notes almost all 5G tests came from Beijing (limited 5G
+coverage in 2020) — the recruiter reproduces that bias because it is what
+makes Figure 2(a)'s 5G nearest-cloud gap small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Scenario
+from ..errors import MeasurementError
+from ..geo.coords import GeoPoint
+from ..geo.regions import CHINA_CITIES, City, city
+from ..netsim.access import AccessType, access_profile
+from ..netsim.routing import TargetSiteSpec, UESpec, build_route
+from ..platform.cluster import Platform
+from .iperf import IperfResult, run_iperf_test
+from .ping import run_ping_test
+
+#: Access-technology shares of the paper's 385 test sessions.
+ACCESS_SHARES = {
+    AccessType.WIFI: 0.59,
+    AccessType.LTE: 0.34,
+    AccessType.FIVE_G: 0.07,
+}
+
+#: City where nearly all 2020-era 5G coverage lived.
+FIVE_G_CITY = "Beijing"
+
+#: Edge targets probed per participant (nearest-first).
+DEFAULT_EDGE_TARGETS_PER_USER = 10
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One campaign volunteer."""
+
+    participant_id: str
+    city: str
+    province: str
+    location: GeoPoint
+    access: AccessType
+
+
+@dataclass(frozen=True)
+class LatencyObservation:
+    """The retained summary of one (participant, target) ping test."""
+
+    participant_id: str
+    city: str
+    province: str
+    access: AccessType
+    target_id: str
+    target_kind: str            # "edge" or "cloud"
+    distance_km: float
+    mean_rtt_ms: float
+    rtt_cv: float
+    hop_count: int
+    #: Per-hop share of end-to-end RTT; None entries are ICMP-hidden hops.
+    hop_shares: tuple[float | None, ...]
+
+
+@dataclass(frozen=True)
+class ThroughputObservation:
+    """One participant's iperf3 result against one edge VM."""
+
+    participant_id: str
+    access: AccessType
+    result: IperfResult
+
+
+@dataclass
+class CampaignResults:
+    """Everything the §3.1/§3.2 analyses consume."""
+
+    latency: list[LatencyObservation] = field(default_factory=list)
+    throughput: list[ThroughputObservation] = field(default_factory=list)
+
+    def participants(self) -> set[str]:
+        return ({obs.participant_id for obs in self.latency}
+                | {obs.participant_id for obs in self.throughput})
+
+
+class CrowdCampaign:
+    """Orchestrates the crowd-sourced latency and throughput campaigns."""
+
+    def __init__(self, scenario: Scenario, edge_platform: Platform,
+                 cloud_platform: Platform,
+                 edge_targets_per_user: int = DEFAULT_EDGE_TARGETS_PER_USER,
+                 ) -> None:
+        if not edge_platform.sites:
+            raise MeasurementError("edge platform has no sites")
+        if not cloud_platform.sites:
+            raise MeasurementError("cloud platform has no sites")
+        self._scenario = scenario
+        self._edge = edge_platform
+        self._cloud = cloud_platform
+        self._edge_targets_per_user = edge_targets_per_user
+        self._random = scenario.random.child("campaign")
+
+    # ---- recruitment ----------------------------------------------------
+
+    def recruit(self) -> list[Participant]:
+        """Draw the participant panel (cities, access types, locations)."""
+        rng = self._random.stream("recruit")
+        count = self._scenario.participant_count
+        city_pool = self._campaign_cities(rng)
+        access_types = list(ACCESS_SHARES)
+        access_probs = np.array([ACCESS_SHARES[a] for a in access_types])
+        access_probs = access_probs / access_probs.sum()
+
+        participants = []
+        for index in range(count):
+            access = access_types[int(rng.choice(len(access_types),
+                                                 p=access_probs))]
+            if access is AccessType.FIVE_G and rng.random() < 0.9:
+                home: City = city(FIVE_G_CITY)
+            else:
+                home = city_pool[int(rng.integers(0, len(city_pool)))]
+            location = home.location.jitter(
+                float(rng.uniform(-0.15, 0.15)),
+                float(rng.uniform(-0.15, 0.15)),
+            )
+            participants.append(Participant(
+                participant_id=f"user-{index:03d}",
+                city=home.name,
+                province=home.province,
+                location=location,
+                access=access,
+            ))
+        return participants
+
+    def _campaign_cities(self, rng: np.random.Generator) -> list[City]:
+        pops = np.array([c.population_m for c in CHINA_CITIES])
+        probs = pops / pops.sum()
+        count = min(self._scenario.city_count, len(CHINA_CITIES))
+        idx = rng.choice(len(CHINA_CITIES), size=count, replace=False, p=probs)
+        return [CHINA_CITIES[i] for i in idx]
+
+    # ---- latency campaign ------------------------------------------------
+
+    def run_latency(self, participants: list[Participant] | None = None,
+                    ) -> CampaignResults:
+        """Run the ping/traceroute campaign; returns all observations."""
+        if participants is None:
+            participants = self.recruit()
+        rng = self._random.stream("latency")
+        results = CampaignResults()
+        for participant in participants:
+            results.latency.extend(self._probe_participant(participant, rng))
+        return results
+
+    def _probe_participant(self, participant: Participant,
+                           rng: np.random.Generator,
+                           ) -> list[LatencyObservation]:
+        ue = UESpec(label=participant.participant_id,
+                    location=participant.location,
+                    access=participant.access)
+        targets: list[tuple[str, str, GeoPoint]] = []
+        for site in self._edge.nearest_sites(participant.location,
+                                             self._edge_targets_per_user):
+            targets.append((site.site_id, "edge", site.location))
+        for site in self._cloud.sites:
+            targets.append((site.site_id, "cloud", site.location))
+
+        observations = []
+        for target_id, kind, location in targets:
+            route = build_route(
+                ue,
+                TargetSiteSpec(label=target_id, location=location,
+                               is_edge=(kind == "edge")),
+                rng,
+            )
+            ping = run_ping_test(route, self._scenario.pings_per_target, rng)
+            observations.append(LatencyObservation(
+                participant_id=participant.participant_id,
+                city=participant.city,
+                province=participant.province,
+                access=participant.access,
+                target_id=target_id,
+                target_kind=kind,
+                distance_km=route.distance_km,
+                mean_rtt_ms=ping.mean_ms,
+                rtt_cv=ping.cv,
+                hop_count=ping.hop_count,
+                hop_shares=tuple(ping.traceroute.hop_latency_shares()),
+            ))
+        return observations
+
+    # ---- throughput campaign ----------------------------------------------
+
+    def run_throughput(self, participants: list[Participant] | None = None,
+                       ) -> CampaignResults:
+        """Run the iperf3 campaign: a participant subset x 20 edge VMs.
+
+        Wired access joins the mix here (the paper's Figure 5 includes
+        wired tests): a third of the throughput volunteers plug in.
+        """
+        if participants is None:
+            participants = self.recruit()
+        rng = self._random.stream("throughput")
+        testers = self._select_testers(participants)
+        # Spread the 20 test VMs across distinct cities, as the paper did.
+        vm_sites = self._spread_sites(self._scenario.throughput_edge_vms, rng)
+
+        results = CampaignResults()
+        for index, participant in enumerate(testers):
+            access = participant.access
+            if index % 3 == 0:
+                access = AccessType.WIRED
+            ue = UESpec(label=participant.participant_id,
+                        location=participant.location, access=access)
+            profile = access_profile(access)
+            for site in vm_sites:
+                route = build_route(
+                    ue,
+                    TargetSiteSpec(label=site.site_id,
+                                   location=site.location, is_edge=True),
+                    rng,
+                )
+                result = run_iperf_test(
+                    route, profile,
+                    self._scenario.iperf_duration_seconds, rng,
+                )
+                results.throughput.append(ThroughputObservation(
+                    participant_id=participant.participant_id,
+                    access=access,
+                    result=result,
+                ))
+        return results
+
+    def _select_testers(self, participants: list[Participant],
+                        ) -> list[Participant]:
+        """Pick the throughput volunteers, covering every access type.
+
+        5G users are scarce (7% of the panel) but essential to Figure 5's
+        high-capacity story, so they are taken first; the rest fill in
+        panel order.
+        """
+        budget = self._scenario.throughput_participants
+        five_g = [p for p in participants
+                  if p.access is AccessType.FIVE_G][: max(2, budget // 5)]
+        others = [p for p in participants if p not in five_g]
+        return (five_g + others)[:budget]
+
+    def _spread_sites(self, count: int, rng: np.random.Generator):
+        """Pick ``count`` edge sites in distinct cities."""
+        seen_cities: set[str] = set()
+        chosen = []
+        order = rng.permutation(len(self._edge.sites))
+        for i in order:
+            site = self._edge.sites[int(i)]
+            if site.city in seen_cities:
+                continue
+            seen_cities.add(site.city)
+            chosen.append(site)
+            if len(chosen) == count:
+                break
+        if len(chosen) < count:
+            raise MeasurementError(
+                f"only {len(chosen)} distinct-city sites available, "
+                f"need {count}"
+            )
+        return chosen
+
+    # ---- full campaign -----------------------------------------------------
+
+    def run(self) -> CampaignResults:
+        """Recruit once and run both campaigns on the same panel."""
+        participants = self.recruit()
+        results = self.run_latency(participants)
+        throughput = self.run_throughput(participants)
+        results.throughput = throughput.throughput
+        return results

@@ -1,0 +1,134 @@
+"""Disk round-trip for campaign results (the paper's performance dataset).
+
+The paper's release plan covers two datasets: workloads (handled by
+:mod:`repro.trace.io`) and performance — the crowd-sourced latency and
+throughput observations.  This module writes the latter as two flat CSVs
+(``latency.csv``, ``throughput.csv``) so it can be analysed with any
+tool, and reads them back into :class:`CampaignResults`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import MeasurementError
+from ..netsim.access import AccessType
+from .campaign import CampaignResults, LatencyObservation, ThroughputObservation
+from .iperf import IperfResult
+
+_LATENCY_FIELDS = [
+    "participant_id", "city", "province", "access", "target_id",
+    "target_kind", "distance_km", "mean_rtt_ms", "rtt_cv", "hop_count",
+    "hop_shares",
+]
+_THROUGHPUT_FIELDS = [
+    "participant_id", "access", "target_label", "distance_km",
+    "downlink_mbps", "uplink_mbps", "rtt_ms",
+]
+
+
+#: ICMP-hidden hops serialise as this sentinel (unambiguous even for a
+#: single-hop tuple, unlike an empty field).
+_HIDDEN = "hidden"
+
+
+def _encode_shares(shares: tuple[float | None, ...]) -> str:
+    """Semicolon-joined shares; hidden hops encode as ``hidden``."""
+    return ";".join(_HIDDEN if s is None else f"{s:.6f}" for s in shares)
+
+
+def _decode_shares(text: str) -> tuple[float | None, ...]:
+    if not text:
+        return ()
+    return tuple(None if field in ("", _HIDDEN) else float(field)
+                 for field in text.split(";"))
+
+
+def save_campaign(results: CampaignResults, directory: str | Path) -> Path:
+    """Write the campaign to ``directory`` (created if needed)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    with (root / "latency.csv").open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_LATENCY_FIELDS)
+        writer.writeheader()
+        for obs in results.latency:
+            writer.writerow({
+                "participant_id": obs.participant_id,
+                "city": obs.city,
+                "province": obs.province,
+                "access": obs.access.value,
+                "target_id": obs.target_id,
+                "target_kind": obs.target_kind,
+                "distance_km": f"{obs.distance_km:.3f}",
+                "mean_rtt_ms": f"{obs.mean_rtt_ms:.6f}",
+                "rtt_cv": f"{obs.rtt_cv:.6f}",
+                "hop_count": obs.hop_count,
+                "hop_shares": _encode_shares(obs.hop_shares),
+            })
+    with (root / "throughput.csv").open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_THROUGHPUT_FIELDS)
+        writer.writeheader()
+        for obs in results.throughput:
+            writer.writerow({
+                "participant_id": obs.participant_id,
+                "access": obs.access.value,
+                "target_label": obs.result.target_label,
+                "distance_km": f"{obs.result.distance_km:.3f}",
+                "downlink_mbps": f"{obs.result.downlink_mbps:.6f}",
+                "uplink_mbps": f"{obs.result.uplink_mbps:.6f}",
+                "rtt_ms": f"{obs.result.rtt_ms:.6f}",
+            })
+    return root
+
+
+def load_campaign(directory: str | Path) -> CampaignResults:
+    """Read a campaign previously written by :func:`save_campaign`.
+
+    Raises:
+        MeasurementError: if the directory lacks the CSVs or a row is
+            malformed.
+    """
+    root = Path(directory)
+    latency_path = root / "latency.csv"
+    throughput_path = root / "throughput.csv"
+    if not latency_path.exists() or not throughput_path.exists():
+        raise MeasurementError(f"not a campaign directory: {root}")
+    results = CampaignResults()
+    with latency_path.open(newline="") as handle:
+        for line_no, row in enumerate(csv.DictReader(handle), start=2):
+            try:
+                results.latency.append(LatencyObservation(
+                    participant_id=row["participant_id"],
+                    city=row["city"],
+                    province=row["province"],
+                    access=AccessType(row["access"]),
+                    target_id=row["target_id"],
+                    target_kind=row["target_kind"],
+                    distance_km=float(row["distance_km"]),
+                    mean_rtt_ms=float(row["mean_rtt_ms"]),
+                    rtt_cv=float(row["rtt_cv"]),
+                    hop_count=int(row["hop_count"]),
+                    hop_shares=_decode_shares(row["hop_shares"]),
+                ))
+            except (KeyError, ValueError) as exc:
+                raise MeasurementError(
+                    f"{latency_path}:{line_no}: {exc}") from exc
+    with throughput_path.open(newline="") as handle:
+        for line_no, row in enumerate(csv.DictReader(handle), start=2):
+            try:
+                results.throughput.append(ThroughputObservation(
+                    participant_id=row["participant_id"],
+                    access=AccessType(row["access"]),
+                    result=IperfResult(
+                        target_label=row["target_label"],
+                        distance_km=float(row["distance_km"]),
+                        downlink_mbps=float(row["downlink_mbps"]),
+                        uplink_mbps=float(row["uplink_mbps"]),
+                        rtt_ms=float(row["rtt_ms"]),
+                    ),
+                ))
+            except (KeyError, ValueError) as exc:
+                raise MeasurementError(
+                    f"{throughput_path}:{line_no}: {exc}") from exc
+    return results

@@ -1,0 +1,53 @@
+"""iperf3-style TCP throughput test runner (§2.1.1, §3.2).
+
+Each test runs 15 seconds in each direction between a participant's UE
+and an edge VM with a 1 Gbps port, as in the paper's campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netsim.access import AccessProfile
+from ..netsim.path import Route
+from ..netsim.throughput import ThroughputModel
+
+#: The paper provisioned each throughput-test VM with 1 Gbps.
+EDGE_VM_PORT_MBPS = 1000.0
+
+
+@dataclass(frozen=True)
+class IperfResult:
+    """One bidirectional iperf3 test against one target VM."""
+
+    target_label: str
+    distance_km: float
+    downlink_mbps: float
+    uplink_mbps: float
+    rtt_ms: float
+
+
+def run_iperf_test(route: Route, access: AccessProfile,
+                   duration_seconds: int,
+                   rng: np.random.Generator,
+                   vm_port_mbps: float = EDGE_VM_PORT_MBPS) -> IperfResult:
+    """Run downlink + uplink TCP tests over ``route``.
+
+    The effective last-mile capacity is additionally capped by the VM's
+    port speed — §3.2 notes that an under-provisioned DC gateway would
+    become the bottleneck.
+    """
+    model = ThroughputModel(rng)
+    down_cap = min(access.sample_downlink_capacity_mbps(rng), vm_port_mbps)
+    up_cap = min(access.sample_uplink_capacity_mbps(rng), vm_port_mbps)
+    down = model.run_test(route, down_cap, duration_seconds)
+    up = model.run_test(route, up_cap, duration_seconds)
+    return IperfResult(
+        target_label=route.target_label,
+        distance_km=route.distance_km,
+        downlink_mbps=down.mbps,
+        uplink_mbps=up.mbps,
+        rtt_ms=route.mean_rtt_ms,
+    )

@@ -1,0 +1,66 @@
+"""Ping test runner: repeated RTT probes over one route.
+
+Mirrors the speed-testing app of §2.1.1: each (user, target) pair is
+probed 30 times; the analysis keeps the mean RTT and its coefficient of
+variation, plus one traceroute for the hop-level views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..netsim.latency import LatencyModel
+from ..netsim.path import Route
+from ..netsim.traceroute import TracerouteResult, run_traceroute
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """Summary of one repeated-ping test."""
+
+    target_label: str
+    samples_ms: tuple[float, ...]
+    traceroute: TracerouteResult
+
+    @property
+    def mean_ms(self) -> float:
+        return float(np.mean(self.samples_ms))
+
+    @property
+    def std_ms(self) -> float:
+        return float(np.std(self.samples_ms))
+
+    @property
+    def cv(self) -> float:
+        mean = self.mean_ms
+        if mean == 0.0:
+            return 0.0
+        return self.std_ms / mean
+
+    @property
+    def hop_count(self) -> int:
+        return self.traceroute.hop_count
+
+
+def run_ping_test(route: Route, repetitions: int,
+                  rng: np.random.Generator) -> PingResult:
+    """Probe ``route`` ``repetitions`` times and traceroute it once.
+
+    Raises:
+        MeasurementError: if repetitions is not positive.
+    """
+    if repetitions <= 0:
+        raise MeasurementError(
+            f"repetitions must be positive, got {repetitions}"
+        )
+    model = LatencyModel(rng)
+    samples = tuple(float(x) for x in model.sample_many(route, repetitions))
+    trace = run_traceroute(route, rng)
+    return PingResult(
+        target_label=route.target_label,
+        samples_ms=samples,
+        traceroute=trace,
+    )

@@ -1,0 +1,64 @@
+"""QoE testbeds: devices, cloud gaming, live streaming, the 4-VM testbed."""
+
+from .devices import (
+    ALL_DEVICES,
+    GAMING_DEVICES,
+    MACBOOK_PRO,
+    NEXUS6,
+    REDMI_NOTE8,
+    SAMSUNG_NOTE10,
+    Device,
+    device_by_name,
+)
+from .gaming import (
+    BATTLE_TANKS,
+    FLARE,
+    GAMES,
+    PINGUS,
+    CloudGamingSession,
+    Game,
+    GamingConfig,
+    GamingTrial,
+)
+from .gaming import mean_breakdown as gaming_mean_breakdown
+from .streaming import (
+    BITRATE_MBPS,
+    LiveStreamingSession,
+    Player,
+    Resolution,
+    StreamingConfig,
+    StreamingTrial,
+)
+from .streaming import mean_breakdown as streaming_mean_breakdown
+from .testbed import PAPER_TABLE6_RTT_MS, QoETestbed, TestbedVM, VM_PLACEMENTS
+
+__all__ = [
+    "ALL_DEVICES",
+    "BATTLE_TANKS",
+    "BITRATE_MBPS",
+    "CloudGamingSession",
+    "Device",
+    "FLARE",
+    "GAMES",
+    "GAMING_DEVICES",
+    "Game",
+    "GamingConfig",
+    "GamingTrial",
+    "LiveStreamingSession",
+    "MACBOOK_PRO",
+    "NEXUS6",
+    "PAPER_TABLE6_RTT_MS",
+    "PINGUS",
+    "Player",
+    "QoETestbed",
+    "REDMI_NOTE8",
+    "Resolution",
+    "SAMSUNG_NOTE10",
+    "StreamingConfig",
+    "StreamingTrial",
+    "TestbedVM",
+    "VM_PLACEMENTS",
+    "device_by_name",
+    "gaming_mean_breakdown",
+    "streaming_mean_breakdown",
+]

@@ -1,0 +1,72 @@
+"""User-equipment device models for the QoE testbeds (§2.1.1).
+
+The paper used one laptop and three smartphones with Qualcomm chipsets
+(required by GamingAnywhere's hardware decoder path).  Per-device numbers
+follow §3.3.1: hardware-accelerated decode is under 10 ms at the default
+800x600 gaming resolution on every tested device, with the high-end
+Note 10+ slightly faster; all screens refresh at 60 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Device:
+    """One UE with its decode/display timing parameters."""
+
+    name: str
+    chipset: str
+    #: Mean hardware video decode latency at 800x600 (ms).
+    decode_ms: float
+    #: Std-dev of the decode latency (ms).
+    decode_sd_ms: float
+    #: Display refresh rate (Hz); a frame waits on average half a period.
+    refresh_hz: float
+    #: Touch/input sampling latency (ms).
+    input_ms: float
+
+    def __post_init__(self) -> None:
+        if self.decode_ms <= 0 or self.refresh_hz <= 0 or self.input_ms < 0:
+            raise MeasurementError(f"bad device timing parameters: {self}")
+
+    @property
+    def display_wait_ms(self) -> float:
+        """Mean wait for the next vsync slot."""
+        return 0.5 * 1000.0 / self.refresh_hz
+
+
+SAMSUNG_NOTE10 = Device(
+    name="Samsung Note 10+", chipset="Snapdragon 855",
+    decode_ms=4.5, decode_sd_ms=0.8, refresh_hz=60.0, input_ms=3.0,
+)
+REDMI_NOTE8 = Device(
+    name="Xiaomi Redmi Note 8", chipset="Snapdragon 665",
+    decode_ms=7.0, decode_sd_ms=1.2, refresh_hz=60.0, input_ms=4.0,
+)
+NEXUS6 = Device(
+    name="Nexus 6", chipset="Snapdragon 805",
+    decode_ms=8.5, decode_sd_ms=1.5, refresh_hz=60.0, input_ms=5.0,
+)
+MACBOOK_PRO = Device(
+    name="MacBook Pro 16 (2019)", chipset="Intel + AMD GPU",
+    decode_ms=4.0, decode_sd_ms=0.6, refresh_hz=60.0, input_ms=2.5,
+)
+
+GAMING_DEVICES: tuple[Device, ...] = (SAMSUNG_NOTE10, REDMI_NOTE8, NEXUS6)
+ALL_DEVICES: tuple[Device, ...] = GAMING_DEVICES + (MACBOOK_PRO,)
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a testbed device by its display name.
+
+    Raises:
+        MeasurementError: for unknown device names.
+    """
+    for dev in ALL_DEVICES:
+        if dev.name == name:
+            return dev
+    raise MeasurementError(f"unknown device {name!r}")

@@ -1,0 +1,152 @@
+"""Cloud-gaming QoE testbed (§3.3.1): a GamingAnywhere-style pipeline.
+
+The *response delay* — the interval between a touch event and the
+resulting frame appearing on screen — composes these stages::
+
+    input capture -> uplink (command) -> server game logic + rendering
+    -> encode -> downlink (frame) -> decode -> display (vsync wait)
+
+Stage parameters are calibrated to the paper's breakdown: ~70 ms server
+side (game logic + render + encode), <10 ms hardware decode, 800x600
+frames whose transmission takes <10 ms, so a nearby edge VM lands around
+91 ms and a 2000 km cloud VM around 145 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import MeasurementError
+from ...units import transmission_delay_ms
+from .devices import Device
+
+
+@dataclass(frozen=True)
+class Game:
+    """One tested game with its server-side execution profile."""
+
+    name: str
+    #: Mean server-side delay: game-logic tick + render + encode (ms).
+    server_ms: float
+    #: Std-dev of the server-side delay (ms) — Pingus's complex logic
+    #: shows up as extra jitter in Figure 6(c).
+    server_sd_ms: float
+
+
+#: The three GamingAnywhere-adapted desktop games of the paper.
+FLARE = Game(name="Flare", server_ms=63.0, server_sd_ms=5.0)
+BATTLE_TANKS = Game(name="Battle Tanks", server_ms=66.0, server_sd_ms=6.0)
+PINGUS = Game(name="Pingus", server_ms=73.0, server_sd_ms=10.0)
+GAMES: tuple[Game, ...] = (BATTLE_TANKS, PINGUS, FLARE)
+
+#: Encoded 800x600 game frame at GamingAnywhere's default bitrate.
+FRAME_BYTES = 18_000.0
+#: Upstream command packets are tiny.
+COMMAND_BYTES = 200.0
+
+#: Server execution modifiers the paper's breakdown explores.
+GPU_RENDER_SAVING_MS = 15.0      # "enabling GPU rendering ... 10ms-20ms"
+EXTRA_CORE_SAVING_MS = 0.0       # "increasing CPU cores won't help"
+
+
+@dataclass(frozen=True)
+class GamingTrial:
+    """One response-delay measurement with its stage breakdown."""
+
+    response_delay_ms: float
+    input_ms: float
+    uplink_ms: float
+    server_ms: float
+    downlink_ms: float
+    decode_ms: float
+    display_ms: float
+
+
+@dataclass(frozen=True)
+class GamingConfig:
+    """A testbed configuration: device, game, server VM, link."""
+
+    device: Device
+    game: Game
+    rtt_ms: float
+    downlink_mbps: float
+    uplink_mbps: float
+    server_cores: int = 8
+    gpu_rendering: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms <= 0:
+            raise MeasurementError(f"RTT must be positive, got {self.rtt_ms}")
+        if self.downlink_mbps <= 0 or self.uplink_mbps <= 0:
+            raise MeasurementError("link rates must be positive")
+        if self.server_cores <= 0:
+            raise MeasurementError("server needs at least one core")
+
+
+class CloudGamingSession:
+    """Samples response-delay trials for one configuration."""
+
+    def __init__(self, config: GamingConfig, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+
+    def _server_delay_ms(self) -> float:
+        cfg = self._config
+        mean = cfg.game.server_ms
+        if cfg.gpu_rendering:
+            mean -= GPU_RENDER_SAVING_MS
+        # Game logic is effectively single-threaded (§3.3.1: all cores but
+        # one idle), so extra cores buy nothing beyond the first.
+        mean -= EXTRA_CORE_SAVING_MS * max(0, cfg.server_cores - 1)
+        return max(5.0, float(self._rng.normal(mean, cfg.game.server_sd_ms)))
+
+    def sample_trial(self) -> GamingTrial:
+        """One touch-to-photon measurement."""
+        cfg = self._config
+        rng = self._rng
+        one_way = cfg.rtt_ms / 2.0
+
+        input_ms = max(0.5, float(rng.normal(cfg.device.input_ms, 1.0)))
+        uplink = one_way + transmission_delay_ms(COMMAND_BYTES, cfg.uplink_mbps)
+        uplink = max(0.3, float(rng.normal(uplink, 0.08 * uplink)))
+        server = self._server_delay_ms()
+        downlink = one_way + transmission_delay_ms(FRAME_BYTES, cfg.downlink_mbps)
+        downlink = max(0.3, float(rng.normal(downlink, 0.10 * downlink)))
+        decode = max(0.5, float(rng.normal(cfg.device.decode_ms,
+                                           cfg.device.decode_sd_ms)))
+        display = float(rng.uniform(0.0, 2.0 * cfg.device.display_wait_ms))
+
+        total = input_ms + uplink + server + downlink + decode + display
+        return GamingTrial(
+            response_delay_ms=total,
+            input_ms=input_ms,
+            uplink_ms=uplink,
+            server_ms=server,
+            downlink_ms=downlink,
+            decode_ms=decode,
+            display_ms=display,
+        )
+
+    def run(self, trials: int) -> list[GamingTrial]:
+        """Collect ``trials`` measurements (the paper records 50).
+
+        Raises:
+            MeasurementError: if ``trials`` is not positive.
+        """
+        if trials <= 0:
+            raise MeasurementError(f"trials must be positive, got {trials}")
+        return [self.sample_trial() for _ in range(trials)]
+
+
+def mean_breakdown(trials: list[GamingTrial]) -> dict[str, float]:
+    """Average each stage across trials; keys match the trial fields."""
+    if not trials:
+        raise MeasurementError("cannot break down an empty trial list")
+    stages = ("input_ms", "uplink_ms", "server_ms", "downlink_ms",
+              "decode_ms", "display_ms", "response_delay_ms")
+    return {
+        stage: float(np.mean([getattr(t, stage) for t in trials]))
+        for stage in stages
+    }

@@ -1,0 +1,178 @@
+"""Live-streaming QoE testbed (§3.3.2): an RTMP-style pipeline.
+
+The *streaming delay* — real-world event to display on the receiver —
+composes::
+
+    camera capture + ISP -> sender encode -> uplink (RTMP publish)
+    -> server relay [-> transcode] -> downlink (RTMP play)
+    -> receiver decode -> player render [-> jitter buffer]
+
+Stage parameters follow the paper's breakdown: capture + sender-side
+processing ~140 ms, encode 25 ms / decode 10 ms, network ~50 ms for the
+nearest edge (RTMP's TCP chunking makes the effective network stage a
+multiple of the RTT, which is why edges only shave ~24% off even for the
+farthest cloud), MPlayer rendering ~90 ms slower than ffplay, transcoding
++~400 ms, and a 2 MB jitter buffer pushing the total toward 2 s.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import MeasurementError
+from ...units import transmission_delay_ms
+
+
+class Resolution(enum.Enum):
+    """Streamed video resolutions used in Figure 7."""
+
+    P720 = "720p"
+    P1080 = "1080p"
+
+
+#: Encoded bitrates (Mbps): "the encoded streaming bitrate is around 5Mbps"
+#: for 1080p.
+BITRATE_MBPS = {Resolution.P720: 2.5, Resolution.P1080: 5.0}
+
+#: Receiver-side rendering cost per resolution (player pipeline).
+RENDER_MS = {Resolution.P720: 25.0, Resolution.P1080: 45.0}
+
+
+class Player(enum.Enum):
+    """Receiver players: "the software matters" (§3.3.2 breakdown)."""
+
+    MPLAYER = "mplayer"
+    FFPLAY = "ffplay"
+
+
+#: MPlayer buffers ~90 ms more than ffplay before first display.
+PLAYER_EXTRA_MS = {Player.MPLAYER: 90.0, Player.FFPLAY: 0.0}
+
+#: Camera capture + image signal processor + Android stack (~140 ms).
+CAPTURE_MS = 140.0
+CAPTURE_SD_MS = 12.0
+#: Sender hardware encode / receiver decode.
+ENCODE_MS = 25.0
+DECODE_MS = 10.0
+#: RTMP server relay (pull + remux + push), excluding transcode.
+RELAY_MS = 18.0
+#: Server transcode adds both compute and segment-wait time (~400 ms).
+TRANSCODE_MS = 390.0
+TRANSCODE_SD_MS = 45.0
+#: RTMP-over-TCP chunk acknowledgement amplifies the effective network
+#: stage beyond one propagation delay.
+RTMP_RTT_FACTOR = 3.0
+#: RTMP flushes ~0.1 s of frames per chunk burst.
+CHUNK_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """One testbed configuration for the streaming experiment."""
+
+    rtt_ms: float
+    uplink_mbps: float
+    downlink_mbps: float
+    resolution: Resolution = Resolution.P1080
+    transcode: bool = False
+    player: Player = Player.MPLAYER
+    #: Jitter-buffer size in MB at the receiver; 0 disables it.
+    jitter_buffer_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms <= 0:
+            raise MeasurementError(f"RTT must be positive, got {self.rtt_ms}")
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise MeasurementError("link rates must be positive")
+        if self.jitter_buffer_mb < 0:
+            raise MeasurementError("jitter buffer size cannot be negative")
+
+
+@dataclass(frozen=True)
+class StreamingTrial:
+    """One streaming-delay measurement with its stage breakdown."""
+
+    streaming_delay_ms: float
+    capture_ms: float
+    encode_ms: float
+    network_ms: float
+    server_ms: float
+    decode_ms: float
+    render_ms: float
+    buffer_ms: float
+
+
+class LiveStreamingSession:
+    """Samples streaming-delay trials for one configuration."""
+
+    def __init__(self, config: StreamingConfig,
+                 rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+
+    def sample_trial(self) -> StreamingTrial:
+        """One clock-difference measurement (§3.3.2 methodology)."""
+        cfg = self._config
+        rng = self._rng
+        bitrate = BITRATE_MBPS[cfg.resolution]
+        chunk_bytes = bitrate * 1e6 / 8.0 * CHUNK_SECONDS
+
+        capture = max(60.0, float(rng.normal(CAPTURE_MS, CAPTURE_SD_MS)))
+        encode = max(5.0, float(rng.normal(ENCODE_MS, 2.5)))
+        network = (RTMP_RTT_FACTOR * cfg.rtt_ms
+                   + transmission_delay_ms(chunk_bytes, cfg.uplink_mbps)
+                   + transmission_delay_ms(chunk_bytes, cfg.downlink_mbps))
+        network = max(2.0, float(rng.normal(network, 0.10 * network)))
+        server = max(4.0, float(rng.normal(RELAY_MS, 3.0)))
+        if cfg.transcode:
+            server += max(100.0, float(rng.normal(TRANSCODE_MS,
+                                                  TRANSCODE_SD_MS)))
+        decode = max(2.0, float(rng.normal(DECODE_MS, 1.5)))
+        render = RENDER_MS[cfg.resolution] + PLAYER_EXTRA_MS[cfg.player]
+        render = max(5.0, float(rng.normal(render, 0.08 * render)))
+        buffer_ms = 0.0
+        if cfg.jitter_buffer_mb > 0:
+            # The buffer must fill before playback starts; real players
+            # begin draining around 60% occupancy.
+            fill_seconds = cfg.jitter_buffer_mb * 8.0 / bitrate * 0.6
+            buffer_ms = float(rng.normal(fill_seconds * 1000.0,
+                                         fill_seconds * 60.0))
+            buffer_ms = max(0.0, buffer_ms)
+
+        total = (capture + encode + network + server + decode + render
+                 + buffer_ms)
+        return StreamingTrial(
+            streaming_delay_ms=total,
+            capture_ms=capture,
+            encode_ms=encode,
+            network_ms=network,
+            server_ms=server,
+            decode_ms=decode,
+            render_ms=render,
+            buffer_ms=buffer_ms,
+        )
+
+    def run(self, trials: int) -> list[StreamingTrial]:
+        """Collect ``trials`` measurements (the paper records 50).
+
+        Raises:
+            MeasurementError: if ``trials`` is not positive.
+        """
+        if trials <= 0:
+            raise MeasurementError(f"trials must be positive, got {trials}")
+        return [self.sample_trial() for _ in range(trials)]
+
+
+def mean_breakdown(trials: list[StreamingTrial]) -> dict[str, float]:
+    """Average each stage across trials; keys match the trial fields."""
+    if not trials:
+        raise MeasurementError("cannot break down an empty trial list")
+    stages = ("capture_ms", "encode_ms", "network_ms", "server_ms",
+              "decode_ms", "render_ms", "buffer_ms", "streaming_delay_ms")
+    return {
+        stage: float(np.mean([getattr(t, stage) for t in trials]))
+        for stage in stages
+    }

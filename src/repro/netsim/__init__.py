@@ -1,0 +1,49 @@
+"""Network simulator: access networks, routing, latency, throughput."""
+
+from .access import ACCESS_PROFILES, AccessProfile, AccessType, access_profile
+from .latency import LatencyModel, RTTSample
+from .path import Hop, HopKind, Route
+from .routing import (
+    BACKBONE_INFLATION,
+    SAME_METRO_KM,
+    TargetSiteSpec,
+    UESpec,
+    backbone_hop_count,
+    backbone_rtt_ms,
+    build_intersite_route,
+    build_route,
+)
+from .throughput import (
+    ThroughputModel,
+    ThroughputResult,
+    mathis_throughput_mbps,
+    route_loss_rate,
+)
+from .traceroute import TracerouteHop, TracerouteResult, run_traceroute
+
+__all__ = [
+    "ACCESS_PROFILES",
+    "AccessProfile",
+    "AccessType",
+    "BACKBONE_INFLATION",
+    "Hop",
+    "HopKind",
+    "LatencyModel",
+    "RTTSample",
+    "Route",
+    "SAME_METRO_KM",
+    "TargetSiteSpec",
+    "ThroughputModel",
+    "ThroughputResult",
+    "TracerouteHop",
+    "TracerouteResult",
+    "UESpec",
+    "access_profile",
+    "backbone_hop_count",
+    "backbone_rtt_ms",
+    "build_intersite_route",
+    "build_route",
+    "mathis_throughput_mbps",
+    "route_loss_rate",
+    "run_traceroute",
+]

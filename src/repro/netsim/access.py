@@ -1,0 +1,144 @@
+"""Access-network models for the last mile (WiFi / LTE / 5G / wired).
+
+Calibration comes straight from the paper:
+
+* Table 2 gives the per-hop share of end-to-end RTT.  For WiFi the wireless
+  first hop dominates (44.2% of the 16.1 ms median to the nearest edge,
+  ~7 ms); for LTE the second hop — the cellular core / PGW — dominates
+  (70.1%, ~26 ms); for 5G the first hops are invisible to ICMP but the first
+  three together carry ~98% of a 10.4 ms RTT.
+* §3.2 gives capacity: WiFi and LTE top out around 100 Mbps, 5G downlink
+  averages 497 Mbps while its uplink is capped near 52 Mbps by the TDD slot
+  ratio, and wired access averages 480 Mbps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class AccessType(enum.Enum):
+    """The four access technologies exercised by the paper's campaign."""
+
+    WIFI = "wifi"
+    LTE = "lte"
+    FIVE_G = "5g"
+    WIRED = "wired"
+
+    @classmethod
+    def wireless(cls) -> tuple["AccessType", ...]:
+        return (cls.WIFI, cls.LTE, cls.FIVE_G)
+
+
+@dataclass(frozen=True)
+class AccessHopModel:
+    """One access-side hop: mean RTT contribution, jitter, ICMP visibility."""
+
+    name: str
+    mean_rtt_ms: float
+    jitter_sd_ms: float
+    icmp_visible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_rtt_ms < 0 or self.jitter_sd_ms < 0:
+            raise ConfigurationError(
+                f"hop {self.name!r}: negative latency parameters"
+            )
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Full model of one access technology."""
+
+    access_type: AccessType
+    hops: tuple[AccessHopModel, ...]
+    downlink_mean_mbps: float
+    downlink_sd_mbps: float
+    uplink_mean_mbps: float
+    uplink_sd_mbps: float
+    #: Hard ceiling on throughput regardless of path quality (TDD slot caps,
+    #: modulation limits).  ``None`` means no explicit cap beyond the draw.
+    downlink_cap_mbps: float | None = None
+    uplink_cap_mbps: float | None = None
+
+    @property
+    def mean_access_rtt_ms(self) -> float:
+        return sum(h.mean_rtt_ms for h in self.hops)
+
+    def sample_downlink_capacity_mbps(self, rng: np.random.Generator) -> float:
+        return self._sample_capacity(
+            rng, self.downlink_mean_mbps, self.downlink_sd_mbps, self.downlink_cap_mbps
+        )
+
+    def sample_uplink_capacity_mbps(self, rng: np.random.Generator) -> float:
+        return self._sample_capacity(
+            rng, self.uplink_mean_mbps, self.uplink_sd_mbps, self.uplink_cap_mbps
+        )
+
+    @staticmethod
+    def _sample_capacity(rng: np.random.Generator, mean: float, sd: float,
+                         cap: float | None) -> float:
+        # Truncated normal keeps the per-user capacity positive while
+        # matching the reported means; the cap models hard radio limits.
+        draw = float(rng.normal(mean, sd))
+        draw = max(draw, mean * 0.15)
+        if cap is not None:
+            draw = min(draw, cap)
+        return draw
+
+
+#: Calibrated access profiles.  RTT means reproduce Table 2's shares of the
+#: paper's median end-to-end RTTs; capacities reproduce §3.2's means.
+ACCESS_PROFILES: dict[AccessType, AccessProfile] = {
+    AccessType.WIFI: AccessProfile(
+        access_type=AccessType.WIFI,
+        hops=(
+            AccessHopModel("wifi-ap", mean_rtt_ms=7.1, jitter_sd_ms=0.12),
+            AccessHopModel("home-gw", mean_rtt_ms=1.7, jitter_sd_ms=0.08),
+        ),
+        downlink_mean_mbps=75.0, downlink_sd_mbps=15.0,
+        uplink_mean_mbps=42.0, uplink_sd_mbps=14.0,
+    ),
+    AccessType.LTE: AccessProfile(
+        access_type=AccessType.LTE,
+        hops=(
+            AccessHopModel("enb", mean_rtt_ms=3.8, jitter_sd_ms=0.35),
+            AccessHopModel("epc-pgw", mean_rtt_ms=26.4, jitter_sd_ms=0.55),
+            AccessHopModel("lte-exit", mean_rtt_ms=3.5, jitter_sd_ms=0.2),
+        ),
+        downlink_mean_mbps=46.0, downlink_sd_mbps=18.0,
+        uplink_mean_mbps=22.0, uplink_sd_mbps=9.0,
+    ),
+    AccessType.FIVE_G: AccessProfile(
+        access_type=AccessType.FIVE_G,
+        hops=(
+            AccessHopModel("gnb", mean_rtt_ms=3.4, jitter_sd_ms=0.035,
+                           icmp_visible=False),
+            AccessHopModel("upf", mean_rtt_ms=4.6, jitter_sd_ms=0.04,
+                           icmp_visible=False),
+            AccessHopModel("5g-exit", mean_rtt_ms=2.2, jitter_sd_ms=0.03),
+        ),
+        downlink_mean_mbps=497.0, downlink_sd_mbps=80.0,
+        uplink_mean_mbps=52.0, uplink_sd_mbps=10.0,
+        uplink_cap_mbps=70.0,  # Rel-15 TDD slot-ratio cap (§3.2)
+    ),
+    AccessType.WIRED: AccessProfile(
+        access_type=AccessType.WIRED,
+        hops=(
+            AccessHopModel("cpe", mean_rtt_ms=0.8, jitter_sd_ms=0.03),
+            AccessHopModel("olt", mean_rtt_ms=1.4, jitter_sd_ms=0.05),
+        ),
+        downlink_mean_mbps=480.0, downlink_sd_mbps=80.0,
+        uplink_mean_mbps=240.0, uplink_sd_mbps=50.0,
+    ),
+}
+
+
+def access_profile(access_type: AccessType) -> AccessProfile:
+    """The calibrated profile for an access technology."""
+    return ACCESS_PROFILES[access_type]

@@ -1,0 +1,76 @@
+"""RTT sampling over routes: propagation + queueing jitter + loss spikes.
+
+Each ping sample sums per-hop draws:
+
+* a Gaussian term around each hop's mean (steady-state queueing noise);
+* an occasional heavy-tail spike on METRO/BACKBONE/DC hops, modelling
+  transient congestion.  Backbone-rich cloud paths accumulate more spike
+  probability, which is what pushes their RTT CV to ~5x the nearest edge's
+  (Figure 2(b)) and up to ~30x for the farthest sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .path import Hop, HopKind, Route
+
+#: Per-sample probability that a non-access hop adds a congestion spike.
+SPIKE_PROBABILITY = {
+    HopKind.ACCESS: 0.002,
+    HopKind.METRO: 0.004,
+    HopKind.BACKBONE: 0.035,
+    HopKind.DC: 0.006,
+}
+
+#: Mean of the exponential spike magnitude (ms) per hop kind.
+SPIKE_SCALE_MS = {
+    HopKind.ACCESS: 1.0,
+    HopKind.METRO: 1.5,
+    HopKind.BACKBONE: 6.0,
+    HopKind.DC: 2.0,
+}
+
+
+@dataclass(frozen=True)
+class RTTSample:
+    """One ping result with its per-hop breakdown."""
+
+    total_ms: float
+    per_hop_ms: tuple[float, ...]
+
+
+class LatencyModel:
+    """Samples end-to-end and per-hop RTTs for a route."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def sample_hop_ms(self, hop: Hop) -> float:
+        """One RTT contribution draw for a single hop (never negative)."""
+        value = hop.mean_rtt_ms + float(self._rng.normal(0.0, hop.jitter_sd_ms))
+        if self._rng.random() < SPIKE_PROBABILITY[hop.kind]:
+            value += float(self._rng.exponential(SPIKE_SCALE_MS[hop.kind]))
+        return max(value, 0.01)
+
+    def sample(self, route: Route) -> RTTSample:
+        """One end-to-end ping with per-hop contributions."""
+        per_hop = tuple(self.sample_hop_ms(hop) for hop in route.hops)
+        return RTTSample(total_ms=sum(per_hop), per_hop_ms=per_hop)
+
+    def sample_many(self, route: Route, count: int) -> np.ndarray:
+        """``count`` end-to-end RTT draws (the 30-ping repetition of §2.1.1)."""
+        if count <= 0:
+            raise MeasurementError(f"sample count must be positive, got {count}")
+        return np.array([self.sample(route).total_ms for _ in range(count)])
+
+    def mean_and_cv(self, route: Route, count: int) -> tuple[float, float]:
+        """Mean RTT and coefficient of variation over ``count`` pings."""
+        samples = self.sample_many(route, count)
+        mean = float(samples.mean())
+        if mean == 0.0:
+            return 0.0, 0.0
+        return mean, float(samples.std() / mean)

@@ -1,0 +1,80 @@
+"""Hop and route representations for end-to-end paths.
+
+A :class:`Route` is an ordered list of :class:`Hop`s between a user
+equipment (UE) and a datacenter VM.  Each hop carries its own mean RTT
+contribution and jitter; sampling an end-to-end RTT sums per-hop draws, and
+simulated traceroute reports the cumulative sums at each ICMP-visible hop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+
+class HopKind(enum.Enum):
+    """Where in the path a hop sits; drives jitter behaviour."""
+
+    ACCESS = "access"        # wireless / last-mile hop
+    METRO = "metro"          # intra-city aggregation and ISP metro core
+    BACKBONE = "backbone"    # inter-city long-haul
+    DC = "dc"                # datacenter ingress / fabric
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One hop of a route with its latency model parameters."""
+
+    name: str
+    kind: HopKind
+    mean_rtt_ms: float
+    jitter_sd_ms: float
+    icmp_visible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_rtt_ms < 0:
+            raise TopologyError(f"hop {self.name!r}: negative mean RTT")
+        if self.jitter_sd_ms < 0:
+            raise TopologyError(f"hop {self.name!r}: negative jitter")
+
+
+@dataclass(frozen=True)
+class Route:
+    """An end-to-end path between a UE and a target VM/site."""
+
+    source_label: str
+    target_label: str
+    hops: tuple[Hop, ...]
+    distance_km: float
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise TopologyError(
+                f"route {self.source_label} -> {self.target_label} has no hops"
+            )
+        if self.distance_km < 0:
+            raise TopologyError("route distance must be non-negative")
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def mean_rtt_ms(self) -> float:
+        """Deterministic (noise-free) end-to-end RTT."""
+        return sum(h.mean_rtt_ms for h in self.hops)
+
+    @property
+    def backbone_hop_count(self) -> int:
+        return sum(1 for h in self.hops if h.kind is HopKind.BACKBONE)
+
+    def cumulative_mean_rtt_ms(self) -> list[float]:
+        """Mean cumulative RTT after each hop (traceroute expectation)."""
+        total = 0.0
+        out = []
+        for hop in self.hops:
+            total += hop.mean_rtt_ms
+            out.append(total)
+        return out

@@ -1,0 +1,108 @@
+"""End-to-end TCP throughput model and iperf3-style test simulation.
+
+§3.2's central finding is structural: end-to-end throughput is
+
+    min( last-mile capacity ,  wide-area TCP limit )
+
+where the wide-area limit follows the Mathis model
+``BW = MSS / (RTT * sqrt(p))`` (the paper cites Mathis et al. [62] for the
+RTT coupling).  When the access capacity is modest (WiFi, LTE, the
+TDD-capped 5G uplink) the min() is taken by the first term and throughput is
+uncorrelated with distance; when capacity is high (5G downlink, wired) the
+second term binds and throughput visibly decays with distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .path import HopKind, Route
+
+TCP_MSS_BYTES = 1460.0
+
+#: Loss-rate model: a base floor plus contributions per hop and per km.
+#: Calibrated so a metro path stays capacity-limited above 1 Gbps while a
+#: 2000-3000 km path limits TCP to the 100-200 Mbps the paper observes.
+BASE_LOSS = 8.0e-8
+LOSS_PER_HOP = {
+    HopKind.ACCESS: 1.0e-8,
+    HopKind.METRO: 3.0e-8,
+    HopKind.BACKBONE: 5.0e-8,
+    HopKind.DC: 2.0e-8,
+}
+LOSS_PER_KM = 1.0e-10
+
+
+def route_loss_rate(route: Route) -> float:
+    """Steady-state packet-loss probability of a route."""
+    loss = BASE_LOSS + LOSS_PER_KM * route.distance_km
+    for hop in route.hops:
+        loss += LOSS_PER_HOP[hop.kind]
+    return loss
+
+
+def mathis_throughput_mbps(rtt_ms: float, loss_rate: float,
+                           mss_bytes: float = TCP_MSS_BYTES) -> float:
+    """Single-flow TCP throughput bound (Mathis et al. 1997), in Mbps."""
+    if rtt_ms <= 0:
+        raise MeasurementError(f"RTT must be positive, got {rtt_ms}")
+    if loss_rate <= 0:
+        raise MeasurementError(f"loss rate must be positive, got {loss_rate}")
+    rtt_s = rtt_ms / 1000.0
+    return (mss_bytes * 8.0 / 1e6) / (rtt_s * np.sqrt(loss_rate))
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one iperf-style throughput test."""
+
+    mbps: float
+    rtt_ms: float
+    loss_rate: float
+    access_limited: bool
+
+    @property
+    def path_limited(self) -> bool:
+        return not self.access_limited
+
+
+class ThroughputModel:
+    """Simulates iperf3 TCP throughput tests over a route."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def wide_area_limit_mbps(self, route: Route) -> float:
+        """The TCP path limit for the route, before the access cap."""
+        return mathis_throughput_mbps(route.mean_rtt_ms, route_loss_rate(route))
+
+    def run_test(self, route: Route, access_capacity_mbps: float,
+                 duration_seconds: int = 15) -> ThroughputResult:
+        """One TCP throughput test: min(access, path) with measurement noise.
+
+        ``duration_seconds`` controls averaging noise: longer tests smooth
+        out congestion-window dynamics (noise shrinks like 1/sqrt(T)).
+        """
+        if access_capacity_mbps <= 0:
+            raise MeasurementError(
+                f"access capacity must be positive, got {access_capacity_mbps}"
+            )
+        if duration_seconds <= 0:
+            raise MeasurementError(
+                f"duration must be positive, got {duration_seconds}"
+            )
+        loss = route_loss_rate(route)
+        path_limit = mathis_throughput_mbps(route.mean_rtt_ms, loss)
+        ideal = min(access_capacity_mbps, path_limit)
+        noise_sd = 0.08 * ideal / np.sqrt(duration_seconds / 15.0)
+        measured = max(float(self._rng.normal(ideal, noise_sd)), 0.05 * ideal)
+        measured = min(measured, access_capacity_mbps)
+        return ThroughputResult(
+            mbps=measured,
+            rtt_ms=route.mean_rtt_ms,
+            loss_rate=loss,
+            access_limited=access_capacity_mbps <= path_limit,
+        )

@@ -1,0 +1,83 @@
+"""Traceroute simulation over a route.
+
+Reproduces what the paper's speed-testing app recorded: cumulative RTT at
+each intermediate hop "if visible" (§2.1.1).  5G packet-core hops drop ICMP
+(the paper notes their trace "doesn't contain the latency of first 2 hops,
+possibly because the ICMP service is disabled by the operator"), which the
+access profile encodes via ``icmp_visible``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .latency import LatencyModel
+from .path import Route
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One traceroute line: hop index, name, cumulative RTT or None."""
+
+    index: int
+    name: str
+    cumulative_rtt_ms: float | None
+
+    @property
+    def visible(self) -> bool:
+        return self.cumulative_rtt_ms is not None
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """A full traceroute: ordered hops plus the end-to-end RTT."""
+
+    route_label: str
+    hops: tuple[TracerouteHop, ...]
+    total_rtt_ms: float
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def visible_hops(self) -> tuple[TracerouteHop, ...]:
+        return tuple(h for h in self.hops if h.visible)
+
+    def hop_latency_shares(self) -> list[float | None]:
+        """Per-hop share of the end-to-end RTT (None for hidden hops).
+
+        This is the quantity Table 2 aggregates: the fraction of the total
+        RTT attributable to each individual hop.
+        """
+        shares: list[float | None] = []
+        previous_visible = 0.0
+        for hop in self.hops:
+            if hop.cumulative_rtt_ms is None:
+                shares.append(None)
+                continue
+            shares.append((hop.cumulative_rtt_ms - previous_visible)
+                          / self.total_rtt_ms)
+            previous_visible = hop.cumulative_rtt_ms
+        return shares
+
+
+def run_traceroute(route: Route, rng: np.random.Generator) -> TracerouteResult:
+    """Simulate one traceroute over ``route``."""
+    model = LatencyModel(rng)
+    cumulative = 0.0
+    hops = []
+    for index, hop in enumerate(route.hops, start=1):
+        cumulative += model.sample_hop_ms(hop)
+        hops.append(TracerouteHop(
+            index=index,
+            name=hop.name,
+            cumulative_rtt_ms=cumulative if hop.icmp_visible else None,
+        ))
+    return TracerouteResult(
+        route_label=f"{route.source_label} -> {route.target_label}",
+        hops=tuple(hops),
+        total_rtt_ms=cumulative,
+    )

@@ -1,0 +1,85 @@
+"""Platform substrate: topology entities, builders, placement, scheduling."""
+
+from .cloud import CLOUD_SERVER_SKUS, build_cloud_platform
+from .cluster import Platform
+from .entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VM,
+    VMSpec,
+)
+from .growth import GrowthEpoch, GrowthResult, simulate_growth
+from .migration import (
+    MigrationCost,
+    RebalanceMove,
+    UsageRebalancer,
+    migrate,
+    predict_migration_cost,
+)
+from .nep import EDGE_SERVER_SKUS, build_nep_platform
+from .placement import (
+    BestFitPolicy,
+    FirstFitPolicy,
+    NepPlacementPolicy,
+    PlacementPolicy,
+    RandomPolicy,
+    SubscriptionRequest,
+)
+from .serverless import (
+    FaasBilling,
+    FaasRuntime,
+    FaasWindowStats,
+    FunctionSpec,
+    VmVsFaasComparison,
+    compare_vm_vs_faas,
+)
+from .scheduling import (
+    LoadAwareScheduler,
+    NearestSiteScheduler,
+    RequestScheduler,
+    SchedulingDecision,
+)
+
+__all__ = [
+    "App",
+    "BestFitPolicy",
+    "CLOUD_SERVER_SKUS",
+    "Customer",
+    "EDGE_SERVER_SKUS",
+    "FaasBilling",
+    "FaasRuntime",
+    "FaasWindowStats",
+    "FunctionSpec",
+    "FirstFitPolicy",
+    "GrowthEpoch",
+    "GrowthResult",
+    "LoadAwareScheduler",
+    "MigrationCost",
+    "NearestSiteScheduler",
+    "NepPlacementPolicy",
+    "PlacementPolicy",
+    "Platform",
+    "PlatformKind",
+    "RandomPolicy",
+    "RebalanceMove",
+    "RequestScheduler",
+    "ResourceVector",
+    "SchedulingDecision",
+    "Server",
+    "Site",
+    "SubscriptionRequest",
+    "UsageRebalancer",
+    "VM",
+    "VMSpec",
+    "VmVsFaasComparison",
+    "build_cloud_platform",
+    "build_nep_platform",
+    "compare_vm_vs_faas",
+    "migrate",
+    "predict_migration_cost",
+    "simulate_growth",
+]

@@ -1,0 +1,140 @@
+"""Platform inventory: the container tying sites, servers, VMs, and apps.
+
+:class:`Platform` is the single source of truth for topology queries used by
+placement, scheduling, trace generation, and the §4 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import TopologyError
+from ..geo.coords import GeoPoint
+from .entities import App, Customer, PlatformKind, Server, Site, VM
+
+
+@dataclass
+class Platform:
+    """A named edge or cloud platform with its full inventory."""
+
+    name: str
+    kind: PlatformKind
+    sites: list[Site] = field(default_factory=list)
+    vms: dict[str, VM] = field(default_factory=dict)
+    apps: dict[str, App] = field(default_factory=dict)
+    customers: dict[str, Customer] = field(default_factory=dict)
+
+    # ---- registration --------------------------------------------------
+
+    def add_site(self, site: Site) -> None:
+        if any(s.site_id == site.site_id for s in self.sites):
+            raise TopologyError(f"duplicate site id {site.site_id!r}")
+        self.sites.append(site)
+
+    def register_customer(self, customer: Customer) -> None:
+        self.customers[customer.customer_id] = customer
+
+    def register_app(self, app: App) -> None:
+        if app.customer_id not in self.customers:
+            raise TopologyError(
+                f"app {app.app_id!r} references unknown customer "
+                f"{app.customer_id!r}"
+            )
+        self.apps[app.app_id] = app
+
+    def register_vm(self, vm: VM) -> None:
+        if vm.app_id not in self.apps:
+            raise TopologyError(
+                f"VM {vm.vm_id!r} references unknown app {vm.app_id!r}"
+            )
+        self.vms[vm.vm_id] = vm
+
+    # ---- lookups -------------------------------------------------------
+
+    @property
+    def is_edge(self) -> bool:
+        return self.kind is PlatformKind.EDGE
+
+    def site(self, site_id: str) -> Site:
+        for s in self.sites:
+            if s.site_id == site_id:
+                return s
+        raise TopologyError(f"unknown site {site_id!r} on {self.name}")
+
+    def server(self, server_id: str) -> Server:
+        for s in self.sites:
+            for server in s.servers:
+                if server.server_id == server_id:
+                    return server
+        raise TopologyError(f"unknown server {server_id!r} on {self.name}")
+
+    def iter_servers(self) -> Iterable[Server]:
+        for s in self.sites:
+            yield from s.servers
+
+    @property
+    def server_count(self) -> int:
+        return sum(s.server_count for s in self.sites)
+
+    def vms_of_app(self, app_id: str) -> list[VM]:
+        if app_id not in self.apps:
+            raise TopologyError(f"unknown app {app_id!r} on {self.name}")
+        return [vm for vm in self.vms.values() if vm.app_id == app_id]
+
+    def vms_on_server(self, server_id: str) -> list[VM]:
+        server = self.server(server_id)
+        return [self.vms[vid] for vid in server.vm_ids]
+
+    def vms_on_site(self, site_id: str) -> list[VM]:
+        return [vm for vm in self.vms.values() if vm.site_id == site_id]
+
+    def sites_in_province(self, province: str) -> list[Site]:
+        return [s for s in self.sites if s.province == province]
+
+    def nearest_sites(self, point: GeoPoint, count: int = 1) -> list[Site]:
+        """The ``count`` sites geographically nearest to ``point``."""
+        if count <= 0:
+            raise TopologyError(f"count must be positive, got {count}")
+        ordered = sorted(self.sites,
+                         key=lambda s: s.location.distance_km(point))
+        return ordered[:count]
+
+    # ---- platform-wide statistics (§4.1 sales rates) --------------------
+
+    def site_cpu_sales_rates(self) -> list[float]:
+        return [s.cpu_sales_rate() for s in self.sites]
+
+    def site_memory_sales_rates(self) -> list[float]:
+        return [s.memory_sales_rate() for s in self.sites]
+
+    def server_cpu_sales_rates(self) -> list[float]:
+        return [srv.cpu_sales_rate() for srv in self.iter_servers()]
+
+    def validate(self) -> None:
+        """Cross-check the inventory ledgers; raise on inconsistency.
+
+        Raises:
+            TopologyError: if any VM's placement disagrees with the server
+                ledgers, or allocation bookkeeping drifted.
+        """
+        placed_ids = set()
+        for server in self.iter_servers():
+            for vm_id in server.vm_ids:
+                if vm_id not in self.vms:
+                    raise TopologyError(
+                        f"server {server.server_id} lists unknown VM {vm_id!r}"
+                    )
+                vm = self.vms[vm_id]
+                if vm.server_id != server.server_id:
+                    raise TopologyError(
+                        f"VM {vm_id} thinks it is on {vm.server_id!r} but "
+                        f"server {server.server_id} lists it"
+                    )
+                placed_ids.add(vm_id)
+        for vm in self.vms.values():
+            if vm.placed and vm.vm_id not in placed_ids:
+                raise TopologyError(
+                    f"VM {vm.vm_id} claims placement on {vm.server_id!r} "
+                    f"but no server lists it"
+                )

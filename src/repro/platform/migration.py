@@ -1,0 +1,171 @@
+"""Live VM migration and a usage-driven rebalancer (§4.2/§4.3/§5).
+
+The paper repeatedly points to dynamic VM migration [34, 61] as the
+remedy for the imbalance it measures, while cautioning that migration
+delay matters on edges.  This module provides:
+
+* :func:`migrate` — move one VM between servers with a pre-copy live
+  migration cost model (total data moved, downtime);
+* :class:`UsageRebalancer` — a greedy rebalancer that iteratively moves
+  the hottest VM from the most-loaded server to the least-loaded feasible
+  one until the load spread falls under a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import CapacityError
+from .cluster import Platform
+from .entities import VM
+
+#: Pre-copy migration model parameters (Clark et al. 2005 shape).
+LINK_GBPS = 10.0          # migration link
+DIRTY_RATE_GBPS = 0.8     # memory dirtying while copying
+PRECOPY_ROUNDS = 4
+STOP_COPY_OVERHEAD_S = 0.15
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Predicted cost of one live migration."""
+
+    data_moved_gb: float
+    total_seconds: float
+    downtime_seconds: float
+
+
+def predict_migration_cost(memory_gb: float,
+                           link_gbps: float = LINK_GBPS,
+                           dirty_rate_gbps: float = DIRTY_RATE_GBPS,
+                           rounds: int = PRECOPY_ROUNDS) -> MigrationCost:
+    """Cost of pre-copy live migration of a VM with ``memory_gb`` of RAM.
+
+    Each pre-copy round retransmits the memory dirtied during the previous
+    round; the final stop-and-copy round is the downtime.
+
+    Raises:
+        CapacityError: on non-positive memory or link rate.
+    """
+    if memory_gb <= 0:
+        raise CapacityError(f"memory must be positive, got {memory_gb}")
+    if link_gbps <= 0:
+        raise CapacityError(f"link rate must be positive, got {link_gbps}")
+    if dirty_rate_gbps >= link_gbps:
+        # Pre-copy cannot converge; model a bounded-round forced stop.
+        rounds = 1
+    dirty_ratio = dirty_rate_gbps / link_gbps
+    transferred = 0.0
+    round_gb = memory_gb
+    for _ in range(rounds):
+        transferred += round_gb
+        round_gb *= dirty_ratio
+    stop_copy_gb = round_gb
+    transferred += stop_copy_gb
+    gb_per_second = link_gbps / 8.0
+    return MigrationCost(
+        data_moved_gb=transferred,
+        total_seconds=transferred / gb_per_second + STOP_COPY_OVERHEAD_S,
+        downtime_seconds=stop_copy_gb / gb_per_second + STOP_COPY_OVERHEAD_S,
+    )
+
+
+def migrate(platform: Platform, vm: VM, target_server_id: str) -> MigrationCost:
+    """Move ``vm`` onto ``target_server_id``; returns the predicted cost.
+
+    Raises:
+        CapacityError: if the VM is unplaced, already on the target, or
+            the target lacks capacity.
+    """
+    if not vm.placed:
+        raise CapacityError(f"VM {vm.vm_id} is not placed anywhere")
+    if vm.server_id == target_server_id:
+        raise CapacityError(f"VM {vm.vm_id} already on {target_server_id}")
+    source = platform.server(vm.server_id)  # type: ignore[arg-type]
+    target = platform.server(target_server_id)
+    if not target.can_host(vm.spec):
+        raise CapacityError(
+            f"server {target_server_id} cannot host VM {vm.vm_id}"
+        )
+    source.detach(vm)
+    target.attach(vm)
+    return predict_migration_cost(float(vm.spec.memory_gb))
+
+
+#: Callback: mean CPU usage of a VM in [0, 1].
+VmUsageProvider = Callable[[str], float]
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One move performed by the rebalancer."""
+
+    vm_id: str
+    from_server: str
+    to_server: str
+    cost: MigrationCost
+
+
+class UsageRebalancer:
+    """Greedy hot-to-cold migration until server loads even out.
+
+    Server load is the usage-weighted sum of hosted VMs' subscribed cores
+    divided by capacity.  Each iteration moves the busiest VM off the
+    hottest server onto the coldest feasible server in scope.
+    """
+
+    def __init__(self, usage: VmUsageProvider, max_moves: int = 50,
+                 target_spread: float = 0.25) -> None:
+        if max_moves <= 0:
+            raise CapacityError(f"max_moves must be positive, got {max_moves}")
+        if target_spread <= 0:
+            raise CapacityError(f"target_spread must be positive, got {target_spread}")
+        self._usage = usage
+        self._max_moves = max_moves
+        self._target_spread = target_spread
+
+    def server_load(self, platform: Platform, server_id: str) -> float:
+        server = platform.server(server_id)
+        if server.capacity.cpu_cores == 0:
+            return 0.0
+        busy_cores = sum(
+            self._usage(vm_id) * platform.vms[vm_id].spec.cpu_cores
+            for vm_id in server.vm_ids
+        )
+        return busy_cores / server.capacity.cpu_cores
+
+    def rebalance_site(self, platform: Platform,
+                       site_id: str) -> list[RebalanceMove]:
+        """Run the greedy loop over one site; returns the moves made."""
+        site = platform.site(site_id)
+        moves: list[RebalanceMove] = []
+        for _ in range(self._max_moves):
+            loads = {s.server_id: self.server_load(platform, s.server_id)
+                     for s in site.servers}
+            hottest = max(loads, key=loads.get)  # type: ignore[arg-type]
+            coldest = min(loads, key=loads.get)  # type: ignore[arg-type]
+            if loads[hottest] - loads[coldest] <= self._target_spread:
+                break
+            hot_server = platform.server(hottest)
+            if not hot_server.vm_ids:
+                break
+            candidates = sorted(
+                hot_server.vm_ids,
+                key=lambda vid: self._usage(vid) * platform.vms[vid].spec.cpu_cores,
+                reverse=True,
+            )
+            moved = False
+            for vm_id in candidates:
+                vm = platform.vms[vm_id]
+                if platform.server(coldest).can_host(vm.spec):
+                    cost = migrate(platform, vm, coldest)
+                    moves.append(RebalanceMove(
+                        vm_id=vm_id, from_server=hottest,
+                        to_server=coldest, cost=cost,
+                    ))
+                    moved = True
+                    break
+            if not moved:
+                break
+        return moves

@@ -1,0 +1,181 @@
+"""VM placement: subscription requests and placement policies.
+
+§2 describes NEP's operation: a customer submits "10 VMs in Guangdong
+province, each with 16 cores and 32 GB"; NEP returns one feasible
+allocation, favouring servers that are **low in sales ratio and actual CPU
+usage (mean and max)**.  :class:`NepPlacementPolicy` implements exactly
+that; the classic bin-packing baselines the paper contrasts with
+("resource fragmentation, i.e., the bin-packing problem", §4.1) are
+provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import PlacementError
+from .cluster import Platform
+from .entities import Server, Site, VM, VMSpec
+
+
+@dataclass(frozen=True)
+class SubscriptionRequest:
+    """A customer's resource requirement at a geographic scope (§2)."""
+
+    customer_id: str
+    app_id: str
+    image_id: str
+    spec: VMSpec
+    vm_count: int
+    province: str | None = None   # None = anywhere on the platform
+    city: str | None = None       # narrows the province further
+
+    def __post_init__(self) -> None:
+        if self.vm_count <= 0:
+            raise PlacementError(f"vm_count must be positive, got {self.vm_count}")
+
+
+#: Optional provider of historical CPU usage per server: maps server_id to
+#: (mean_usage, max_usage) in [0, 1].  NEP's policy consults it when
+#: available; during initial platform build-out there is no history yet.
+UsageProvider = Callable[[str], tuple[float, float]]
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy interface: order candidate servers for one VM."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_server(self, candidates: list[Server],
+                      spec: VMSpec) -> Server:
+        """Pick the server to host a VM with ``spec`` from ``candidates``.
+
+        ``candidates`` is non-empty and every entry already fits the spec.
+        """
+
+    def place(self, platform: Platform, request: SubscriptionRequest,
+              usage: UsageProvider | None = None) -> list[VM]:
+        """Place all VMs of a subscription request; returns the new VMs.
+
+        Placement is transactional in spirit: if any VM cannot be placed,
+        a :class:`PlacementError` is raised after rolling back the VMs
+        already attached for this request.
+
+        Raises:
+            PlacementError: when the scoped sites lack feasible capacity.
+        """
+        sites = _scoped_sites(platform, request)
+        placed: list[tuple[Server, VM]] = []
+        try:
+            for index in range(request.vm_count):
+                candidates = [
+                    server
+                    for site in sites
+                    for server in site.servers
+                    if server.can_host(request.spec)
+                ]
+                if not candidates:
+                    raise PlacementError(
+                        f"no feasible server for request {request.app_id!r} "
+                        f"(VM {index + 1}/{request.vm_count}, scope "
+                        f"province={request.province!r} city={request.city!r})"
+                    )
+                server = self.choose_server(candidates, request.spec)
+                vm = VM(
+                    vm_id=f"{request.app_id}-vm{len(platform.vms) + index:05d}",
+                    spec=request.spec,
+                    customer_id=request.customer_id,
+                    app_id=request.app_id,
+                    image_id=request.image_id,
+                )
+                server.attach(vm)
+                placed.append((server, vm))
+        except PlacementError:
+            for server, vm in placed:
+                server.detach(vm)
+            raise
+        for _, vm in placed:
+            platform.register_vm(vm)
+        return [vm for _, vm in placed]
+
+
+def _scoped_sites(platform: Platform,
+                  request: SubscriptionRequest) -> list[Site]:
+    sites = platform.sites
+    if request.province is not None:
+        sites = [s for s in sites if s.province == request.province]
+    if request.city is not None:
+        sites = [s for s in sites if s.city == request.city]
+    if not sites:
+        raise PlacementError(
+            f"no sites in scope province={request.province!r} "
+            f"city={request.city!r} on {platform.name}"
+        )
+    return sites
+
+
+class NepPlacementPolicy(PlacementPolicy):
+    """NEP's production policy: prefer low sales ratio and low CPU usage.
+
+    The score is the sum of the CPU sales ratio and, when a usage provider
+    is supplied, the historical mean and max CPU usage — exactly the three
+    signals §2 lists.  Lowest score wins; ties break on free cores.
+    """
+
+    name = "nep-low-usage"
+
+    def __init__(self, usage: UsageProvider | None = None) -> None:
+        self._usage = usage
+
+    def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
+        def score(server: Server) -> tuple[float, float]:
+            s = server.cpu_sales_rate()
+            if self._usage is not None:
+                mean_u, max_u = self._usage(server.server_id)
+                s += mean_u + max_u
+            return (s, -server.free.cpu_cores)
+
+        return min(candidates, key=score)
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Classic first-fit: the first feasible server in inventory order."""
+
+    name = "first-fit"
+
+    def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
+        return candidates[0]
+
+
+class BestFitPolicy(PlacementPolicy):
+    """Bin-packing best-fit: the feasible server with least remaining CPU.
+
+    Maximises consolidation (the opposite of NEP's spreading), useful for
+    the fragmentation ablation (§4.1 implications).
+    """
+
+    name = "best-fit"
+
+    def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
+        return min(
+            candidates,
+            key=lambda s: (s.free.cpu_cores - spec.cpu_cores,
+                           s.free.memory_gb - spec.memory_gb),
+        )
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniform random feasible server; the null baseline."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
+        return candidates[int(self._rng.integers(0, len(candidates)))]

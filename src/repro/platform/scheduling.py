@@ -1,0 +1,126 @@
+"""End-user request scheduling across an app's VMs (§2, §4.3).
+
+Once NEP allocates VMs, the *customer* routes end-user requests, "similar
+to traffic routing in a CDN ... based on DNS or HTTP 302".  The paper
+shows this frequently goes wrong (Figure 13), and its implications call
+for load-aware GSLB-style scheduling.  Both strategies are implemented:
+
+* :class:`NearestSiteScheduler` — today's practice: pure geo-proximity.
+* :class:`LoadAwareScheduler` — the §4.3 proposal: trade a bounded amount
+  of extra network delay for balanced VM load.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SchedulingError
+from ..geo.coords import GeoPoint
+from .cluster import Platform
+from .entities import VM
+
+#: Callback reporting the current load of a VM in [0, 1].
+LoadProvider = Callable[[str], float]
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Where one end-user request was sent and why."""
+
+    vm_id: str
+    site_id: str
+    distance_km: float
+    load: float | None = None
+
+
+class RequestScheduler(abc.ABC):
+    """Strategy interface for routing one end-user request to a VM."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, platform: Platform, app_id: str,
+                 user_location: GeoPoint) -> SchedulingDecision:
+        """Pick the serving VM for a request from ``user_location``.
+
+        Raises:
+            SchedulingError: when the app has no placed VMs.
+        """
+
+    @staticmethod
+    def _placed_vms(platform: Platform, app_id: str) -> list[VM]:
+        vms = [vm for vm in platform.vms_of_app(app_id) if vm.placed]
+        if not vms:
+            raise SchedulingError(f"app {app_id!r} has no placed VMs")
+        return vms
+
+
+class NearestSiteScheduler(RequestScheduler):
+    """DNS/HTTP-302 style geo-routing: nearest site wins, always."""
+
+    name = "nearest-site"
+
+    def schedule(self, platform: Platform, app_id: str,
+                 user_location: GeoPoint) -> SchedulingDecision:
+        vms = self._placed_vms(platform, app_id)
+        best = min(
+            vms,
+            key=lambda vm: platform.site(vm.site_id).location
+            .distance_km(user_location),
+        )
+        site = platform.site(best.site_id)
+        return SchedulingDecision(
+            vm_id=best.vm_id,
+            site_id=best.site_id,
+            distance_km=site.location.distance_km(user_location),
+        )
+
+
+class LoadAwareScheduler(RequestScheduler):
+    """GSLB-style scheduling: nearest VM whose load is tolerable.
+
+    Candidates are the VMs whose extra distance over the closest one stays
+    within ``detour_km`` (§3.1 shows each site has ~10 neighbours within
+    20 ms, so modest detours cost little delay).  Among candidates the
+    least-loaded VM wins; if every candidate is above ``overload``, the
+    search widens to all VMs as a last resort.
+    """
+
+    name = "load-aware"
+
+    def __init__(self, load: LoadProvider, detour_km: float = 300.0,
+                 overload: float = 0.8) -> None:
+        if detour_km < 0:
+            raise SchedulingError(f"detour_km must be >= 0, got {detour_km}")
+        if not 0.0 < overload <= 1.0:
+            raise SchedulingError(f"overload must be in (0, 1], got {overload}")
+        self._load = load
+        self._detour_km = detour_km
+        self._overload = overload
+
+    def schedule(self, platform: Platform, app_id: str,
+                 user_location: GeoPoint) -> SchedulingDecision:
+        vms = self._placed_vms(platform, app_id)
+        distances = {
+            vm.vm_id: platform.site(vm.site_id).location
+            .distance_km(user_location)
+            for vm in vms
+        }
+        nearest_distance = min(distances.values())
+        candidates = [
+            vm for vm in vms
+            if distances[vm.vm_id] <= nearest_distance + self._detour_km
+        ]
+        viable = [vm for vm in candidates
+                  if self._load(vm.vm_id) < self._overload]
+        pool = viable if viable else vms
+        best = min(pool, key=lambda vm: (self._load(vm.vm_id),
+                                         distances[vm.vm_id]))
+        return SchedulingDecision(
+            vm_id=best.vm_id,
+            site_id=best.site_id,
+            distance_km=distances[best.vm_id],
+            load=self._load(best.vm_id),
+        )

@@ -1,0 +1,31 @@
+"""Forecasting substrate: Holt-Winters, numpy LSTM, seasonality, harness."""
+
+from .autoregressive import SeasonalARForecaster
+from .evaluate import (
+    ExperimentSpec,
+    PredictionOutcome,
+    evaluate_holt_winters,
+    evaluate_lstm,
+    evaluate_seasonal_ar,
+    split_train_test,
+    window_aggregate,
+)
+from .holtwinters import HoltWinters
+from .lstm import HIDDEN_UNITS, LSTMForecaster
+from .seasonality import decompose, seasonality_strength
+
+__all__ = [
+    "ExperimentSpec",
+    "HIDDEN_UNITS",
+    "HoltWinters",
+    "LSTMForecaster",
+    "PredictionOutcome",
+    "SeasonalARForecaster",
+    "decompose",
+    "evaluate_holt_winters",
+    "evaluate_lstm",
+    "evaluate_seasonal_ar",
+    "seasonality_strength",
+    "split_train_test",
+    "window_aggregate",
+]

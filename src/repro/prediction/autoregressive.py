@@ -1,0 +1,107 @@
+"""Seasonal autoregressive forecaster (the ARIMA-family baseline).
+
+The paper's related work applies ARIMA to workload prediction (Calheiros
+et al. [29]); §4.4 itself uses Holt-Winters and LSTM.  This model rounds
+out the family: an AR(p) regression fitted by least squares on the
+seasonally-differenced series — i.e. ARIMA(p, 0, 0) on ``y_t - y_{t-m}``
+— which handles both the seasonal structure and short-range
+autocorrelation with a closed-form fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+
+
+class SeasonalARForecaster:
+    """AR(p) on the seasonally differenced series, one-step forecasts.
+
+    Args:
+        season_length: observations per seasonal cycle.
+        order: autoregressive order p.
+        ridge: Tikhonov regulariser for the least-squares fit.
+    """
+
+    def __init__(self, season_length: int, order: int = 4,
+                 ridge: float = 1e-4) -> None:
+        if season_length < 2:
+            raise PredictionError(
+                f"season_length must be >= 2, got {season_length}"
+            )
+        if order < 1:
+            raise PredictionError(f"order must be >= 1, got {order}")
+        if ridge < 0:
+            raise PredictionError(f"ridge must be >= 0, got {ridge}")
+        self.season_length = season_length
+        self.order = order
+        self.ridge = ridge
+        self._coef: np.ndarray | None = None
+        self._intercept = 0.0
+        self._history: list[float] | None = None
+
+    def fit(self, series: np.ndarray) -> "SeasonalARForecaster":
+        """Fit on ``series``; keeps it as the forecasting history.
+
+        Raises:
+            PredictionError: if the series is too short for the model.
+        """
+        series = np.asarray(series, dtype=float)
+        m, p = self.season_length, self.order
+        if series.size < m + p + 2:
+            raise PredictionError(
+                f"need at least {m + p + 2} points, got {series.size}"
+            )
+        diff = series[m:] - series[:-m]
+        if diff.size <= p:
+            raise PredictionError("differenced series shorter than order")
+        # Design matrix of lagged differences.
+        rows = diff.size - p
+        design = np.empty((rows, p))
+        for lag in range(1, p + 1):
+            design[:, lag - 1] = diff[p - lag: p - lag + rows]
+        target = diff[p:]
+        gram = design.T @ design + self.ridge * np.eye(p)
+        moments = design.T @ target
+        self._coef = np.linalg.solve(gram, moments)
+        self._intercept = float(target.mean()
+                                - design.mean(axis=0) @ self._coef)
+        self._history = series.tolist()
+        return self
+
+    def forecast_next(self) -> float:
+        """One-step-ahead forecast from the stored history.
+
+        Raises:
+            PredictionError: if :meth:`fit` has not run.
+        """
+        if self._coef is None or self._history is None:
+            raise PredictionError("forecast_next() before fit()")
+        m, p = self.season_length, self.order
+        history = self._history
+        # Only the last p seasonal differences matter for one step.
+        lags = np.array([
+            history[-lag] - history[-lag - m] for lag in range(1, p + 1)
+        ])
+        predicted_diff = float(self._intercept + lags @ self._coef)
+        return float(history[-m] + predicted_diff)
+
+    def update(self, value: float) -> None:
+        """Append one observed value to the history.
+
+        Raises:
+            PredictionError: if :meth:`fit` has not run.
+        """
+        if self._history is None:
+            raise PredictionError("update() before fit()")
+        self._history.append(float(value))
+
+    def walk_forward(self, test_series: np.ndarray) -> np.ndarray:
+        """One-step-ahead forecasts across ``test_series``."""
+        test_series = np.asarray(test_series, dtype=float)
+        forecasts = np.empty_like(test_series)
+        for i, value in enumerate(test_series):
+            forecasts[i] = self.forecast_next()
+            self.update(float(value))
+        return forecasts

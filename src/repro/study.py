@@ -1,0 +1,127 @@
+"""High-level facade: one object that runs the whole study lazily.
+
+:class:`EdgeStudy` wires the substrates together the way the paper's
+authors did — build NEP and the clouds, recruit the panel, run the
+campaigns, generate the workload traces — and caches each piece so
+examples and benchmarks can share one simulation instead of regenerating
+it per figure.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property, lru_cache
+
+from .billing.cloud import alicloud_billing, huawei_billing
+from .billing.nep import CityPriceBook, NepBilling
+from .config import DEFAULT_SCENARIO, Scenario
+from .core.cost_analysis import cloud_regions_from_platform
+from .core.latency_analysis import PerUserLatency, per_user_latency
+from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
+from .measurement.qoe.testbed import QoETestbed
+from .platform.cloud import build_cloud_platform
+from .platform.cluster import Platform
+from .workload.azure import generate_azure_workload
+from .workload.generator import GeneratedWorkload, generate_nep_workload
+
+
+class EdgeStudy:
+    """Lazily-computed bundle of every dataset the paper's figures need."""
+
+    def __init__(self, scenario: Scenario = DEFAULT_SCENARIO) -> None:
+        self.scenario = scenario
+
+    # ---- platforms and workloads -----------------------------------------
+
+    @cached_property
+    def nep(self) -> GeneratedWorkload:
+        """The NEP platform with placed VMs and its 3-month-style trace."""
+        return generate_nep_workload(self.scenario)
+
+    @cached_property
+    def azure(self) -> GeneratedWorkload:
+        """The Azure-like cloud comparison dataset."""
+        return generate_azure_workload(self.scenario)
+
+    @cached_property
+    def alicloud(self) -> Platform:
+        """The AliCloud-like platform used as the performance baseline.
+
+        Only its region locations matter for the campaign, so the server
+        fleet is kept minimal.
+        """
+        return build_cloud_platform(self.scenario, name="AliCloud",
+                                    servers_per_region=4)
+
+    # ---- campaigns ---------------------------------------------------------
+
+    @cached_property
+    def campaign(self) -> CrowdCampaign:
+        return CrowdCampaign(self.scenario, self.nep.platform, self.alicloud)
+
+    @cached_property
+    def participants(self) -> list[Participant]:
+        return self.campaign.recruit()
+
+    @cached_property
+    def latency_results(self) -> CampaignResults:
+        return self.campaign.run_latency(self.participants)
+
+    @cached_property
+    def throughput_results(self) -> CampaignResults:
+        return self.campaign.run_throughput(self.participants)
+
+    @cached_property
+    def per_user(self) -> list[PerUserLatency]:
+        """Per-user latency aggregates feeding Figures 2/3 and Table 2."""
+        return per_user_latency(self.latency_results.latency)
+
+    # ---- QoE testbed ---------------------------------------------------------
+
+    @cached_property
+    def qoe_testbed(self) -> QoETestbed:
+        return QoETestbed(self.scenario.random.stream("qoe-testbed"))
+
+    # ---- billing ---------------------------------------------------------------
+
+    @cached_property
+    def nep_billing(self) -> NepBilling:
+        book = CityPriceBook(self.scenario.random.stream("city-prices"))
+        return NepBilling(book)
+
+    @cached_property
+    def vcloud1(self):
+        """AliCloud-priced virtual baseline (billing engine)."""
+        return alicloud_billing()
+
+    @cached_property
+    def vcloud2(self):
+        """Huawei-priced virtual baseline (billing engine)."""
+        return huawei_billing()
+
+    @cached_property
+    def vcloud_regions(self):
+        """Billing regions of the virtual clouds (AliCloud's geography)."""
+        return cloud_regions_from_platform(self.alicloud)
+
+
+@lru_cache(maxsize=4)
+def _study_for(scale: str, seed: int) -> EdgeStudy:
+    if scale == "default":
+        scenario = Scenario(seed=seed)
+    elif scale == "smoke":
+        scenario = Scenario.smoke_scale().with_overrides(seed=seed)
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+    return EdgeStudy(scenario)
+
+
+def default_study(seed: int | None = None) -> EdgeStudy:
+    """The shared full-scale study (cached per seed)."""
+    return _study_for("default", seed if seed is not None
+                      else DEFAULT_SCENARIO.seed)
+
+
+def smoke_study(seed: int | None = None) -> EdgeStudy:
+    """The shared reduced-scale study for tests (cached per seed)."""
+    return _study_for("smoke", seed if seed is not None
+                      else DEFAULT_SCENARIO.seed)

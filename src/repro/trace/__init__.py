@@ -1,0 +1,18 @@
+"""Trace dataset schemas, container, and disk round-trip."""
+
+from .azure_public import load_azure_public_dataset
+from .dataset import TraceDataset, merge_days
+from .io import load_dataset, save_dataset
+from .schema import AppRecord, ServerRecord, SiteRecord, VMRecord
+
+__all__ = [
+    "AppRecord",
+    "ServerRecord",
+    "SiteRecord",
+    "TraceDataset",
+    "VMRecord",
+    "load_azure_public_dataset",
+    "load_dataset",
+    "merge_days",
+    "save_dataset",
+]

@@ -1,0 +1,211 @@
+"""The in-memory trace dataset: VM tables plus usage time series.
+
+A :class:`TraceDataset` is what every §4 analysis consumes.  CPU series
+hold per-interval utilisation of the VM's allocated cores in [0, 1];
+bandwidth series hold per-interval public egress in Mbps.  Series are
+stored as float32 arrays keyed by VM id, all aligned to the same clock
+(interval index 0 = trace start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import TraceError
+from .schema import AppRecord, ServerRecord, SiteRecord, VMRecord
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass
+class TraceDataset:
+    """One platform's trace: inventory tables plus aligned usage series."""
+
+    platform_name: str
+    trace_days: int
+    cpu_interval_minutes: int
+    bw_interval_minutes: int
+    vms: dict[str, VMRecord] = field(default_factory=dict)
+    apps: dict[str, AppRecord] = field(default_factory=dict)
+    sites: dict[str, SiteRecord] = field(default_factory=dict)
+    servers: dict[str, ServerRecord] = field(default_factory=dict)
+    cpu_series: dict[str, np.ndarray] = field(default_factory=dict)
+    bw_series: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Intra-site ("private") traffic, also reported by NEP's collector.
+    bw_private_series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # ---- structure -------------------------------------------------------
+
+    @property
+    def cpu_points(self) -> int:
+        """Expected number of CPU readings per VM."""
+        return self.trace_days * MINUTES_PER_DAY // self.cpu_interval_minutes
+
+    @property
+    def bw_points(self) -> int:
+        """Expected number of bandwidth readings per VM."""
+        return self.trace_days * MINUTES_PER_DAY // self.bw_interval_minutes
+
+    @property
+    def cpu_points_per_day(self) -> int:
+        return MINUTES_PER_DAY // self.cpu_interval_minutes
+
+    @property
+    def bw_points_per_day(self) -> int:
+        return MINUTES_PER_DAY // self.bw_interval_minutes
+
+    def add_vm(self, record: VMRecord, cpu: np.ndarray,
+               bw: np.ndarray, bw_private: np.ndarray | None = None) -> None:
+        """Register a VM row together with its usage series.
+
+        Raises:
+            TraceError: on duplicate ids or series/clock length mismatch.
+        """
+        if record.vm_id in self.vms:
+            raise TraceError(f"duplicate VM id {record.vm_id!r}")
+        if cpu.shape != (self.cpu_points,):
+            raise TraceError(
+                f"VM {record.vm_id!r}: CPU series has {cpu.shape[0]} points, "
+                f"expected {self.cpu_points}"
+            )
+        if bw.shape != (self.bw_points,):
+            raise TraceError(
+                f"VM {record.vm_id!r}: bandwidth series has {bw.shape[0]} "
+                f"points, expected {self.bw_points}"
+            )
+        if np.any(cpu < 0) or np.any(cpu > 1.0 + 1e-6):
+            raise TraceError(
+                f"VM {record.vm_id!r}: CPU utilisation outside [0, 1]"
+            )
+        if np.any(bw < 0):
+            raise TraceError(f"VM {record.vm_id!r}: negative bandwidth")
+        self.vms[record.vm_id] = record
+        self.cpu_series[record.vm_id] = cpu.astype(np.float32)
+        self.bw_series[record.vm_id] = bw.astype(np.float32)
+        if bw_private is not None:
+            if bw_private.shape != (self.bw_points,):
+                raise TraceError(
+                    f"VM {record.vm_id!r}: private bandwidth length mismatch"
+                )
+            self.bw_private_series[record.vm_id] = bw_private.astype(np.float32)
+
+    # ---- lookups ----------------------------------------------------------
+
+    def vm_ids(self) -> list[str]:
+        return list(self.vms)
+
+    def vms_of_app(self, app_id: str) -> list[VMRecord]:
+        if app_id not in self.apps:
+            raise TraceError(f"unknown app {app_id!r}")
+        return [vm for vm in self.vms.values() if vm.app_id == app_id]
+
+    def vms_on_server(self, server_id: str) -> list[VMRecord]:
+        return [vm for vm in self.vms.values() if vm.server_id == server_id]
+
+    def vms_on_site(self, site_id: str) -> list[VMRecord]:
+        return [vm for vm in self.vms.values() if vm.site_id == site_id]
+
+    def app_ids_with_vms(self) -> list[str]:
+        present = {vm.app_id for vm in self.vms.values()}
+        return [app_id for app_id in self.apps if app_id in present]
+
+    # ---- aggregations ------------------------------------------------------
+
+    def mean_cpu(self, vm_id: str) -> float:
+        return float(self.cpu_series[vm_id].mean())
+
+    def p95_max_cpu(self, vm_id: str) -> float:
+        """95th percentile of the CPU readings (the paper's "P95 Max").
+
+        The trace reports the max utilisation within each interval; the
+        95th percentile of those maxima is the paper's tail-load metric.
+        """
+        return float(np.percentile(self.cpu_series[vm_id], 95))
+
+    def cpu_cv(self, vm_id: str) -> float:
+        series = self.cpu_series[vm_id]
+        mean = float(series.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(series.std() / mean)
+
+    def server_cpu_usage(self, server_id: str) -> np.ndarray:
+        """Requested-core-weighted CPU usage of a server's VMs (Fig 11)."""
+        vms = self.vms_on_server(server_id)
+        if not vms:
+            return np.zeros(self.cpu_points, dtype=np.float32)
+        total_cores = sum(vm.cpu_cores for vm in vms)
+        usage = np.zeros(self.cpu_points, dtype=np.float64)
+        for vm in vms:
+            usage += self.cpu_series[vm.vm_id].astype(np.float64) * vm.cpu_cores
+        return (usage / total_cores).astype(np.float32)
+
+    def site_bandwidth(self, site_id: str) -> np.ndarray:
+        """Summed public bandwidth of all VMs hosted at a site (Fig 11)."""
+        usage = np.zeros(self.bw_points, dtype=np.float64)
+        for vm in self.vms_on_site(site_id):
+            usage += self.bw_series[vm.vm_id].astype(np.float64)
+        return usage.astype(np.float32)
+
+    def server_bandwidth(self, server_id: str) -> np.ndarray:
+        usage = np.zeros(self.bw_points, dtype=np.float64)
+        for vm in self.vms_on_server(server_id):
+            usage += self.bw_series[vm.vm_id].astype(np.float64)
+        return usage.astype(np.float32)
+
+    def app_bandwidth(self, app_id: str) -> np.ndarray:
+        usage = np.zeros(self.bw_points, dtype=np.float64)
+        for vm in self.vms_of_app(app_id):
+            usage += self.bw_series[vm.vm_id].astype(np.float64)
+        return usage.astype(np.float32)
+
+    def validate(self) -> None:
+        """Consistency checks across the four tables.
+
+        Raises:
+            TraceError: on dangling references or missing series.
+        """
+        for vm in self.vms.values():
+            if vm.app_id not in self.apps:
+                raise TraceError(f"VM {vm.vm_id!r}: dangling app {vm.app_id!r}")
+            if vm.site_id not in self.sites:
+                raise TraceError(f"VM {vm.vm_id!r}: dangling site {vm.site_id!r}")
+            if vm.server_id not in self.servers:
+                raise TraceError(
+                    f"VM {vm.vm_id!r}: dangling server {vm.server_id!r}"
+                )
+            if vm.vm_id not in self.cpu_series:
+                raise TraceError(f"VM {vm.vm_id!r}: missing CPU series")
+            if vm.vm_id not in self.bw_series:
+                raise TraceError(f"VM {vm.vm_id!r}: missing bandwidth series")
+        for server in self.servers.values():
+            if server.site_id not in self.sites:
+                raise TraceError(
+                    f"server {server.server_id!r}: dangling site "
+                    f"{server.site_id!r}"
+                )
+
+
+def merge_days(series: np.ndarray, points_per_day: int,
+               reducer: str = "max") -> np.ndarray:
+    """Collapse a series into one value per day (``max`` or ``mean``).
+
+    Used by billing (daily peak bandwidth) and the Figure 12 weekly view.
+
+    Raises:
+        TraceError: if the series length is not a whole number of days.
+    """
+    if series.size % points_per_day:
+        raise TraceError(
+            f"series of {series.size} points is not a whole number of "
+            f"{points_per_day}-point days"
+        )
+    daily = series.reshape(-1, points_per_day)
+    if reducer == "max":
+        return daily.max(axis=1)
+    if reducer == "mean":
+        return daily.mean(axis=1)
+    raise TraceError(f"unknown reducer {reducer!r}")

@@ -1,0 +1,114 @@
+"""Disk round-trip for trace datasets (CSV tables + NPZ series).
+
+Layout written by :func:`save_dataset` into one directory::
+
+    meta.json        platform name, days, intervals
+    vms.csv          the VM table
+    apps.csv         the app table
+    sites.csv        the site table
+    servers.csv      the server capacity table
+    cpu.npz          one array per VM id
+    bw.npz           one array per VM id
+    bw_private.npz   optional
+
+This mirrors how the paper's dataset would plausibly ship (flat tables +
+per-VM series) and makes the examples' outputs inspectable with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+from .dataset import TraceDataset
+from .schema import AppRecord, ServerRecord, SiteRecord, VMRecord
+
+_META_NAME = "meta.json"
+
+
+def _write_csv(path: Path, rows: list, record_type: type) -> None:
+    fields = [f.name for f in dataclasses.fields(record_type)]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dataclasses.asdict(row))
+
+
+def _read_csv(path: Path, record_type: type) -> list:
+    converters = {
+        f.name: (int if f.type == "int" else float if f.type == "float" else str)
+        for f in dataclasses.fields(record_type)
+    }
+    rows = []
+    with path.open(newline="") as handle:
+        for raw in csv.DictReader(handle):
+            kwargs = {name: converters[name](value) for name, value in raw.items()}
+            rows.append(record_type(**kwargs))
+    return rows
+
+
+def save_dataset(dataset: TraceDataset, directory: str | Path) -> Path:
+    """Write a dataset to ``directory`` (created if needed); returns it."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "platform_name": dataset.platform_name,
+        "trace_days": dataset.trace_days,
+        "cpu_interval_minutes": dataset.cpu_interval_minutes,
+        "bw_interval_minutes": dataset.bw_interval_minutes,
+    }
+    (root / _META_NAME).write_text(json.dumps(meta, indent=2))
+    _write_csv(root / "vms.csv", list(dataset.vms.values()), VMRecord)
+    _write_csv(root / "apps.csv", list(dataset.apps.values()), AppRecord)
+    _write_csv(root / "sites.csv", list(dataset.sites.values()), SiteRecord)
+    _write_csv(root / "servers.csv", list(dataset.servers.values()), ServerRecord)
+    np.savez_compressed(root / "cpu.npz", **dataset.cpu_series)
+    np.savez_compressed(root / "bw.npz", **dataset.bw_series)
+    if dataset.bw_private_series:
+        np.savez_compressed(root / "bw_private.npz", **dataset.bw_private_series)
+    return root
+
+
+def load_dataset(directory: str | Path) -> TraceDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        TraceError: if the directory is missing required files.
+    """
+    root = Path(directory)
+    meta_path = root / _META_NAME
+    if not meta_path.exists():
+        raise TraceError(f"not a trace dataset directory: {root}")
+    meta = json.loads(meta_path.read_text())
+    dataset = TraceDataset(
+        platform_name=meta["platform_name"],
+        trace_days=int(meta["trace_days"]),
+        cpu_interval_minutes=int(meta["cpu_interval_minutes"]),
+        bw_interval_minutes=int(meta["bw_interval_minutes"]),
+    )
+    dataset.apps = {r.app_id: r for r in _read_csv(root / "apps.csv", AppRecord)}
+    dataset.sites = {r.site_id: r for r in _read_csv(root / "sites.csv", SiteRecord)}
+    dataset.servers = {
+        r.server_id: r for r in _read_csv(root / "servers.csv", ServerRecord)
+    }
+    vms = _read_csv(root / "vms.csv", VMRecord)
+    with np.load(root / "cpu.npz") as cpu_npz:
+        cpu = {key: cpu_npz[key] for key in cpu_npz.files}
+    with np.load(root / "bw.npz") as bw_npz:
+        bw = {key: bw_npz[key] for key in bw_npz.files}
+    private: dict[str, np.ndarray] = {}
+    private_path = root / "bw_private.npz"
+    if private_path.exists():
+        with np.load(private_path) as priv_npz:
+            private = {key: priv_npz[key] for key in priv_npz.files}
+    for record in vms:
+        dataset.add_vm(record, cpu[record.vm_id], bw[record.vm_id],
+                       private.get(record.vm_id))
+    dataset.validate()
+    return dataset

@@ -1,0 +1,83 @@
+"""Record schemas for the workload trace, mirroring §2.1.2.
+
+The NEP dataset contains four parts: (1) a VM table with placement,
+customer, and system information; (2) the resource capacity of each VM and
+server; (3) per-VM CPU usage readings; (4) per-VM bandwidth readings
+(public and private).  The classes below are the canonical in-memory form
+of those tables; :mod:`repro.trace.io` round-trips them through CSV/JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class VMRecord:
+    """One row of the VM table (§2.1.2 items 1–2)."""
+
+    vm_id: str
+    app_id: str
+    customer_id: str
+    site_id: str
+    server_id: str
+    city: str
+    province: str
+    category: str
+    image_id: str
+    os_type: str
+    cpu_cores: int
+    memory_gb: int
+    disk_gb: int
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0 or self.memory_gb <= 0:
+            raise TraceError(
+                f"VM {self.vm_id!r}: non-positive capacity "
+                f"({self.cpu_cores} cores, {self.memory_gb} GB)"
+            )
+        if self.disk_gb < 0 or self.bandwidth_mbps < 0:
+            raise TraceError(f"VM {self.vm_id!r}: negative disk or bandwidth")
+
+
+@dataclass(frozen=True)
+class ServerRecord:
+    """Capacity row for one physical server."""
+
+    server_id: str
+    site_id: str
+    cpu_cores: int
+    memory_gb: int
+    disk_gb: int
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0 or self.memory_gb <= 0:
+            raise TraceError(
+                f"server {self.server_id!r}: non-positive capacity"
+            )
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """One site: id, location labels, coordinates."""
+
+    site_id: str
+    name: str
+    city: str
+    province: str
+    lat: float
+    lon: float
+    gateway_bandwidth_mbps: float
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One app: the (customer, image) grouping of VMs (§2 terminology)."""
+
+    app_id: str
+    customer_id: str
+    category: str
+    image_id: str

@@ -1,0 +1,85 @@
+"""Unit helpers shared across the library.
+
+The paper mixes units freely (ms RTTs, Mbps links, GB/month traffic, RMB
+prices).  Internally the library standardises on:
+
+* time:        **milliseconds** for latency, **seconds** for durations,
+               **minutes** for trace timestamps;
+* throughput:  **Mbps** (megabits per second);
+* traffic:     **GB** (gigabytes, decimal);
+* distance:    **kilometres**;
+* money:       **RMB** (Chinese yuan).
+
+This module provides explicit, named conversions so call sites never carry
+bare magic constants.
+"""
+
+from __future__ import annotations
+
+MS_PER_SECOND = 1_000.0
+SECONDS_PER_MINUTE = 60.0
+MINUTES_PER_HOUR = 60.0
+HOURS_PER_DAY = 24.0
+MINUTES_PER_DAY = MINUTES_PER_HOUR * HOURS_PER_DAY
+DAYS_PER_MONTH = 30.0  # billing month used by every provider in Table 5
+
+BITS_PER_BYTE = 8.0
+MBIT = 1e6  # bits
+GB = 1e9  # bytes
+
+#: Speed of light in optical fibre, km per millisecond.  Light travels at
+#: roughly 2/3 c in glass; 200 km/ms is the standard rule of thumb used in
+#: WAN latency estimation.
+FIBER_KM_PER_MS = 200.0
+
+#: Routed fibre paths are longer than the geodesic ("path inflation",
+#: Spring et al. 2003, cited by the paper as [85]).
+PATH_INFLATION = 1.6
+
+
+def ms_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / MS_PER_SECOND
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_SECOND
+
+
+def mbps_to_bytes_per_second(mbps: float) -> float:
+    """Convert a link rate in Mbps to bytes per second."""
+    return mbps * MBIT / BITS_PER_BYTE
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes."""
+    return num_bytes / GB
+
+
+def gb_to_bytes(gigabytes: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gigabytes * GB
+
+
+def mbps_for_seconds_to_gb(mbps: float, seconds: float) -> float:
+    """Total traffic in GB moved by a flow at ``mbps`` for ``seconds``."""
+    return bytes_to_gb(mbps_to_bytes_per_second(mbps) * seconds)
+
+
+def transmission_delay_ms(payload_bytes: float, link_mbps: float) -> float:
+    """Serialisation delay in ms for ``payload_bytes`` over ``link_mbps``.
+
+    Raises:
+        ValueError: if the link rate is not positive.
+    """
+    if link_mbps <= 0:
+        raise ValueError(f"link rate must be positive, got {link_mbps}")
+    return seconds_to_ms(payload_bytes / mbps_to_bytes_per_second(link_mbps))
+
+
+def propagation_delay_ms(distance_km: float, inflation: float = PATH_INFLATION) -> float:
+    """One-way propagation delay in ms over an inflated fibre path."""
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return distance_km * inflation / FIBER_KM_PER_MS

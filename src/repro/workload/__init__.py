@@ -1,0 +1,54 @@
+"""Workload substrate: app profiles, series generators, dataset factories."""
+
+from .apps import (
+    AZURE_PROFILES,
+    AppProfile,
+    CpuLevelMixture,
+    NEP_PROFILES,
+    profiles_by_category,
+    sample_profile,
+)
+from .azure import generate_azure_workload
+from .bandwidth import derive_private_series, generate_bw_series, peak_to_mean_ratio
+from .cpu import generate_cpu_series
+from .generator import GeneratedWorkload, generate_nep_workload
+from .patterns import (
+    PATTERNS,
+    ar1_noise,
+    pattern,
+    regime_switching_level,
+    time_axis_minutes,
+)
+from .subscription import (
+    AZURE_SIZE_OPTIONS,
+    NEP_SIZE_OPTIONS,
+    SizeOption,
+    sample_azure_spec,
+    sample_nep_spec,
+)
+
+__all__ = [
+    "AZURE_PROFILES",
+    "AZURE_SIZE_OPTIONS",
+    "AppProfile",
+    "CpuLevelMixture",
+    "GeneratedWorkload",
+    "NEP_PROFILES",
+    "NEP_SIZE_OPTIONS",
+    "PATTERNS",
+    "SizeOption",
+    "ar1_noise",
+    "derive_private_series",
+    "generate_azure_workload",
+    "generate_bw_series",
+    "generate_cpu_series",
+    "generate_nep_workload",
+    "pattern",
+    "peak_to_mean_ratio",
+    "profiles_by_category",
+    "regime_switching_level",
+    "sample_azure_spec",
+    "sample_nep_spec",
+    "sample_profile",
+    "time_axis_minutes",
+]

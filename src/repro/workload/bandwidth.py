@@ -1,0 +1,82 @@
+"""Per-VM public/private bandwidth series generators.
+
+Bandwidth follows the same seasonal structure as CPU, but with a heavier
+diurnal swing (video traffic collapses overnight) and, for "erratic" VMs,
+a regime-switching base level reproducing Figure 12's unpredictable
+weekly averages.  Private (intra-site) traffic is a small fraction of
+public traffic — NEP logs both (§2.1.2 item 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .apps import AppProfile
+from .patterns import ar1_noise, pattern, regime_switching_level
+
+#: Short traffic spikes (flash crowds) on top of the seasonal shape.
+#: Kept small: NEP bills the *daily peak*, so heavy spikes would dominate
+#: every bill, which is not what Table 3's ratios show.
+SPIKE_PROBABILITY = 0.0008
+SPIKE_SCALE = (1.3, 2.0)
+
+#: Private traffic runs at a few percent of public for edge video apps.
+PRIVATE_FRACTION_RANGE = (0.01, 0.08)
+
+
+def generate_bw_series(profile: AppProfile, mean_mbps: float,
+                       minutes: np.ndarray, rng: np.random.Generator,
+                       erratic: bool = False) -> np.ndarray:
+    """Generate one VM's public bandwidth series (Mbps).
+
+    Args:
+        profile: the app category's workload profile.
+        mean_mbps: the VM's target mean public bandwidth.
+        minutes: time axis.
+        rng: the VM's random stream.
+        erratic: if True, multiply by a regime-switching level — the
+            unpredictable VMs of Figure 12.
+
+    Raises:
+        ConfigurationError: if ``mean_mbps`` is negative.
+    """
+    if mean_mbps < 0:
+        raise ConfigurationError(
+            f"mean bandwidth must be non-negative, got {mean_mbps}"
+        )
+    points = minutes.size
+    season = pattern(profile.pattern_name)(minutes)
+    # Bandwidth swings harder with the season than CPU does: keep the
+    # seasonal weight but square-root the residual floor so traffic almost
+    # vanishes off-peak for strongly seasonal categories.
+    w = min(1.0, profile.seasonal_weight * 1.15)
+    shape = w * season + (1.0 - w)
+    noise = ar1_noise(points, rng, rho=profile.noise_rho,
+                      sigma=profile.noise_sigma * 1.3)
+    series = mean_mbps * shape * noise
+    if erratic:
+        series = series * regime_switching_level(points, rng)
+    spikes = rng.random(points) < SPIKE_PROBABILITY
+    if spikes.any():
+        series[spikes] *= rng.uniform(*SPIKE_SCALE, size=int(spikes.sum()))
+    return np.maximum(series, 0.0)
+
+
+def derive_private_series(public_series: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Intra-site traffic derived from the public series."""
+    fraction = float(rng.uniform(*PRIVATE_FRACTION_RANGE))
+    wobble = ar1_noise(public_series.size, rng, rho=0.8, sigma=0.3)
+    return public_series * fraction * wobble
+
+
+def peak_to_mean_ratio(series: np.ndarray) -> float:
+    """Max over mean of a bandwidth series; the §4.5 variance indicator.
+
+    Returns 0.0 for an all-zero series.
+    """
+    mean = float(series.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(series.max() / mean)

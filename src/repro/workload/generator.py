@@ -1,0 +1,212 @@
+"""End-to-end NEP workload generation: platform + apps + trace dataset.
+
+This is the factory behind every §4 analysis: it builds the NEP topology,
+creates customers and apps per the §4.1 category mix, places their VMs
+with NEP's production policy, and synthesises per-VM CPU and bandwidth
+series.  The result bundles the live :class:`~repro.platform.Platform`
+(for placement/scheduling experiments) with the immutable
+:class:`~repro.trace.TraceDataset` (for the workload analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Scenario
+from ..errors import PlacementError
+from ..geo.regions import CHINA_CITIES, provinces
+from ..platform.cluster import Platform
+from ..platform.entities import App, Customer, VMSpec
+from ..platform.nep import build_nep_platform
+from ..platform.placement import NepPlacementPolicy, SubscriptionRequest
+from ..trace.dataset import TraceDataset
+from ..trace.schema import AppRecord, ServerRecord, SiteRecord, VMRecord
+from .apps import AppProfile, NEP_PROFILES, sample_profile
+from .bandwidth import derive_private_series, generate_bw_series
+from .cpu import generate_cpu_series
+from .patterns import time_axis_minutes
+from .subscription import sample_nep_disk_gb, sample_nep_spec
+
+
+@dataclass
+class GeneratedWorkload:
+    """A platform with placed VMs plus the trace those VMs produced."""
+
+    platform: Platform
+    dataset: TraceDataset
+
+
+def _province_weights() -> tuple[list[str], np.ndarray]:
+    totals: dict[str, float] = {}
+    for c in CHINA_CITIES:
+        totals[c.province] = totals.get(c.province, 0.0) + c.population_m
+    names = list(totals)
+    weights = np.array([totals[n] for n in names])
+    return names, weights / weights.sum()
+
+
+def _choose_provinces(profile: AppProfile, vm_count: int,
+                      rng: np.random.Generator) -> list[str]:
+    """Provinces an app deploys into; big apps spread wider (§4.1)."""
+    names, weights = _province_weights()
+    if vm_count >= 100:
+        spread = min(len(names), int(rng.integers(8, 15)))
+    elif vm_count >= 20:
+        spread = int(rng.integers(3, 7))
+    elif vm_count >= 5:
+        spread = int(rng.integers(1, 4))
+    else:
+        spread = 1
+    chosen = rng.choice(len(names), size=spread, replace=False, p=weights)
+    return [names[i] for i in chosen]
+
+
+def _split_counts(total: int, parts: int, rng: np.random.Generator) -> list[int]:
+    """Split ``total`` VMs across ``parts`` provinces, each >= 1."""
+    if parts >= total:
+        return [1] * total
+    weights = rng.dirichlet(np.ones(parts) * 2.0)
+    counts = np.maximum(1, np.round(weights * total).astype(int))
+    # Fix rounding drift while keeping every part >= 1.
+    while counts.sum() > total:
+        counts[int(np.argmax(counts))] -= 1
+    while counts.sum() < total:
+        counts[int(np.argmin(counts))] += 1
+    return counts.tolist()
+
+
+def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
+    """Generate the full NEP platform + 3-month-style trace for a scenario."""
+    random = scenario.random
+    platform = build_nep_platform(scenario)
+    policy = NepPlacementPolicy()
+    app_rng = random.stream("nep-apps")
+    series_rng_root = random.child("nep-series")
+
+    dataset = TraceDataset(
+        platform_name=platform.name,
+        trace_days=scenario.trace_days,
+        cpu_interval_minutes=scenario.cpu_interval_minutes,
+        bw_interval_minutes=scenario.bw_interval_minutes,
+    )
+    for site in platform.sites:
+        dataset.sites[site.site_id] = SiteRecord(
+            site_id=site.site_id, name=site.name, city=site.city,
+            province=site.province, lat=site.location.lat,
+            lon=site.location.lon,
+            gateway_bandwidth_mbps=site.gateway_bandwidth_mbps,
+        )
+        for server in site.servers:
+            dataset.servers[server.server_id] = ServerRecord(
+                server_id=server.server_id, site_id=site.site_id,
+                cpu_cores=int(server.capacity.cpu_cores),
+                memory_gb=int(server.capacity.memory_gb),
+                disk_gb=int(server.capacity.disk_gb),
+            )
+
+    cpu_minutes = time_axis_minutes(scenario.trace_days,
+                                    scenario.cpu_interval_minutes)
+    bw_minutes = time_axis_minutes(scenario.trace_days,
+                                   scenario.bw_interval_minutes)
+
+    vm_budget = scenario.nep_vm_count
+    app_index = 0
+    while vm_budget > 0:
+        profile = sample_profile(NEP_PROFILES, app_rng)
+        vm_count = min(profile.sample_vm_count(app_rng), vm_budget)
+        app_id = f"nep-app{app_index:04d}"
+        customer = Customer(customer_id=f"nep-c{app_index:04d}",
+                            name=f"customer-{app_index}", segment="business")
+        app = App(app_id=app_id, customer_id=customer.customer_id,
+                  category=profile.category,
+                  image_id=f"img-{profile.category}-{app_index:04d}")
+        platform.register_customer(customer)
+        platform.register_app(app)
+        dataset.apps[app_id] = AppRecord(
+            app_id=app_id, customer_id=customer.customer_id,
+            category=profile.category, image_id=app.image_id,
+        )
+
+        spec = sample_nep_spec(app_rng)
+        app_provinces = _choose_provinces(profile, vm_count, app_rng)
+        counts = _split_counts(vm_count, len(app_provinces), app_rng)
+        placed_vms = []
+        for province, count in zip(app_provinces, counts):
+            for _ in range(count):
+                # Cores/memory are uniform across an app's fleet (the §2
+                # subscription example), but disk follows each VM's data
+                # volume — that is what gives the 100 GB median / 650 GB
+                # mean storage tail of §4.1.
+                vm_spec = VMSpec(
+                    cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
+                    disk_gb=sample_nep_disk_gb(app_rng),
+                    bandwidth_mbps=spec.bandwidth_mbps,
+                )
+                request = SubscriptionRequest(
+                    customer_id=customer.customer_id, app_id=app_id,
+                    image_id=app.image_id, spec=vm_spec, vm_count=1,
+                    province=province,
+                )
+                try:
+                    placed_vms.extend(policy.place(platform, request))
+                except PlacementError:
+                    # A saturated province is skipped; the app simply
+                    # deploys fewer VMs there, as a real customer would
+                    # be told.
+                    break
+        if not placed_vms:
+            app_index += 1
+            continue
+
+        _generate_app_series(
+            profile=profile, app_id=app_id, placed_vms=placed_vms,
+            platform=platform, dataset=dataset,
+            cpu_minutes=cpu_minutes, bw_minutes=bw_minutes,
+            rng=series_rng_root.stream(app_id), spec=spec,
+        )
+        vm_budget -= len(placed_vms)
+        app_index += 1
+
+    dataset.validate()
+    platform.validate()
+    return GeneratedWorkload(platform=platform, dataset=dataset)
+
+
+def _generate_app_series(profile: AppProfile, app_id: str, placed_vms: list,
+                         platform: Platform, dataset: TraceDataset,
+                         cpu_minutes: np.ndarray, bw_minutes: np.ndarray,
+                         rng: np.random.Generator, spec: VMSpec) -> None:
+    """Create the per-VM series and trace records for one placed app."""
+    base_level = profile.cpu_levels.sample(rng)
+    base_bw = float(rng.lognormal(np.log(profile.bw_median_mbps),
+                                  profile.bw_sigma))
+    # The app's own heterogeneity: some apps balance their VMs well,
+    # others (Figure 13) leave one VM hot and the rest idle.
+    app_sigma = profile.within_app_sigma * float(rng.uniform(0.5, 1.6))
+    # mean=-sigma^2/2 keeps the app-level mean at base_level while the
+    # spread controls the Figure 13 cross-VM gap.
+    multipliers = rng.lognormal(mean=-app_sigma ** 2 / 2, sigma=app_sigma,
+                                size=len(placed_vms))
+
+    for vm, multiplier in zip(placed_vms, multipliers):
+        site = platform.site(vm.site_id)
+        mean_cpu = float(np.clip(base_level * multiplier, 0.003, 0.92))
+        mean_bw = max(base_bw * multiplier, 0.05)
+        erratic = rng.random() < profile.erratic_probability
+        cpu = generate_cpu_series(profile, mean_cpu, cpu_minutes, rng)
+        bw = generate_bw_series(profile, mean_bw, bw_minutes, rng,
+                                erratic=erratic)
+        private = derive_private_series(bw, rng)
+        record = VMRecord(
+            vm_id=vm.vm_id, app_id=app_id, customer_id=vm.customer_id,
+            site_id=vm.site_id, server_id=vm.server_id,
+            city=site.city, province=site.province,
+            category=profile.category, image_id=vm.image_id,
+            os_type=vm.os_type,
+            cpu_cores=vm.spec.cpu_cores, memory_gb=vm.spec.memory_gb,
+            disk_gb=vm.spec.disk_gb,
+            bandwidth_mbps=float(np.ceil(mean_bw * 3.0)),
+        )
+        dataset.add_vm(record, cpu, bw, private)

@@ -1,0 +1,76 @@
+"""Tests for virtual-cloud baseline clustering."""
+
+import numpy as np
+import pytest
+
+from repro.billing.baseline import (
+    CloudRegion,
+    cluster_usage_to_cloud,
+    nearest_region,
+)
+from repro.billing.usage import AppUsage, HardwareSubscription
+from repro.errors import BillingError
+from repro.geo.coords import GeoPoint
+
+REGIONS = [
+    CloudRegion("r-bj", "Beijing", GeoPoint(39.9, 116.4)),
+    CloudRegion("r-gz", "Guangzhou", GeoPoint(23.1, 113.3)),
+]
+
+SITES = {
+    "s-tianjin": GeoPoint(39.1, 117.2),    # near Beijing
+    "s-shenzhen": GeoPoint(22.5, 114.1),   # near Guangzhou
+    "s-dongguan": GeoPoint(23.0, 113.8),   # near Guangzhou
+}
+
+
+def _usage():
+    usage = AppUsage(app_id="a0", trace_days=1, interval_minutes=30)
+    usage.hardware.append(HardwareSubscription(8, 32, 100))
+    points = 48
+    usage.add_location_series("s-tianjin", "Tianjin",
+                              np.full(points, 5.0))
+    usage.add_location_series("s-shenzhen", "Shenzhen",
+                              np.full(points, 3.0))
+    usage.add_location_series("s-dongguan", "Dongguan",
+                              np.full(points, 2.0))
+    return usage
+
+
+class TestNearestRegion:
+    def test_picks_closest(self):
+        assert nearest_region(GeoPoint(39.0, 117.0), REGIONS).region_id == "r-bj"
+        assert nearest_region(GeoPoint(23.0, 113.0), REGIONS).region_id == "r-gz"
+
+    def test_empty_rejected(self):
+        with pytest.raises(BillingError):
+            nearest_region(GeoPoint(0, 0), [])
+
+
+class TestClustering:
+    def test_traffic_merges_to_nearest_regions(self):
+        clustered = cluster_usage_to_cloud(_usage(), SITES, REGIONS)
+        assert set(clustered.location_series) == {"r-bj", "r-gz"}
+        # Shenzhen 3 + Dongguan 2 merge onto the Guangzhou region.
+        assert clustered.location_series["r-gz"].mean() == pytest.approx(5.0)
+        assert clustered.location_series["r-bj"].mean() == pytest.approx(5.0)
+
+    def test_total_traffic_conserved(self):
+        usage = _usage()
+        clustered = cluster_usage_to_cloud(usage, SITES, REGIONS)
+        assert clustered.total_traffic_gb() == pytest.approx(
+            usage.total_traffic_gb())
+
+    def test_hardware_carries_over(self):
+        clustered = cluster_usage_to_cloud(_usage(), SITES, REGIONS)
+        assert clustered.hardware == _usage().hardware
+
+    def test_region_city_recorded(self):
+        clustered = cluster_usage_to_cloud(_usage(), SITES, REGIONS)
+        assert clustered.location_city["r-gz"] == "Guangzhou"
+
+    def test_unknown_site_rejected(self):
+        usage = _usage()
+        with pytest.raises(BillingError):
+            cluster_usage_to_cloud(usage, {"s-tianjin": SITES["s-tianjin"]},
+                                   REGIONS)

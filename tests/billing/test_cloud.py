@@ -1,0 +1,119 @@
+"""Tests for the cloud billing engines (vCloud-1 / vCloud-2)."""
+
+import numpy as np
+import pytest
+
+from repro.billing.cloud import (
+    NetworkModel,
+    alicloud_billing,
+    huawei_billing,
+)
+from repro.billing.usage import AppUsage, HardwareSubscription
+
+
+def _usage(series, interval=30, days=2, city="Beijing"):
+    usage = AppUsage(app_id="a0", trace_days=days,
+                     interval_minutes=interval)
+    usage.hardware.append(HardwareSubscription(4, 16, 50))
+    usage.add_location_series("r0", city, np.asarray(series, dtype=float))
+    return usage
+
+
+def _flat(level, days=2, interval=30):
+    return np.full(days * 24 * 60 // interval, level)
+
+
+def _bursty(peak, days=2, interval=30):
+    """Near-zero traffic with one short burst per day."""
+    points_per_day = 24 * 60 // interval
+    series = np.full(days * points_per_day, 0.5)
+    for day in range(days):
+        series[day * points_per_day + 20] = peak
+    return series
+
+
+class TestNetworkModels:
+    def test_quantity_model_scales_with_traffic(self):
+        billing = alicloud_billing()
+        small = billing.network_cost(_usage(_flat(10.0)),
+                                     NetworkModel.ON_DEMAND_QUANTITY)
+        large = billing.network_cost(_usage(_flat(20.0)),
+                                     NetworkModel.ON_DEMAND_QUANTITY)
+        assert large == pytest.approx(2 * small)
+
+    def test_quantity_model_known_value(self):
+        # 8 Mbps flat for a 30-day month = 2592 GB * 0.8 = 2073.6 RMB.
+        usage = _usage(_flat(8.0, days=30), days=30)
+        billing = alicloud_billing()
+        cost = billing.network_cost(usage, NetworkModel.ON_DEMAND_QUANTITY)
+        assert cost == pytest.approx(2592 * 0.8, rel=0.01)
+
+    def test_prereserved_charges_monthly_max(self):
+        billing = alicloud_billing()
+        flat = billing.network_cost(_usage(_flat(10.0)),
+                                    NetworkModel.PRE_RESERVED)
+        bursty = billing.network_cost(_usage(_bursty(10.0)),
+                                      NetworkModel.PRE_RESERVED)
+        # Same peak -> same pre-reserved cost despite tiny average usage.
+        assert bursty == pytest.approx(flat)
+
+    def test_on_demand_bandwidth_rewards_burstiness(self):
+        # Hourly billing only charges the burst hour at the peak rate.
+        billing = alicloud_billing()
+        flat = billing.network_cost(_usage(_flat(10.0)),
+                                    NetworkModel.ON_DEMAND_BANDWIDTH)
+        bursty = billing.network_cost(_usage(_bursty(10.0)),
+                                      NetworkModel.ON_DEMAND_BANDWIDTH)
+        assert bursty < 0.5 * flat
+
+    def test_on_demand_bandwidth_cheapest_for_diurnal_traffic(self):
+        # Table 3: "on-demand by bandwidth often costs less" than the
+        # other two models for NEP-style traffic.
+        points_per_day = 48
+        t = np.arange(2 * points_per_day)
+        diurnal = 20.0 * np.clip(np.sin(2 * np.pi * t / points_per_day),
+                                 0.05, None)
+        usage = _usage(diurnal)
+        billing = alicloud_billing()
+        costs = {model: billing.network_cost(usage, model)
+                 for model in NetworkModel}
+        assert (costs[NetworkModel.ON_DEMAND_BANDWIDTH]
+                <= costs[NetworkModel.ON_DEMAND_QUANTITY])
+        assert (costs[NetworkModel.ON_DEMAND_BANDWIDTH]
+                <= costs[NetworkModel.PRE_RESERVED])
+
+    def test_month_normalisation(self):
+        # A 15-day trace bills like the same traffic over 30 days.
+        billing = alicloud_billing()
+        half = billing.network_cost(_usage(_flat(10.0, days=15), days=15),
+                                    NetworkModel.ON_DEMAND_QUANTITY)
+        full = billing.network_cost(_usage(_flat(10.0, days=30), days=30),
+                                    NetworkModel.ON_DEMAND_QUANTITY)
+        assert half == pytest.approx(full, rel=0.01)
+
+
+class TestProviders:
+    def test_provider_names(self):
+        assert alicloud_billing().provider == "vCloud-1"
+        assert huawei_billing().provider == "vCloud-2"
+
+    def test_bill_breakdown_consistent(self):
+        usage = _usage(_flat(10.0))
+        breakdown = alicloud_billing().bill(
+            usage, NetworkModel.ON_DEMAND_BANDWIDTH)
+        assert breakdown.total_rmb == pytest.approx(
+            breakdown.hardware_rmb + breakdown.network_rmb)
+        assert 0.0 <= breakdown.network_share <= 1.0
+
+    def test_huawei_and_alicloud_differ_on_hardware(self):
+        usage = _usage(_flat(10.0))
+        ali = alicloud_billing().hardware_cost(usage)
+        hw = huawei_billing().hardware_cost(usage)
+        assert ali != hw
+
+    def test_hardware_cost_per_vm_additive(self):
+        usage = _usage(_flat(10.0))
+        single = alicloud_billing().hardware_cost(usage)
+        usage.hardware.append(HardwareSubscription(4, 16, 50))
+        assert alicloud_billing().hardware_cost(usage) == pytest.approx(
+            2 * single)

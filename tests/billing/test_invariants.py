@@ -1,0 +1,124 @@
+"""Property-based invariants of the billing engines.
+
+Bills must behave like bills: non-negative, monotone in usage, additive
+across independent hardware, and consistent across the tier knee.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billing.cloud import NetworkModel, alicloud_billing
+from repro.billing.models import (
+    CLOUD_PRERESERVED_MONTHLY,
+    NEP_HARDWARE,
+    TieredRate,
+)
+from repro.billing.nep import CityPriceBook, NepBilling
+from repro.billing.usage import AppUsage, HardwareSubscription
+
+POINTS = 48  # one day at 30-minute readings
+
+bandwidth_series = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    min_size=POINTS, max_size=POINTS,
+)
+
+
+def _usage(series):
+    usage = AppUsage(app_id="a", trace_days=1, interval_minutes=30)
+    usage.hardware.append(HardwareSubscription(4, 16, 50))
+    usage.add_location_series("s0", "Beijing", np.asarray(series))
+    return usage
+
+
+def _nep_billing():
+    return NepBilling(CityPriceBook(np.random.default_rng(0)))
+
+
+class TestTieredRateInvariants:
+    @given(st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, mbps):
+        assert CLOUD_PRERESERVED_MONTHLY.cost(mbps) >= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert (CLOUD_PRERESERVED_MONTHLY.cost(low)
+                <= CLOUD_PRERESERVED_MONTHLY.cost(high) + 1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_continuous_at_knee(self, epsilon):
+        rate = TieredRate(knee_mbps=5.0, below_rate=23.0, above_rate=80.0)
+        just_below = rate.cost(5.0)
+        just_above = rate.cost(5.0 + 1e-9)
+        assert just_above == pytest.approx(just_below, abs=1e-5)
+
+
+class TestNepBillingInvariants:
+    @given(bandwidth_series)
+    @settings(max_examples=30, deadline=None)
+    def test_bill_non_negative(self, series):
+        breakdown = _nep_billing().bill(_usage(series))
+        assert breakdown.network_rmb >= 0.0
+        assert breakdown.hardware_rmb > 0.0
+
+    @given(bandwidth_series,
+           st.floats(min_value=1.0, max_value=5.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_network_bill_scales_with_traffic(self, series, factor):
+        billing = _nep_billing()
+        base = billing.network_cost(_usage(series))
+        scaled = billing.network_cost(
+            _usage([v * factor for v in series]))
+        assert scaled == pytest.approx(base * factor, rel=1e-6)
+
+    @given(bandwidth_series)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_traffic_zero_network_bill(self, series):
+        billing = _nep_billing()
+        zero = billing.network_cost(_usage([0.0] * POINTS))
+        assert zero == 0.0
+
+
+class TestCloudBillingInvariants:
+    @given(bandwidth_series)
+    @settings(max_examples=30, deadline=None)
+    def test_all_models_non_negative(self, series):
+        billing = alicloud_billing()
+        usage = _usage(series)
+        for model in NetworkModel:
+            assert billing.network_cost(usage, model) >= 0.0
+
+    @given(bandwidth_series)
+    @settings(max_examples=30, deadline=None)
+    def test_on_demand_bounded_by_peak_rental(self, series):
+        # Paying hourly for each hour's actual peak can never exceed
+        # renting the monthly peak for every hour of the month.  (The
+        # reverse does NOT hold: Table 5's own example prices constant
+        # 7 Mbps at 447.84/month on-demand vs 285 pre-reserved.)
+        from repro.billing.models import ALICLOUD_ON_DEMAND_HOURLY
+
+        billing = alicloud_billing()
+        usage = _usage(series)
+        hourly = billing.network_cost(usage,
+                                      NetworkModel.ON_DEMAND_BANDWIDTH)
+        peak = float(np.asarray(series).max())
+        peak_rental = 720.0 * ALICLOUD_ON_DEMAND_HOURLY.cost(peak)
+        assert hourly <= peak_rental + 1e-6
+
+    @given(bandwidth_series)
+    @settings(max_examples=30, deadline=None)
+    def test_hardware_independent_of_traffic(self, series):
+        billing = alicloud_billing()
+        assert billing.hardware_cost(_usage(series)) == pytest.approx(
+            billing.hardware_cost(_usage([0.0] * POINTS)))
+
+    def test_hardware_rates_all_positive(self):
+        for cores, mem, disk in ((1, 1, 0), (8, 32, 100), (32, 128, 2000)):
+            assert NEP_HARDWARE.monthly_cost(cores, mem, disk) > 0

@@ -1,0 +1,106 @@
+"""Tests for the NEP billing engine."""
+
+import numpy as np
+import pytest
+
+from repro.billing.nep import CityPriceBook, NepBilling
+from repro.billing.usage import AppUsage, HardwareSubscription
+from repro.errors import BillingError
+
+
+def _price_book(seed=0):
+    return CityPriceBook(np.random.default_rng(seed))
+
+
+def _usage(series_by_site, interval=30, days=2):
+    usage = AppUsage(app_id="a0", trace_days=days,
+                     interval_minutes=interval)
+    usage.hardware.append(HardwareSubscription(8, 32, 100))
+    for site_id, (city, series) in series_by_site.items():
+        usage.add_location_series(site_id, city, np.asarray(series,
+                                                            dtype=float))
+    return usage
+
+
+def _flat_series(level, days=2, interval=30):
+    return np.full(days * 24 * 60 // interval, level)
+
+
+class TestCityPriceBook:
+    def test_prices_within_published_range(self):
+        book = _price_book()
+        for city in ("Beijing", "Chengdu", "Guangzhou", "Wuhan"):
+            assert 15.0 <= book.unit_price(city) <= 50.0
+
+    def test_price_stable_per_city(self):
+        book = _price_book()
+        assert book.unit_price("Beijing") == book.unit_price("Beijing")
+
+    def test_cities_differ(self):
+        book = _price_book()
+        prices = {book.unit_price(c) for c in
+                  ("Beijing", "Chengdu", "Guangzhou", "Wuhan", "Xian")}
+        assert len(prices) > 1
+
+    def test_empty_city_rejected(self):
+        with pytest.raises(BillingError):
+            _price_book().unit_price("")
+
+
+class TestNepBilling:
+    def test_hardware_cost(self):
+        billing = NepBilling(_price_book())
+        usage = _usage({"s0": ("Beijing", _flat_series(10.0))})
+        assert billing.hardware_cost(usage) == pytest.approx(
+            8 * 65 + 32 * 20 + 100 * 0.35)
+
+    def test_network_cost_uses_daily_peak_p95(self):
+        billing = NepBilling(_price_book())
+        # Flat 10 Mbps: daily peaks are all 10, p95 = 10.
+        usage = _usage({"s0": ("Beijing", _flat_series(10.0))})
+        unit = _price_book().unit_price("Beijing")
+        assert billing.network_cost(usage) == pytest.approx(10.0 * unit)
+
+    def test_single_spike_day_barely_charged(self):
+        # NEP bills p95 of daily peaks: one crazy day out of 30 doesn't
+        # set the bill (Appendix D: the 4th-highest daily peak is used).
+        points_per_day = 48
+        series = np.full(30 * points_per_day, 10.0)
+        series[5 * points_per_day] = 500.0  # one spike on day 5
+        usage = _usage({"s0": ("Beijing", series)}, days=30)
+        billing = NepBilling(_price_book())
+        unit = _price_book().unit_price("Beijing")
+        assert billing.network_cost(usage) < 20.0 * unit
+
+    def test_sites_billed_separately(self):
+        billing = NepBilling(_price_book())
+        one_site = _usage({"s0": ("Beijing", _flat_series(20.0))})
+        two_sites = _usage({
+            "s0": ("Beijing", _flat_series(10.0)),
+            "s1": ("Beijing", _flat_series(10.0)),
+        })
+        # Same total traffic, same city: same cost (peaks add linearly
+        # for flat series).
+        assert billing.network_cost(two_sites) == pytest.approx(
+            billing.network_cost(one_site))
+
+    def test_same_site_traffic_combined(self):
+        # VMs on one site share a bill: two 5 Mbps VMs = one 10 Mbps bill.
+        usage = _usage({"s0": ("Beijing", _flat_series(5.0))})
+        usage.add_location_series("s0", "Beijing", _flat_series(5.0))
+        billing = NepBilling(_price_book())
+        unit = _price_book().unit_price("Beijing")
+        assert billing.network_cost(usage) == pytest.approx(10.0 * unit)
+
+    def test_bill_combines_hardware_and_network(self):
+        billing = NepBilling(_price_book())
+        usage = _usage({"s0": ("Beijing", _flat_series(10.0))})
+        breakdown = billing.bill(usage)
+        assert breakdown.total_rmb == pytest.approx(
+            breakdown.hardware_rmb + breakdown.network_rmb)
+        assert breakdown.provider == "NEP"
+
+    def test_series_length_validated(self):
+        usage = AppUsage(app_id="a0", trace_days=2, interval_minutes=30)
+        with pytest.raises(BillingError):
+            usage.add_location_series("s0", "Beijing", np.zeros(7))

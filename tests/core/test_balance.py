@@ -1,0 +1,140 @@
+"""Tests for §4.3 load-balance analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.balance import (
+    app_balance_summary,
+    find_unbalanced_app,
+    hottest_app_day_view,
+    machine_imbalance,
+    site_imbalance,
+    weekly_bandwidth_view,
+)
+from repro.errors import TraceError
+
+
+def _loaded_site(nep_dataset):
+    """A site hosting at least two VMs, for the machine view."""
+    by_site = {}
+    for vm in nep_dataset.vms.values():
+        by_site.setdefault(vm.site_id, []).append(vm)
+    return max(by_site, key=lambda s: len(by_site[s]))
+
+
+def _loaded_province(nep_dataset):
+    by_province = {}
+    for vm in nep_dataset.vms.values():
+        by_province.setdefault(vm.province, set()).add(vm.site_id)
+    return max(by_province, key=lambda p: len(by_province[p]))
+
+
+class TestMachineImbalance:
+    def test_cpu_view(self, nep_dataset):
+        view = machine_imbalance(nep_dataset, _loaded_site(nep_dataset),
+                                 "cpu")
+        assert view.normalized_usage.min() >= 1.0
+        assert view.max_gap >= 1.0
+
+    def test_bw_view(self, nep_dataset):
+        view = machine_imbalance(nep_dataset, _loaded_site(nep_dataset),
+                                 "bw")
+        assert view.label == "machines/bw"
+
+    def test_fairness_bounded(self, nep_dataset):
+        view = machine_imbalance(nep_dataset, _loaded_site(nep_dataset),
+                                 "bw")
+        assert 1.0 / len(view.unit_ids) <= view.fairness <= 1.0
+
+    def test_unknown_metric_rejected(self, nep_dataset):
+        with pytest.raises(TraceError):
+            machine_imbalance(nep_dataset, _loaded_site(nep_dataset),
+                              "gpu")
+
+    def test_empty_site_rejected(self, nep_dataset):
+        empty = next(site_id for site_id in nep_dataset.sites
+                     if not nep_dataset.vms_on_site(site_id))
+        with pytest.raises(TraceError):
+            machine_imbalance(nep_dataset, empty, "cpu")
+
+
+class TestSiteImbalance:
+    def test_bw_skew_across_sites(self, nep_dataset):
+        view = site_imbalance(nep_dataset, _loaded_province(nep_dataset),
+                              "bw")
+        assert view.max_gap >= 1.0
+        assert len(view.unit_ids) <= 11  # the paper samples 11 sites
+
+    def test_cpu_view(self, nep_dataset):
+        view = site_imbalance(nep_dataset, _loaded_province(nep_dataset),
+                              "cpu")
+        assert view.normalized_usage.size == len(view.unit_ids)
+
+    def test_unknown_province_rejected(self, nep_dataset):
+        with pytest.raises(TraceError):
+            site_imbalance(nep_dataset, "Narnia", "bw")
+
+    def test_sampling_with_rng(self, nep_dataset, rng):
+        view = site_imbalance(nep_dataset, _loaded_province(nep_dataset),
+                              "bw", max_sites=2, rng=rng)
+        assert len(view.unit_ids) <= 2
+
+
+class TestWeeklyBandwidth:
+    def test_weekly_view_shape(self, nep_dataset):
+        vm_ids = nep_dataset.vm_ids()[:4]
+        view = weekly_bandwidth_view(nep_dataset, vm_ids)
+        weeks = nep_dataset.trace_days // 7
+        for vm_id in vm_ids:
+            assert view.weekly_mbps[vm_id].size == weeks
+
+    def test_variability_metric(self, nep_dataset):
+        vm_ids = nep_dataset.vm_ids()[:2]
+        view = weekly_bandwidth_view(nep_dataset, vm_ids)
+        for vm_id in vm_ids:
+            assert view.variability(vm_id) >= 0.0
+
+    def test_unknown_vm_rejected(self, nep_dataset):
+        with pytest.raises(TraceError):
+            weekly_bandwidth_view(nep_dataset, ["ghost"])
+
+
+class TestAppBalance:
+    def test_nep_more_unbalanced_than_azure(self, nep_dataset,
+                                            azure_dataset):
+        # Figure 13(a): far more NEP apps exceed a 50x cross-VM gap.
+        nep = app_balance_summary(nep_dataset)
+        azure = app_balance_summary(azure_dataset)
+        assert nep.fraction_above_50x >= azure.fraction_above_50x
+
+    def test_gap_cdf_at_least_one(self, nep_dataset):
+        summary = app_balance_summary(nep_dataset)
+        assert summary.gaps_cdf.quantile(0.0) >= 1.0
+
+    def test_min_vms_filter(self, nep_dataset):
+        strict = app_balance_summary(nep_dataset, min_vms=10)
+        loose = app_balance_summary(nep_dataset, min_vms=3)
+        assert strict.app_count <= loose.app_count
+
+
+class TestHottestApp:
+    def test_find_unbalanced_app(self, nep_dataset):
+        app_id = find_unbalanced_app(nep_dataset, min_vms=5)
+        assert app_id in nep_dataset.apps
+
+    def test_day_view_shape(self, nep_dataset):
+        app_id = find_unbalanced_app(nep_dataset, min_vms=5)
+        view = hottest_app_day_view(nep_dataset, app_id, day_index=1)
+        per_day = nep_dataset.cpu_points_per_day
+        assert all(series.size == per_day for series in view.values())
+        assert len(view) <= 11
+
+    def test_bad_day_rejected(self, nep_dataset):
+        app_id = find_unbalanced_app(nep_dataset, min_vms=5)
+        with pytest.raises(TraceError):
+            hottest_app_day_view(nep_dataset, app_id,
+                                 day_index=nep_dataset.trace_days)
+
+    def test_no_big_app_rejected(self, nep_dataset):
+        with pytest.raises(TraceError):
+            find_unbalanced_app(nep_dataset, min_vms=10**6)

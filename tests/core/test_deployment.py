@@ -1,0 +1,36 @@
+"""Tests for the Table 1 deployment-density data."""
+
+import pytest
+
+from repro.core.deployment import (
+    PAPER_DENSITIES,
+    PLATFORM_DEPLOYMENTS,
+    density_advantage_over,
+    density_of,
+    simulated_nep_density,
+)
+
+
+class TestTable1:
+    def test_densities_match_paper(self):
+        by_name = {r.platform: r for r in PLATFORM_DEPLOYMENTS}
+        for name, paper_density in PAPER_DENSITIES.items():
+            measured = density_of(by_name[name])
+            assert measured == pytest.approx(paper_density, rel=0.05), name
+
+    def test_nep_two_orders_of_magnitude_denser(self):
+        # §2: NEP's site count is ~two orders of magnitude above a
+        # typical cloud provider's in-country regions.
+        assert density_advantage_over("Alibaba Cloud (China)") > 30
+        assert density_advantage_over("AWS EC2 (US)") > 50
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            density_advantage_over("SkyNet")
+
+    def test_simulated_platform_density(self, nep_platform):
+        density = simulated_nep_density(nep_platform)
+        assert density == pytest.approx(len(nep_platform.sites) / 3.70)
+
+    def test_every_row_has_positive_density(self):
+        assert all(density_of(r) > 0 for r in PLATFORM_DEPLOYMENTS)

@@ -1,0 +1,158 @@
+"""Tests for the §3.1 latency analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency_analysis import (
+    cv_cdfs,
+    expected_intersite_rtt_ms,
+    hop_breakdown,
+    hop_count_cdf,
+    intersite_summary,
+    per_user_latency,
+    rtt_cdfs,
+)
+from repro.errors import MeasurementError
+from repro.measurement.campaign import LatencyObservation
+from repro.netsim.access import AccessType
+
+
+def _obs(participant, target, kind, rtt, cv=0.02, hops=8,
+         access=AccessType.WIFI,
+         shares=(0.4, 0.1, 0.2, 0.3)):
+    return LatencyObservation(
+        participant_id=participant, city="Beijing", province="Beijing",
+        access=access, target_id=target, target_kind=kind,
+        distance_km=100.0, mean_rtt_ms=rtt, rtt_cv=cv, hop_count=hops,
+        hop_shares=shares,
+    )
+
+
+def _user_observations(participant="u0", access=AccessType.WIFI):
+    return [
+        _obs(participant, "e0", "edge", 12.0, cv=0.01, hops=7, access=access),
+        _obs(participant, "e1", "edge", 15.0, access=access),
+        _obs(participant, "e2", "edge", 18.0, access=access),
+        _obs(participant, "c0", "cloud", 25.0, cv=0.06, hops=12,
+             access=access),
+        _obs(participant, "c1", "cloud", 45.0, cv=0.08, hops=14,
+             access=access),
+    ]
+
+
+class TestPerUserAggregation:
+    def test_baselines_computed(self):
+        records = per_user_latency(_user_observations())
+        assert len(records) == 1
+        record = records[0]
+        assert record.nearest_edge_rtt == 12.0
+        assert record.third_edge_rtt == 18.0
+        assert record.nearest_cloud_rtt == 25.0
+        assert record.all_cloud_rtt == pytest.approx(35.0)
+
+    def test_cv_baselines(self):
+        record = per_user_latency(_user_observations())[0]
+        assert record.nearest_edge_cv == 0.01
+        assert record.nearest_cloud_cv == 0.06
+        assert record.all_cloud_cv == pytest.approx(0.07)
+
+    def test_hops_from_nearest_targets(self):
+        record = per_user_latency(_user_observations())[0]
+        assert record.nearest_edge_hops == 7
+        assert record.nearest_cloud_hops == 12
+
+    def test_insufficient_targets_rejected(self):
+        observations = _user_observations()[:2]
+        with pytest.raises(MeasurementError):
+            per_user_latency(observations)
+
+    def test_multiple_users_grouped(self):
+        observations = _user_observations("u0") + _user_observations("u1")
+        assert len(per_user_latency(observations)) == 2
+
+
+class TestCdfBuilders:
+    def test_rtt_cdfs_keys(self):
+        records = per_user_latency(_user_observations())
+        cdfs = rtt_cdfs(records, AccessType.WIFI)
+        assert set(cdfs) == {"nearest_edge", "third_edge",
+                             "nearest_cloud", "all_cloud"}
+
+    def test_missing_access_rejected(self):
+        records = per_user_latency(_user_observations())
+        with pytest.raises(MeasurementError):
+            rtt_cdfs(records, AccessType.LTE)
+
+    def test_cv_cdfs(self):
+        records = per_user_latency(_user_observations())
+        cdfs = cv_cdfs(records, AccessType.WIFI)
+        assert cdfs["nearest_edge"].median == 0.01
+
+
+class TestHopBreakdown:
+    def test_visible_hops_averaged(self):
+        records = per_user_latency(_user_observations())
+        breakdown = hop_breakdown(records, AccessType.WIFI, "nearest_edge")
+        assert breakdown.hop1 == pytest.approx(0.4)
+        assert breakdown.first3_total == pytest.approx(0.7)
+        assert breakdown.rest == pytest.approx(0.3)
+
+    def test_hidden_hops_reported_as_none(self):
+        observations = [
+            _obs("u0", "e0", "edge", 10.0, access=AccessType.FIVE_G,
+                 shares=(None, None, 0.95, 0.05)),
+            _obs("u0", "e1", "edge", 12.0, access=AccessType.FIVE_G,
+                 shares=(None, None, 0.9, 0.1)),
+            _obs("u0", "e2", "edge", 14.0, access=AccessType.FIVE_G,
+                 shares=(None, None, 0.9, 0.1)),
+            _obs("u0", "c0", "cloud", 30.0, access=AccessType.FIVE_G,
+                 shares=(None, None, 0.8, 0.2)),
+        ]
+        records = per_user_latency(observations)
+        breakdown = hop_breakdown(records, AccessType.FIVE_G, "nearest_edge")
+        assert breakdown.hop1 is None
+        assert breakdown.first3_total == pytest.approx(0.95)
+
+    def test_unknown_target_rejected(self):
+        records = per_user_latency(_user_observations())
+        with pytest.raises(MeasurementError):
+            hop_breakdown(records, AccessType.WIFI, "farthest_moon")
+
+
+class TestHopCountCdf:
+    def test_edge_vs_cloud(self):
+        records = per_user_latency(_user_observations())
+        assert hop_count_cdf(records, "nearest_edge").median == 7
+        assert hop_count_cdf(records, "nearest_cloud").median == 12
+
+    def test_unknown_target_rejected(self):
+        records = per_user_latency(_user_observations())
+        with pytest.raises(MeasurementError):
+            hop_count_cdf(records, "nowhere")
+
+
+class TestIntersite:
+    def test_expected_rtt_monotone_in_distance(self):
+        rtts = [expected_intersite_rtt_ms(d) for d in (10, 500, 1500, 3000)]
+        assert rtts == sorted(rtts)
+
+    def test_100ms_at_3000km(self):
+        # Figure 4 calibration.
+        assert 70 <= expected_intersite_rtt_ms(3000) <= 120
+
+    def test_summary_shape(self, nep_platform, rng):
+        summary = intersite_summary(nep_platform, rng)
+        n = len(nep_platform.sites)
+        assert summary.distances_km.size == n * (n - 1) // 2
+        assert summary.rtts_ms.size == summary.distances_km.size
+
+    def test_nearby_counts_ordered(self, nep_platform, rng):
+        summary = intersite_summary(nep_platform, rng)
+        assert (summary.mean_sites_within_5ms
+                <= summary.mean_sites_within_10ms
+                <= summary.mean_sites_within_20ms)
+
+    def test_rtt_correlates_with_distance(self, nep_platform, rng):
+        summary = intersite_summary(nep_platform, rng)
+        corr = np.corrcoef(summary.distances_km, summary.rtts_ms)[0, 1]
+        assert corr > 0.9

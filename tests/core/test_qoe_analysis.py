@@ -1,0 +1,89 @@
+"""Tests for the §3.3 QoE experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoe_analysis import (
+    GAMING_DELAY_BUDGET_MS,
+    GamingExperiment,
+    StreamingExperiment,
+)
+from repro.measurement.qoe.streaming import Resolution
+from repro.measurement.qoe.testbed import QoETestbed
+from repro.netsim.access import AccessType
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return QoETestbed(np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def gaming(testbed):
+    return GamingExperiment(testbed, np.random.default_rng(12), trials=15)
+
+
+@pytest.fixture(scope="module")
+def streaming(testbed):
+    return StreamingExperiment(testbed, np.random.default_rng(13), trials=15)
+
+
+class TestGamingExperiment:
+    def test_edge_wifi_meets_budget(self, gaming):
+        result = gaming.run_config("Edge", AccessType.WIFI)
+        assert result.mean_ms < GAMING_DELAY_BUDGET_MS + 10
+
+    def test_far_cloud_slower_than_edge(self, gaming):
+        edge = gaming.run_config("Edge", AccessType.WIFI)
+        cloud = gaming.run_config("Cloud-3", AccessType.WIFI)
+        assert cloud.mean_ms > edge.mean_ms + 20
+
+    def test_network_sweep_covers_grid(self, gaming):
+        results = gaming.sweep_networks()
+        assert len(results) == 12  # 3 networks x 4 VMs
+        assert {r.access for r in results} == {
+            AccessType.WIFI, AccessType.LTE, AccessType.FIVE_G}
+
+    def test_device_sweep(self, gaming):
+        results = gaming.sweep_devices()
+        assert len({r.device_name for r in results}) == 3
+
+    def test_game_sweep(self, gaming):
+        results = gaming.sweep_games()
+        assert len({r.game_name for r in results}) == 3
+
+    def test_sample_count(self, gaming):
+        result = gaming.run_config("Edge", AccessType.WIFI)
+        assert result.delays_ms.size == 15
+        assert result.p95_ms >= result.mean_ms
+
+
+class TestStreamingExperiment:
+    def test_edge_benefit_is_modest(self, streaming):
+        # §3.3.2: at most ~24% reduction vs the farthest cloud.
+        edge = streaming.run_config("Edge", AccessType.FIVE_G)
+        far = streaming.run_config("Cloud-3", AccessType.FIVE_G)
+        reduction = 1 - edge.mean_ms / far.mean_ms
+        assert 0.05 < reduction < 0.40
+
+    def test_network_sweep_includes_transcode_leg(self, streaming):
+        results = streaming.sweep_networks()
+        assert len(results) == 16  # 3 networks x 4 VMs + 4 transcode
+        assert any(r.transcode for r in results)
+
+    def test_resolution_sweep(self, streaming):
+        hi, lo = streaming.sweep_resolutions()
+        assert hi.resolution is Resolution.P1080
+        assert lo.mean_ms < hi.mean_ms
+
+    def test_jitter_buffer_comparison(self, streaming):
+        results = streaming.jitter_buffer_comparison()
+        buffered = [r for r in results if r.jitter_buffer_mb > 0]
+        plain = [r for r in results if r.jitter_buffer_mb == 0]
+        assert min(r.mean_ms for r in buffered) > \
+            max(r.mean_ms for r in plain)
+
+    def test_breakdown_keys(self, streaming):
+        result = streaming.run_config("Edge", AccessType.WIFI)
+        assert {"capture_ms", "network_ms", "streaming_delay_ms"} <= \
+            set(result.breakdown)

@@ -1,0 +1,80 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.core.report import (
+    cdf_to_rows,
+    check_ordering,
+    check_ratio,
+    comparison_block,
+    format_table,
+    sketch_cdf,
+)
+from repro.core.stats import ECDF
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [123.456], [1.5]])
+        assert "0.123" in text
+        assert "123" in text
+        assert "1.50" in text
+
+    def test_column_alignment(self):
+        text = format_table(["long-header", "x"], [["a", "b"]])
+        header, rule, row = text.splitlines()
+        assert len(row) <= len(header) + 2
+
+
+class TestSketchCdf:
+    def test_contains_quantiles(self):
+        cdf = ECDF.from_samples(range(100))
+        text = sketch_cdf(cdf, label="rtt")
+        assert text.startswith("rtt:")
+        assert "n=100" in text
+
+
+class TestComparisons:
+    def test_check_ratio_within_tolerance(self):
+        assert check_ratio("m", 10.0, 11.0, tolerance=0.2).holds
+
+    def test_check_ratio_outside_tolerance(self):
+        assert not check_ratio("m", 10.0, 20.0, tolerance=0.2).holds
+
+    def test_check_ratio_zero_paper_value(self):
+        assert not check_ratio("m", 0.0, 1.0).holds
+
+    def test_check_ordering(self):
+        comparison = check_ordering("m", "edge < cloud", True, "12 < 25")
+        assert comparison.holds
+        assert "OK" in comparison.render()
+
+    def test_comparison_block_counts(self):
+        block = comparison_block("T", [
+            check_ratio("a", 1.0, 1.0),
+            check_ratio("b", 1.0, 9.0),
+        ])
+        assert "1/2 checks hold" in block
+        assert block.startswith("== T ==")
+
+
+class TestCdfToRows:
+    def test_rows_monotone(self):
+        cdf = ECDF.from_samples(range(1000))
+        rows = cdf_to_rows(cdf, points=9)
+        values = [v for v, _ in rows]
+        fractions = [f for _, f in rows]
+        assert values == sorted(values)
+        assert fractions[0] == pytest.approx(0.1)
+        assert fractions[-1] == pytest.approx(0.9)

@@ -1,0 +1,233 @@
+"""Tests for the statistics toolkit, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    ECDF,
+    coefficient_of_variation,
+    fairness_index,
+    pearson_correlation,
+    percentile,
+    quantile_ratio,
+    rmse,
+    summarize,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+samples = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+class TestECDF:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF.from_samples([])
+
+    def test_nan_filtered(self):
+        cdf = ECDF.from_samples([1.0, float("nan"), 3.0])
+        assert len(cdf) == 2
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF.from_samples([float("nan")])
+
+    def test_evaluate_endpoints(self):
+        cdf = ECDF.from_samples([1, 2, 3, 4])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(4.0) == 1.0
+
+    def test_median_of_odd_sample(self):
+        assert ECDF.from_samples([3, 1, 2]).median == 2.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = ECDF.from_samples([1, 2])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_curve_is_monotone(self):
+        cdf = ECDF.from_samples(np.random.default_rng(0).random(500))
+        xs, ys = cdf.curve(points=50)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_curve_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ECDF.from_samples([1, 2]).curve(points=1)
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_evaluate_in_unit_interval(self, values):
+        cdf = ECDF.from_samples(values)
+        for probe in (min(values) - 1, np.median(values), max(values) + 1):
+            assert 0.0 <= cdf.evaluate(float(probe)) <= 1.0
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_within_sample_range(self, values):
+        cdf = ECDF.from_samples(values)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(values) <= cdf.quantile(q) <= max(values)
+
+
+class TestPercentile:
+    def test_known_values(self):
+        assert percentile([0, 50, 100], 50) == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCV:
+    def test_constant_series_has_zero_cv(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_zero_mean_returns_zero(self):
+        assert coefficient_of_variation([-1, 1]) == 0.0
+
+    def test_known_cv(self):
+        cv = coefficient_of_variation([1, 3])  # mean 2, std 1
+        assert cv == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100,
+                              allow_nan=False), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cv_non_negative_for_positive_samples(self, values):
+        assert coefficient_of_variation(values) >= 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100,
+                              allow_nan=False), min_size=2, max_size=50),
+           st.floats(min_value=0.1, max_value=10, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_cv_scale_invariant(self, values, scale):
+        base = coefficient_of_variation(values)
+        scaled = coefficient_of_variation([v * scale for v in values])
+        assert scaled == pytest.approx(base, rel=1e-6)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+    @given(st.lists(finite_floats, min_size=3, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_one(self, xs):
+        rng = np.random.default_rng(0)
+        ys = rng.random(len(xs))
+        corr = pearson_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= corr <= 1.0 + 1e-9
+
+
+class TestQuantileRatio:
+    def test_uniform_gap(self):
+        values = list(range(1, 101))
+        ratio = quantile_ratio(values)
+        assert ratio == pytest.approx(percentile(values, 95) / percentile(values, 5))
+
+    def test_zero_floor_guard(self):
+        ratio = quantile_ratio([0.0] * 10 + [100.0], floor=1e-9)
+        assert ratio > 1e9
+
+    def test_constant_sample_is_one(self):
+        assert quantile_ratio([7.0] * 20) == pytest.approx(1.0)
+
+
+class TestFairnessIndex:
+    def test_even_allocation_is_one(self):
+        assert fairness_index([3.0] * 10) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert fairness_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_trivially_even(self):
+        assert fairness_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4,
+                              allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, values):
+        index = fairness_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e3,
+                              allow_nan=False), min_size=2, max_size=40),
+           st.floats(min_value=0.1, max_value=10, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariant(self, values, scale):
+        assert fairness_index([v * scale for v in values]) == \
+            pytest.approx(fairness_index(values), rel=1e-9)
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        assert rmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.median == 3
+
+    def test_cv_property(self):
+        summary = summarize([2, 2, 2])
+        assert summary.cv == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_invariants(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.p5 <= s.median <= s.p95 <= s.maximum
+        # np.mean of identical values can differ in the last ulp.
+        tolerance = 1e-9 * max(1.0, abs(s.maximum))
+        assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance

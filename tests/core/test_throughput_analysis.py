@@ -1,0 +1,71 @@
+"""Tests for the §3.2 throughput analysis."""
+
+import pytest
+
+from repro.core.throughput_analysis import all_series, throughput_series
+from repro.errors import MeasurementError
+from repro.measurement.campaign import ThroughputObservation
+from repro.measurement.iperf import IperfResult
+from repro.netsim.access import AccessType
+
+
+def _obs(access, distance, down, up, participant="u0"):
+    return ThroughputObservation(
+        participant_id=participant, access=access,
+        result=IperfResult(target_label="vm", distance_km=distance,
+                           downlink_mbps=down, uplink_mbps=up, rtt_ms=20.0),
+    )
+
+
+def _capacity_limited_panel():
+    # WiFi: throughput independent of distance (non-monotone noise).
+    noise = (0.0, 2.0, -2.0, 0.5, -1.0, 1.5)
+    return [_obs(AccessType.WIFI, d, 80.0 + n, 40.0)
+            for d, n in zip((50, 300, 800, 1500, 2500, 3000), noise)]
+
+
+def _path_limited_panel():
+    # 5G downlink: throughput decays with distance.
+    return [_obs(AccessType.FIVE_G, d, 600.0 - 0.15 * d, 50.0)
+            for d in (50, 300, 800, 1500, 2500, 3000)]
+
+
+class TestThroughputSeries:
+    def test_capacity_limited_has_negligible_correlation(self):
+        series = throughput_series(_capacity_limited_panel(),
+                                   AccessType.WIFI, "downlink")
+        assert series.capacity_limited
+        assert not series.distance_matters
+
+    def test_path_limited_has_significant_correlation(self):
+        series = throughput_series(_path_limited_panel(),
+                                   AccessType.FIVE_G, "downlink")
+        assert series.distance_matters
+        assert series.correlation < -0.7
+
+    def test_uplink_direction(self):
+        series = throughput_series(_path_limited_panel(),
+                                   AccessType.FIVE_G, "uplink")
+        assert series.capacity_limited  # constant 50 Mbps cap
+
+    def test_mean(self):
+        series = throughput_series(_capacity_limited_panel(),
+                                   AccessType.WIFI, "uplink")
+        assert series.mean_mbps == pytest.approx(40.0)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(MeasurementError):
+            throughput_series(_capacity_limited_panel(),
+                              AccessType.WIFI, "sideways")
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(MeasurementError):
+            throughput_series(_capacity_limited_panel()[:2],
+                              AccessType.WIFI, "downlink")
+
+    def test_all_series_covers_present_accesses(self):
+        panels = _capacity_limited_panel() + _path_limited_panel()
+        series = all_series(panels)
+        accesses = {s.access for s in series}
+        assert accesses == {AccessType.WIFI, AccessType.FIVE_G}
+        assert len(series) == 4  # two accesses x two directions

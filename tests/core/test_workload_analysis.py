@@ -1,0 +1,119 @@
+"""Tests for §4.1/§4.2 workload analyses."""
+
+import pytest
+
+from repro.core.workload_analysis import (
+    app_vm_count_summary,
+    category_breakdown,
+    cpu_utilization_summary,
+    sales_rate_summary,
+    vm_size_summary,
+)
+from repro.errors import TraceError
+from repro.trace.dataset import TraceDataset
+
+
+class TestVmSizeSummary:
+    def test_nep_bigger_than_azure(self, nep_dataset, azure_dataset):
+        nep = vm_size_summary(nep_dataset)
+        azure = vm_size_summary(azure_dataset)
+        assert nep.median_cpu > azure.median_cpu
+        assert nep.median_memory_gb > azure.median_memory_gb
+
+    def test_bucket_shares_sum_to_one(self, nep_dataset):
+        summary = vm_size_summary(nep_dataset)
+        assert sum(summary.cpu_bucket_shares.values()) == pytest.approx(1.0)
+        assert sum(summary.memory_bucket_shares.values()) == pytest.approx(1.0)
+
+    def test_azure_dominated_by_small_vms(self, azure_dataset):
+        summary = vm_size_summary(azure_dataset)
+        assert summary.cpu_bucket_shares["small"] > 0.7
+
+    def test_disk_stats_present_for_nep(self, nep_dataset):
+        summary = vm_size_summary(nep_dataset)
+        assert summary.mean_disk_gb > summary.median_disk_gb  # long tail
+
+    def test_empty_dataset_rejected(self):
+        empty = TraceDataset(platform_name="e", trace_days=1,
+                             cpu_interval_minutes=30, bw_interval_minutes=30)
+        with pytest.raises(TraceError):
+            vm_size_summary(empty)
+
+
+class TestAppVmCounts:
+    def test_summary_fields(self, nep_dataset):
+        summary = app_vm_count_summary(nep_dataset)
+        assert summary.max_vms >= 1
+        assert 0.0 <= summary.fraction_at_least_50 <= 1.0
+
+    def test_counts_cdf_positive(self, nep_dataset):
+        summary = app_vm_count_summary(nep_dataset)
+        assert summary.counts_cdf.quantile(0.0) >= 1
+
+
+class TestCpuUtilization:
+    def test_nep_less_utilised_than_azure(self, nep_dataset, azure_dataset):
+        # Figure 10(a).
+        nep = cpu_utilization_summary(nep_dataset)
+        azure = cpu_utilization_summary(azure_dataset)
+        assert nep.fraction_mean_below_10pct > azure.fraction_mean_below_10pct
+        assert nep.overall_mean_utilization < azure.overall_mean_utilization
+
+    def test_nep_more_variable_than_azure(self, nep_dataset, azure_dataset):
+        # Figure 10(b).
+        assert (cpu_utilization_summary(nep_dataset).median_cv
+                > cpu_utilization_summary(azure_dataset).median_cv)
+
+    def test_p95_max_at_least_mean(self, nep_dataset):
+        summary = cpu_utilization_summary(nep_dataset)
+        assert summary.p95_max_cdf.median >= summary.mean_cdf.median
+
+
+class TestSalesRates:
+    def test_skew_across_sites(self, nep_platform):
+        # §4.1: "the 95th-percentile CPU sales rate across sites is about
+        # 5x higher than the 5th-percentile" — skew is large.
+        summary = sales_rate_summary(nep_platform)
+        assert summary.site_cpu_p95_over_p5 > 2.0
+
+    def test_cpu_more_saturated_than_memory(self, nep_platform):
+        # §4.1: median CPU sales rate ~2x the memory sales rate.
+        summary = sales_rate_summary(nep_platform)
+        assert summary.cpu_over_memory_ratio > 1.0
+
+    def test_empty_platform_rejected(self):
+        from repro.platform.cluster import Platform
+        from repro.platform.entities import PlatformKind
+        empty = Platform(name="e", kind=PlatformKind.EDGE)
+        with pytest.raises(TraceError):
+            sales_rate_summary(empty)
+
+
+class TestCategoryBreakdown:
+    def test_covers_every_vm(self, nep_dataset):
+        breakdown = category_breakdown(nep_dataset)
+        total_vms = sum(vms for _, vms, _ in breakdown.categories.values())
+        assert total_vms == len(nep_dataset.vms)
+
+    def test_traffic_shares_sum_to_one(self, nep_dataset):
+        breakdown = category_breakdown(nep_dataset)
+        total = sum(share for _, _, share in breakdown.categories.values())
+        assert total == pytest.approx(1.0)
+
+    def test_nep_is_video_centric(self, nep_dataset):
+        # §4.5: "current edge apps are mostly video-centric".
+        assert category_breakdown(nep_dataset).video_centric_share > 0.5
+
+    def test_azure_is_not(self, azure_dataset):
+        assert category_breakdown(azure_dataset).video_centric_share == 0.0
+
+    def test_unknown_category_rejected(self, nep_dataset):
+        with pytest.raises(TraceError):
+            category_breakdown(nep_dataset).traffic_share("mining")
+
+    def test_empty_dataset_rejected(self):
+        empty = TraceDataset(platform_name="e", trace_days=1,
+                             cpu_interval_minutes=30,
+                             bw_interval_minutes=30)
+        with pytest.raises(TraceError):
+            category_breakdown(empty)

@@ -1,0 +1,80 @@
+"""Tests for geographic primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint, haversine_km
+
+lat = st.floats(min_value=-89.9, max_value=89.9, allow_nan=False)
+lon = st.floats(min_value=-179.9, max_value=179.9, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(39.9, 116.4)
+        assert p.lat == 39.9
+
+    def test_latitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_longitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_jitter_clamps_latitude(self):
+        p = GeoPoint(89.95, 0.0).jitter(1.0, 0.0)
+        assert p.lat == 90.0
+
+    def test_jitter_wraps_longitude(self):
+        p = GeoPoint(0.0, 179.9).jitter(0.0, 0.2)
+        assert p.lon == pytest.approx(-179.9)
+
+    def test_jitter_wraps_negative_longitude(self):
+        p = GeoPoint(0.0, -179.9).jitter(0.0, -0.2)
+        assert p.lon == pytest.approx(179.9)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(30.0, 110.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_beijing_shanghai(self):
+        # Great-circle Beijing-Shanghai is ~1070 km.
+        d = haversine_km(GeoPoint(39.90, 116.40), GeoPoint(31.23, 121.47))
+        assert 1000 < d < 1150
+
+    def test_beijing_guangzhou(self):
+        # ~1890 km.
+        d = haversine_km(GeoPoint(39.90, 116.40), GeoPoint(23.13, 113.26))
+        assert 1800 < d < 2000
+
+    def test_quarter_circumference(self):
+        d = haversine_km(GeoPoint(0.0, 0.0), GeoPoint(0.0, 90.0))
+        assert d == pytest.approx(EARTH_RADIUS_KM * 3.14159 / 2, rel=1e-3)
+
+    @given(lat, lon, lat, lon)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(lat, lon, lat, lon)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert 0.0 <= d <= EARTH_RADIUS_KM * 3.1416  # half circumference
+
+    @given(lat, lon, lat, lon, lat, lon)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        a, b, c = (GeoPoint(lat1, lon1), GeoPoint(lat2, lon2),
+                   GeoPoint(lat3, lon3))
+        assert (haversine_km(a, c)
+                <= haversine_km(a, b) + haversine_km(b, c) + 1e-6)
+
+    def test_distance_km_method_matches_function(self):
+        a, b = GeoPoint(10.0, 20.0), GeoPoint(11.0, 21.0)
+        assert a.distance_km(b) == haversine_km(a, b)

@@ -1,0 +1,59 @@
+"""Tests for the China gazetteer."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.regions import (
+    CHINA_CITIES,
+    cities_in_province,
+    city,
+    provinces,
+    total_population_m,
+)
+
+
+class TestGazetteer:
+    def test_has_enough_cities_for_campaign(self):
+        # The paper's campaign covered 41 cities in 20 provinces.
+        assert len(CHINA_CITIES) >= 41
+        assert len(provinces()) >= 20
+
+    def test_city_names_unique(self):
+        names = [c.name for c in CHINA_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_all_cities_in_china_bounding_box(self):
+        for c in CHINA_CITIES:
+            assert 18.0 <= c.location.lat <= 54.0, c.name
+            assert 73.0 <= c.location.lon <= 135.0, c.name
+
+    def test_populations_positive(self):
+        assert all(c.population_m > 0 for c in CHINA_CITIES)
+
+    def test_total_population_reasonable(self):
+        # Urban population of the major cities: hundreds of millions.
+        assert 300 < total_population_m() < 1200
+
+    def test_lookup_known_city(self):
+        beijing = city("Beijing")
+        assert beijing.province == "Beijing"
+        assert beijing.population_m > 20
+
+    def test_lookup_unknown_city_raises(self):
+        with pytest.raises(GeoError):
+            city("Atlantis")
+
+    def test_cities_in_province(self):
+        guangdong = cities_in_province("Guangdong")
+        assert {"Guangzhou", "Shenzhen"} <= {c.name for c in guangdong}
+
+    def test_unknown_province_raises(self):
+        with pytest.raises(GeoError):
+            cities_in_province("Hogwarts")
+
+    def test_city_key_includes_province(self):
+        assert city("Guangzhou").key == "Guangdong/Guangzhou"
+
+    def test_municipalities_present(self):
+        for name in ("Beijing", "Shanghai", "Tianjin", "Chongqing"):
+            assert city(name).province == name

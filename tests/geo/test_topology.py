@@ -1,0 +1,89 @@
+"""Tests for site-placement generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import CHINA_CITIES
+from repro.geo.topology import (
+    nearest_site,
+    place_cloud_regions,
+    place_edge_sites,
+)
+
+
+class TestEdgePlacement:
+    def test_exact_count(self, rng):
+        sites = place_edge_sites(520, rng)
+        assert len(sites) == 520
+
+    def test_full_scale_covers_every_city(self, rng):
+        sites = place_edge_sites(600, rng)
+        covered = {s.city.name for s in sites}
+        assert covered == {c.name for c in CHINA_CITIES}
+
+    def test_reduced_scale_below_city_count(self, rng):
+        sites = place_edge_sites(30, rng)
+        assert len(sites) == 30
+        # distinct cities at reduced scale
+        assert len({s.city.name for s in sites}) == 30
+
+    def test_population_weighting(self, rng):
+        sites = place_edge_sites(1000, rng)
+        by_city = {}
+        for s in sites:
+            by_city[s.city.name] = by_city.get(s.city.name, 0) + 1
+        # Shanghai (24.9M) should host clearly more sites than Sanya (1M).
+        assert by_city.get("Shanghai", 0) > by_city.get("Sanya", 0)
+
+    def test_sites_jittered_within_metro_belt(self, rng):
+        # Sites spread into the county belt (~+-80 km of the metro).
+        sites = place_edge_sites(200, rng)
+        for s in sites:
+            assert s.location.distance_km(s.city.location) < 130
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            place_edge_sites(0, rng)
+
+    def test_deterministic_for_same_rng_state(self):
+        a = place_edge_sites(100, np.random.default_rng(5))
+        b = place_edge_sites(100, np.random.default_rng(5))
+        assert [s.location for s in a] == [s.location for s in b]
+
+
+class TestCloudPlacement:
+    def test_count_and_distinct_cities(self, rng):
+        regions = place_cloud_regions(12, rng)
+        assert len(regions) == 12
+        assert len({r.city.name for r in regions}) == 12
+
+    def test_picks_biggest_metros(self, rng):
+        regions = place_cloud_regions(6, rng)
+        names = {r.city.name for r in regions}
+        assert "Shanghai" in names and "Beijing" in names
+
+    def test_zero_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            place_cloud_regions(0, rng)
+
+    def test_too_many_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            place_cloud_regions(len(CHINA_CITIES) + 1, rng)
+
+
+class TestNearestSite:
+    def test_nearest_is_found(self, rng):
+        sites = place_edge_sites(100, rng)
+        probe = GeoPoint(39.9, 116.4)  # Beijing
+        nearest = nearest_site(probe, sites)
+        assert all(
+            nearest.location.distance_km(probe)
+            <= s.location.distance_km(probe)
+            for s in sites
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nearest_site(GeoPoint(0, 0), [])

@@ -1,0 +1,162 @@
+"""End-to-end integration: the paper's qualitative findings must hold on
+the full (smoke-scale) pipeline — platforms -> campaign -> analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.balance import app_balance_summary
+from repro.core.latency_analysis import cv_cdfs, hop_count_cdf, rtt_cdfs
+from repro.core.qoe_analysis import GamingExperiment, StreamingExperiment
+from repro.core.throughput_analysis import all_series
+from repro.core.workload_analysis import (
+    cpu_utilization_summary,
+    vm_size_summary,
+)
+from repro.netsim.access import AccessType
+
+
+class TestFinding1NetworkLatency:
+    """Finding 1: edges deliver lower, more stable delay than clouds."""
+
+    def test_nearest_edge_beats_nearest_cloud(self, per_user):
+        for access in (AccessType.WIFI, AccessType.LTE):
+            cdfs = rtt_cdfs(per_user, access)
+            assert cdfs["nearest_edge"].median < cdfs["nearest_cloud"].median
+
+    def test_nearest_cloud_beats_all_cloud_average(self, per_user):
+        cdfs = rtt_cdfs(per_user, AccessType.WIFI)
+        assert cdfs["nearest_cloud"].median < cdfs["all_cloud"].median
+
+    def test_third_edge_still_competitive(self, per_user):
+        # "The 3rd nearest edge site also provides smaller network latency
+        # than the nearest cloud."  The full claim needs NEP's real site
+        # density (the fig2 bench checks it at 520 sites); at smoke scale
+        # (60 sites) the 3rd edge must still beat the all-cloud average.
+        cdfs = rtt_cdfs(per_user, AccessType.WIFI)
+        assert cdfs["third_edge"].median < cdfs["all_cloud"].median
+
+    def test_edge_jitter_lower(self, per_user):
+        for access in (AccessType.WIFI, AccessType.LTE):
+            cdfs = cv_cdfs(per_user, access)
+            assert cdfs["nearest_edge"].median < cdfs["all_cloud"].median
+
+    def test_edge_not_yet_at_mec_vision(self, per_user):
+        # Edges are still 5+ hops away, not the envisioned 1-2.
+        cdf = hop_count_cdf(per_user, "nearest_edge")
+        assert cdf.quantile(0.05) >= 4
+
+    def test_cloud_needs_more_hops(self, per_user):
+        edge = hop_count_cdf(per_user, "nearest_edge")
+        cloud = hop_count_cdf(per_user, "nearest_cloud")
+        assert cloud.median > edge.median
+
+
+class TestFinding2Throughput:
+    """Finding 2: distance only matters with high last-mile capacity."""
+
+    def test_low_capacity_accesses_uncorrelated(self, throughput_results):
+        # Per-panel correlations are noisy at the smoke panel size; pool
+        # the capacity-limited accesses (the fig5 bench checks each panel
+        # at full scale with the paper's 0.2 threshold).
+        from repro.core.stats import pearson_correlation
+
+        points = [
+            (o.result.distance_km, o.result.downlink_mbps)
+            for o in throughput_results.throughput
+            if o.access in (AccessType.WIFI, AccessType.LTE)
+        ]
+        assert len(points) >= 6
+        corr = pearson_correlation([p[0] for p in points],
+                                   [p[1] for p in points])
+        assert abs(corr) < 0.45
+
+    def test_wired_downlink_correlated(self, throughput_results):
+        series = [s for s in all_series(throughput_results.throughput)
+                  if s.access is AccessType.WIRED
+                  and s.direction == "downlink"]
+        assert series and series[0].correlation < -0.5
+
+
+class TestFinding3QoE:
+    """Finding 3: edge helps gaming a lot, streaming modestly."""
+
+    @pytest.fixture(scope="class")
+    def experiments(self, study):
+        rng = np.random.default_rng(99)
+        return (GamingExperiment(study.qoe_testbed, rng, trials=15),
+                StreamingExperiment(study.qoe_testbed, rng, trials=15))
+
+    def test_gaming_edge_advantage(self, experiments):
+        gaming, _ = experiments
+        edge = gaming.run_config("Edge", AccessType.WIFI)
+        far = gaming.run_config("Cloud-3", AccessType.WIFI)
+        assert edge.mean_ms < 110        # ~91 ms in the paper
+        assert far.mean_ms - edge.mean_ms > 25
+
+    def test_streaming_bottleneck_not_network(self, experiments):
+        _, streaming = experiments
+        edge = streaming.run_config("Edge", AccessType.WIFI)
+        assert edge.breakdown["network_ms"] < edge.breakdown["capture_ms"] + \
+            edge.breakdown["render_ms"]
+
+
+class TestFinding4Workloads:
+    """Finding 4: edge VMs are bigger but far less utilised."""
+
+    def test_vm_sizes(self, nep_dataset, azure_dataset):
+        nep = vm_size_summary(nep_dataset)
+        azure = vm_size_summary(azure_dataset)
+        assert nep.median_cpu >= 4 * azure.median_cpu
+        assert nep.median_memory_gb >= 4 * azure.median_memory_gb
+
+    def test_utilisation_gap(self, nep_dataset, azure_dataset):
+        nep = cpu_utilization_summary(nep_dataset)
+        azure = cpu_utilization_summary(azure_dataset)
+        # Paper: 6x lower mean CPU usage on NEP (ordering is the claim).
+        assert nep.overall_mean_utilization < azure.overall_mean_utilization
+
+    def test_usage_variance_gap(self, nep_dataset, azure_dataset):
+        nep = cpu_utilization_summary(nep_dataset)
+        azure = cpu_utilization_summary(azure_dataset)
+        assert nep.median_cv > azure.median_cv
+
+
+class TestFinding6Balance:
+    """Finding 6: per-app VM load is far more skewed on the edge."""
+
+    def test_cross_vm_gap(self, nep_dataset, azure_dataset):
+        nep = app_balance_summary(nep_dataset)
+        azure = app_balance_summary(azure_dataset)
+        assert nep.gaps_cdf.median >= azure.gaps_cdf.median
+        assert nep.fraction_above_50x >= azure.fraction_above_50x
+
+
+class TestDeterminism:
+    def test_same_seed_same_campaign(self):
+        from repro import EdgeStudy, Scenario
+
+        a = EdgeStudy(Scenario.smoke_scale())
+        b = EdgeStudy(Scenario.smoke_scale())
+        obs_a = a.latency_results.latency
+        obs_b = b.latency_results.latency
+        assert len(obs_a) == len(obs_b)
+        assert all(x == y for x, y in zip(obs_a[:50], obs_b[:50]))
+
+    def test_same_seed_same_trace(self):
+        from repro import EdgeStudy, Scenario
+
+        a = EdgeStudy(Scenario.smoke_scale())
+        b = EdgeStudy(Scenario.smoke_scale())
+        vm = a.nep.dataset.vm_ids()[0]
+        assert np.array_equal(a.nep.dataset.cpu_series[vm],
+                              b.nep.dataset.cpu_series[vm])
+
+    def test_different_seed_different_trace(self):
+        from repro import EdgeStudy, Scenario
+
+        a = EdgeStudy(Scenario.smoke_scale())
+        b = EdgeStudy(Scenario.smoke_scale().with_overrides(seed=777))
+        vm = a.nep.dataset.vm_ids()[0]
+        if vm in b.nep.dataset.cpu_series:
+            assert not np.array_equal(a.nep.dataset.cpu_series[vm],
+                                      b.nep.dataset.cpu_series[vm])

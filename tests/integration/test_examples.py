@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+Examples are the library's front door; they must at least compile, and
+the fast ones must run end to end.  Each example runs in a subprocess
+with the repository's interpreter so import errors, API drift, and
+runtime failures all surface here.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Fast examples executed end to end (the rest are compile-checked; they
+#: rebuild the smoke study per process, which would dominate suite time).
+RUN_END_TO_END = ("quickstart.py", "trace_export.py", "buildout_planner.py")
+
+
+def test_examples_directory_is_populated():
+    # The project promises at least three runnable examples.
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", RUN_END_TO_END)
+def test_example_runs(name, tmp_path):
+    path = EXAMPLES_DIR / name
+    args = [sys.executable, str(path)]
+    if name == "trace_export.py":
+        args.append(str(tmp_path / "out"))
+    completed = subprocess.run(args, capture_output=True, text=True,
+                               timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_every_example_has_a_run_line():
+    # Each example documents how to invoke it.
+    for path in ALL_EXAMPLES:
+        text = path.read_text()
+        assert "Run:" in text, f"{path.name} lacks a Run: line"
+        assert text.startswith("#!/usr/bin/env python3"), path.name

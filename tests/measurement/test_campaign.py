@@ -1,0 +1,92 @@
+"""Tests for the crowd-sourced campaign orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.campaign import ACCESS_SHARES, FIVE_G_CITY
+from repro.netsim.access import AccessType
+
+
+class TestRecruitment:
+    def test_panel_size(self, study, scenario):
+        assert len(study.participants) == scenario.participant_count
+
+    def test_access_shares_roughly_match_paper(self, study):
+        # §2.1.1: 59%/34%/7% of tests on WiFi/LTE/5G.
+        participants = study.participants
+        shares = {
+            access: np.mean([p.access is access for p in participants])
+            for access in AccessType.wireless()
+        }
+        for access, target in ACCESS_SHARES.items():
+            assert shares[access] == pytest.approx(target, abs=0.2)
+
+    def test_5g_users_concentrated_in_beijing(self, study):
+        # §3.1: "almost all our 5G testing results are from Beijing".
+        # Re-recruit a full-size panel so the statistic is stable.
+        from repro.config import Scenario
+        from repro.measurement.campaign import CrowdCampaign
+
+        campaign = CrowdCampaign(
+            Scenario(), study.nep.platform, study.alicloud)
+        five_g = [p for p in campaign.recruit()
+                  if p.access is AccessType.FIVE_G]
+        assert len(five_g) >= 3
+        in_beijing = np.mean([p.city == FIVE_G_CITY for p in five_g])
+        assert in_beijing >= 0.6
+
+    def test_participants_have_distinct_ids(self, study):
+        ids = [p.participant_id for p in study.participants]
+        assert len(ids) == len(set(ids))
+
+
+class TestLatencyCampaign:
+    def test_every_participant_probed(self, study, latency_results):
+        probed = {o.participant_id for o in latency_results.latency}
+        assert probed == {p.participant_id for p in study.participants}
+
+    def test_both_target_kinds_present(self, latency_results):
+        kinds = {o.target_kind for o in latency_results.latency}
+        assert kinds == {"edge", "cloud"}
+
+    def test_all_cloud_regions_probed(self, study, latency_results):
+        cloud_targets = {o.target_id for o in latency_results.latency
+                         if o.target_kind == "cloud"}
+        assert cloud_targets == {s.site_id for s in study.alicloud.sites}
+
+    def test_edge_targets_are_nearby(self, latency_results):
+        # Each participant probes its nearest edge sites only.
+        edge = [o for o in latency_results.latency
+                if o.target_kind == "edge"]
+        assert np.median([o.distance_km for o in edge]) < 1500
+
+    def test_observations_have_positive_rtt(self, latency_results):
+        assert all(o.mean_rtt_ms > 0 for o in latency_results.latency)
+
+    def test_hop_shares_recorded(self, latency_results):
+        obs = latency_results.latency[0]
+        assert len(obs.hop_shares) == obs.hop_count
+
+
+class TestThroughputCampaign:
+    def test_tester_subset_size(self, study, throughput_results, scenario):
+        testers = {o.participant_id for o in throughput_results.throughput}
+        assert len(testers) == scenario.throughput_participants
+
+    def test_each_tester_hits_every_vm(self, throughput_results, scenario):
+        by_tester = {}
+        for obs in throughput_results.throughput:
+            by_tester.setdefault(obs.participant_id, set()).add(
+                obs.result.target_label)
+        for targets in by_tester.values():
+            assert len(targets) == scenario.throughput_edge_vms
+
+    def test_wired_testers_included(self, throughput_results):
+        # Figure 5 includes a wired-access panel.
+        accesses = {o.access for o in throughput_results.throughput}
+        assert AccessType.WIRED in accesses
+
+    def test_results_positive(self, throughput_results):
+        for obs in throughput_results.throughput:
+            assert obs.result.downlink_mbps > 0
+            assert obs.result.uplink_mbps > 0

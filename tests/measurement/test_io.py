@@ -1,0 +1,80 @@
+"""Tests for the campaign (performance dataset) disk round-trip."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.io import load_campaign, save_campaign
+
+
+@pytest.fixture()
+def full_results(study):
+    from repro.measurement.campaign import CampaignResults
+
+    return CampaignResults(
+        latency=list(study.latency_results.latency),
+        throughput=list(study.throughput_results.throughput),
+    )
+
+
+class TestRoundTrip:
+    def test_latency_preserved(self, full_results, tmp_path):
+        root = save_campaign(full_results, tmp_path / "c")
+        loaded = load_campaign(root)
+        assert len(loaded.latency) == len(full_results.latency)
+        assert loaded.latency[0].participant_id == \
+            full_results.latency[0].participant_id
+        assert loaded.latency[0].mean_rtt_ms == pytest.approx(
+            full_results.latency[0].mean_rtt_ms, rel=1e-5)
+
+    def test_throughput_preserved(self, full_results, tmp_path):
+        root = save_campaign(full_results, tmp_path / "c")
+        loaded = load_campaign(root)
+        assert len(loaded.throughput) == len(full_results.throughput)
+        assert loaded.throughput[0].result.downlink_mbps == pytest.approx(
+            full_results.throughput[0].result.downlink_mbps, rel=1e-5)
+
+    def test_hidden_hop_shares_survive(self, full_results, tmp_path):
+        from repro.netsim.access import AccessType
+
+        five_g = [o for o in full_results.latency
+                  if o.access is AccessType.FIVE_G]
+        root = save_campaign(full_results, tmp_path / "c")
+        loaded = load_campaign(root)
+        loaded_5g = [o for o in loaded.latency
+                     if o.access is AccessType.FIVE_G]
+        if five_g:  # smoke panels can lack 5G users
+            assert loaded_5g[0].hop_shares[0] is None
+            # Shares serialise at 6 decimal places.
+            for loaded_share, original in zip(loaded_5g[0].hop_shares,
+                                              five_g[0].hop_shares):
+                if original is None:
+                    assert loaded_share is None
+                else:
+                    assert loaded_share == pytest.approx(original,
+                                                         abs=1e-6)
+
+    def test_analyses_run_on_reloaded_campaign(self, full_results,
+                                               tmp_path):
+        from repro.core.latency_analysis import per_user_latency
+
+        root = save_campaign(full_results, tmp_path / "c")
+        loaded = load_campaign(root)
+        records = per_user_latency(loaded.latency)
+        baseline = per_user_latency(full_results.latency)
+        assert len(records) == len(baseline)
+        assert records[0].nearest_edge_rtt == pytest.approx(
+            baseline[0].nearest_edge_rtt, rel=1e-5)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            load_campaign(tmp_path / "nope")
+
+    def test_malformed_row_rejected(self, full_results, tmp_path):
+        root = save_campaign(full_results, tmp_path / "c")
+        lines = (root / "latency.csv").read_text().splitlines()
+        fields = lines[1].split(",")
+        fields[7] = "not-a-number"  # mean_rtt_ms column
+        lines[1] = ",".join(fields)
+        (root / "latency.csv").write_text("\n".join(lines) + "\n")
+        with pytest.raises(MeasurementError):
+            load_campaign(root)

@@ -1,0 +1,59 @@
+"""Tests for ping and iperf probe runners."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.geo.coords import GeoPoint
+from repro.measurement.iperf import EDGE_VM_PORT_MBPS, run_iperf_test
+from repro.measurement.ping import run_ping_test
+from repro.netsim.access import AccessType, access_profile
+from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
+
+BEIJING = GeoPoint(39.90, 116.40)
+NEARBY = GeoPoint(39.95, 116.50)
+
+
+@pytest.fixture()
+def route(rng):
+    return build_route(UESpec("u", BEIJING, AccessType.WIFI),
+                       TargetSiteSpec("edge-vm", NEARBY, True), rng)
+
+
+class TestPing:
+    def test_thirty_pings(self, route, rng):
+        result = run_ping_test(route, 30, rng)
+        assert len(result.samples_ms) == 30
+
+    def test_summary_statistics(self, route, rng):
+        result = run_ping_test(route, 30, rng)
+        assert result.mean_ms > 0
+        assert result.std_ms >= 0
+        assert result.cv == pytest.approx(result.std_ms / result.mean_ms)
+
+    def test_traceroute_attached(self, route, rng):
+        result = run_ping_test(route, 10, rng)
+        assert result.hop_count == route.hop_count
+        assert result.target_label == "edge-vm"
+
+    def test_zero_repetitions_rejected(self, route, rng):
+        with pytest.raises(MeasurementError):
+            run_ping_test(route, 0, rng)
+
+
+class TestIperf:
+    def test_bidirectional_results(self, route, rng):
+        profile = access_profile(AccessType.WIFI)
+        result = run_iperf_test(route, profile, 15, rng)
+        assert result.downlink_mbps > 0
+        assert result.uplink_mbps > 0
+        assert result.distance_km == pytest.approx(route.distance_km)
+
+    def test_vm_port_caps_throughput(self, route, rng):
+        profile = access_profile(AccessType.WIRED)
+        result = run_iperf_test(route, profile, 15, rng, vm_port_mbps=10.0)
+        assert result.downlink_mbps <= 10.0
+        assert result.uplink_mbps <= 10.0
+
+    def test_default_port_is_1gbps(self):
+        # §2.1.1: each throughput VM has 1 Gbps capacity.
+        assert EDGE_VM_PORT_MBPS == 1000.0

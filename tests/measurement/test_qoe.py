@@ -1,0 +1,237 @@
+"""Tests for the QoE testbeds: devices, gaming, streaming, 4-VM testbed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.qoe.devices import (
+    ALL_DEVICES,
+    GAMING_DEVICES,
+    SAMSUNG_NOTE10,
+    NEXUS6,
+    device_by_name,
+)
+from repro.measurement.qoe.gaming import (
+    CloudGamingSession,
+    FLARE,
+    PINGUS,
+    GamingConfig,
+)
+from repro.measurement.qoe.gaming import mean_breakdown as gaming_breakdown
+from repro.measurement.qoe.streaming import (
+    LiveStreamingSession,
+    Player,
+    Resolution,
+    StreamingConfig,
+)
+from repro.measurement.qoe.streaming import mean_breakdown as stream_breakdown
+from repro.measurement.qoe.testbed import (
+    PAPER_TABLE6_RTT_MS,
+    QoETestbed,
+    VM_PLACEMENTS,
+)
+from repro.netsim.access import AccessType
+
+
+def _gaming_config(rtt=12.0, device=SAMSUNG_NOTE10, game=FLARE, **kw):
+    return GamingConfig(device=device, game=game, rtt_ms=rtt,
+                        downlink_mbps=80.0, uplink_mbps=40.0, **kw)
+
+
+class TestDevices:
+    def test_lookup(self):
+        assert device_by_name("Nexus 6") is NEXUS6
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MeasurementError):
+            device_by_name("iPhone 99")
+
+    def test_qualcomm_phones_for_gaming(self):
+        # §2.1.1: GamingAnywhere needs Qualcomm hardware codecs.
+        assert all("Snapdragon" in d.chipset for d in GAMING_DEVICES)
+
+    def test_decode_under_10ms_everywhere(self):
+        # §3.3.1: hardware decode <10 ms on every tested device.
+        assert all(d.decode_ms < 10 for d in ALL_DEVICES)
+
+    def test_display_wait_is_half_refresh(self):
+        assert SAMSUNG_NOTE10.display_wait_ms == pytest.approx(1000 / 60 / 2)
+
+
+class TestGamingPipeline:
+    def test_breakdown_sums_to_total(self, rng):
+        session = CloudGamingSession(_gaming_config(), rng)
+        trial = session.sample_trial()
+        parts = (trial.input_ms + trial.uplink_ms + trial.server_ms
+                 + trial.downlink_ms + trial.decode_ms + trial.display_ms)
+        assert trial.response_delay_ms == pytest.approx(parts)
+
+    def test_edge_under_100ms(self, rng):
+        # Figure 6: edge + WiFi achieves <100 ms response delay.
+        session = CloudGamingSession(_gaming_config(rtt=12.0), rng)
+        delays = [t.response_delay_ms for t in session.run(50)]
+        assert np.mean(delays) < 105
+
+    def test_server_side_dominates(self, rng):
+        # §3.3.1 breakdown: ~70 ms of the delay is server-side.
+        session = CloudGamingSession(_gaming_config(rtt=12.0), rng)
+        breakdown = gaming_breakdown(session.run(50))
+        assert breakdown["server_ms"] > 0.5 * breakdown["response_delay_ms"]
+
+    def test_rtt_increases_delay(self, rng):
+        near = CloudGamingSession(_gaming_config(rtt=12.0),
+                                  np.random.default_rng(1)).run(50)
+        far = CloudGamingSession(_gaming_config(rtt=55.0),
+                                 np.random.default_rng(1)).run(50)
+        gap = (np.mean([t.response_delay_ms for t in far])
+               - np.mean([t.response_delay_ms for t in near]))
+        assert 30 <= gap <= 60  # "remote cloud VMs lengthen ... up to 60ms"
+
+    def test_gpu_rendering_saves_10_to_20ms(self, rng):
+        cpu = CloudGamingSession(_gaming_config(),
+                                 np.random.default_rng(2)).run(50)
+        gpu = CloudGamingSession(_gaming_config(gpu_rendering=True),
+                                 np.random.default_rng(2)).run(50)
+        saving = (np.mean([t.response_delay_ms for t in cpu])
+                  - np.mean([t.response_delay_ms for t in gpu]))
+        assert 8 <= saving <= 22
+
+    def test_extra_cores_do_not_help(self, rng):
+        # §3.3.1: "increasing CPU cores won't help".
+        few = CloudGamingSession(_gaming_config(server_cores=2),
+                                 np.random.default_rng(3)).run(50)
+        many = CloudGamingSession(_gaming_config(server_cores=16),
+                                  np.random.default_rng(3)).run(50)
+        assert (np.mean([t.response_delay_ms for t in few])
+                == pytest.approx(np.mean([t.response_delay_ms for t in many]),
+                                 rel=0.05))
+
+    def test_pingus_slower_and_jitterier_than_flare(self):
+        flare = CloudGamingSession(_gaming_config(game=FLARE),
+                                   np.random.default_rng(4)).run(80)
+        pingus = CloudGamingSession(_gaming_config(game=PINGUS),
+                                    np.random.default_rng(4)).run(80)
+        assert (np.mean([t.response_delay_ms for t in pingus])
+                > np.mean([t.response_delay_ms for t in flare]))
+        assert (np.std([t.server_ms for t in pingus])
+                > np.std([t.server_ms for t in flare]))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(MeasurementError):
+            _gaming_config(rtt=0.0)
+
+    def test_zero_trials_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            CloudGamingSession(_gaming_config(), rng).run(0)
+
+
+def _stream_config(rtt=12.0, **kw):
+    return StreamingConfig(rtt_ms=rtt, uplink_mbps=40.0,
+                           downlink_mbps=80.0, **kw)
+
+
+class TestStreamingPipeline:
+    def test_breakdown_sums_to_total(self, rng):
+        trial = LiveStreamingSession(_stream_config(), rng).sample_trial()
+        parts = (trial.capture_ms + trial.encode_ms + trial.network_ms
+                 + trial.server_ms + trial.decode_ms + trial.render_ms
+                 + trial.buffer_ms)
+        assert trial.streaming_delay_ms == pytest.approx(parts)
+
+    def test_base_delay_near_400ms(self, rng):
+        # §3.3.2: ~400 ms without jitter buffer or transcoding.
+        trials = LiveStreamingSession(_stream_config(), rng).run(50)
+        assert np.mean([t.streaming_delay_ms for t in trials]) == \
+            pytest.approx(400, abs=80)
+
+    def test_network_is_not_the_bottleneck(self, rng):
+        # §3.3.2 breakdown: network ~50 ms of ~400 ms.
+        breakdown = stream_breakdown(
+            LiveStreamingSession(_stream_config(), rng).run(50))
+        assert breakdown["network_ms"] < 0.3 * breakdown["streaming_delay_ms"]
+        assert breakdown["capture_ms"] > breakdown["network_ms"]
+
+    def test_transcoding_roughly_doubles_delay(self, rng):
+        base = LiveStreamingSession(_stream_config(),
+                                    np.random.default_rng(5)).run(50)
+        trans = LiveStreamingSession(_stream_config(transcode=True),
+                                     np.random.default_rng(5)).run(50)
+        ratio = (np.mean([t.streaming_delay_ms for t in trans])
+                 / np.mean([t.streaming_delay_ms for t in base]))
+        assert 1.6 <= ratio <= 2.6  # "around 400ms (2x)"
+
+    def test_720p_faster_than_1080p(self, rng):
+        hi = LiveStreamingSession(_stream_config(resolution=Resolution.P1080),
+                                  np.random.default_rng(6)).run(50)
+        lo = LiveStreamingSession(_stream_config(resolution=Resolution.P720),
+                                  np.random.default_rng(6)).run(50)
+        saving = (np.mean([t.streaming_delay_ms for t in hi])
+                  - np.mean([t.streaming_delay_ms for t in lo]))
+        assert saving > 15  # reduced transmission + rendering
+
+    def test_ffplay_90ms_faster_than_mplayer(self, rng):
+        mplayer = LiveStreamingSession(
+            _stream_config(player=Player.MPLAYER),
+            np.random.default_rng(7)).run(50)
+        ffplay = LiveStreamingSession(
+            _stream_config(player=Player.FFPLAY),
+            np.random.default_rng(7)).run(50)
+        saving = (np.mean([t.streaming_delay_ms for t in mplayer])
+                  - np.mean([t.streaming_delay_ms for t in ffplay]))
+        assert saving == pytest.approx(90, abs=25)
+
+    def test_jitter_buffer_pushes_toward_2s(self, rng):
+        # §3.3.2: with a 2 MB buffer the delay reaches ~2 seconds.
+        trials = LiveStreamingSession(
+            _stream_config(jitter_buffer_mb=2.0), rng).run(50)
+        assert np.mean([t.streaming_delay_ms for t in trials]) > 1500
+
+    def test_buffer_washes_out_edge_advantage(self, rng):
+        def mean_delay(rtt, buffer_mb):
+            trials = LiveStreamingSession(
+                _stream_config(rtt=rtt, jitter_buffer_mb=buffer_mb),
+                np.random.default_rng(8)).run(50)
+            return np.mean([t.streaming_delay_ms for t in trials])
+
+        no_buffer_gap = mean_delay(55, 0.0) - mean_delay(12, 0.0)
+        buffer_gap = abs(mean_delay(55, 2.0) - mean_delay(12, 2.0))
+        assert buffer_gap < no_buffer_gap * 3  # relative difference shrinks
+        assert no_buffer_gap / mean_delay(12, 0.0) > \
+            buffer_gap / mean_delay(12, 2.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(MeasurementError):
+            _stream_config(rtt=-1.0)
+        with pytest.raises(MeasurementError):
+            _stream_config(jitter_buffer_mb=-0.1)
+
+
+class TestQoETestbed:
+    def test_four_vms_at_paper_distances(self, rng):
+        testbed = QoETestbed(rng)
+        assert [vm.label for vm in testbed.vms] == \
+            [label for label, _, _ in VM_PLACEMENTS]
+        for vm, (_, distance, _) in zip(testbed.vms, VM_PLACEMENTS):
+            origin_distance = testbed.vm(vm.label).location
+            # distances approximate the flat-earth displacement
+            assert vm.distance_km == distance
+
+    def test_rtt_increases_with_distance(self, rng):
+        testbed = QoETestbed(rng)
+        rtts = [testbed.measure_rtt_ms(AccessType.WIFI, vm.label, pings=10)
+                for vm in testbed.vms]
+        assert rtts == sorted(rtts)
+
+    def test_rtt_table_covers_paper_table6(self, rng):
+        table = QoETestbed(rng).rtt_table(pings=5)
+        assert set(table) == set(PAPER_TABLE6_RTT_MS)
+        for access, row in table.items():
+            assert set(row) == set(PAPER_TABLE6_RTT_MS[access])
+
+    def test_unknown_vm_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            QoETestbed(rng).vm("Cloud-9")
+
+    def test_link_capacities_positive(self, rng):
+        down, up = QoETestbed(rng).link_capacities_mbps(AccessType.FIVE_G)
+        assert down > 0 and up > 0

@@ -1,0 +1,91 @@
+"""Tests for access-network profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.access import (
+    ACCESS_PROFILES,
+    AccessHopModel,
+    AccessType,
+    access_profile,
+)
+
+
+class TestAccessProfiles:
+    def test_all_types_have_profiles(self):
+        for access in AccessType:
+            assert access_profile(access).access_type is access
+
+    def test_wireless_set(self):
+        wireless = AccessType.wireless()
+        assert AccessType.WIRED not in wireless
+        assert len(wireless) == 3
+
+    def test_wifi_first_hop_dominates(self):
+        # Table 2: the wireless hop carries ~44% of WiFi end-to-end RTT.
+        profile = access_profile(AccessType.WIFI)
+        assert profile.hops[0].mean_rtt_ms > profile.hops[1].mean_rtt_ms
+
+    def test_lte_second_hop_dominates(self):
+        # Table 2: LTE's packet core (2nd hop) carries ~70%.
+        profile = access_profile(AccessType.LTE)
+        assert profile.hops[1].mean_rtt_ms == max(
+            h.mean_rtt_ms for h in profile.hops)
+
+    def test_5g_core_hops_hidden_from_icmp(self):
+        profile = access_profile(AccessType.FIVE_G)
+        hidden = [h for h in profile.hops if not h.icmp_visible]
+        assert len(hidden) == 2  # "doesn't contain the latency of first 2 hops"
+
+    def test_5g_access_rtt_lower_than_lte(self):
+        assert (access_profile(AccessType.FIVE_G).mean_access_rtt_ms
+                < access_profile(AccessType.LTE).mean_access_rtt_ms)
+
+    def test_negative_hop_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessHopModel("bad", mean_rtt_ms=-1.0, jitter_sd_ms=0.1)
+
+
+class TestCapacitySampling:
+    def test_downlink_positive(self, rng):
+        for access in AccessType:
+            profile = access_profile(access)
+            draws = [profile.sample_downlink_capacity_mbps(rng)
+                     for _ in range(200)]
+            assert min(draws) > 0
+
+    def test_5g_uplink_capped_by_tdd_ratio(self, rng):
+        # §3.2: the 5G uplink is "strictly capped" near 52 Mbps mean.
+        profile = access_profile(AccessType.FIVE_G)
+        draws = [profile.sample_uplink_capacity_mbps(rng)
+                 for _ in range(500)]
+        assert max(draws) <= profile.uplink_cap_mbps
+        assert np.mean(draws) == pytest.approx(52.0, abs=8.0)
+
+    def test_5g_downlink_mean_near_paper(self, rng):
+        # §3.2: 5G downlink mean ~497 Mbps.
+        profile = access_profile(AccessType.FIVE_G)
+        draws = [profile.sample_downlink_capacity_mbps(rng)
+                 for _ in range(500)]
+        assert np.mean(draws) == pytest.approx(497.0, rel=0.1)
+
+    def test_wifi_downlink_stays_below_100(self, rng):
+        # §3.2: WiFi/LTE top out around 100 Mbps.
+        profile = access_profile(AccessType.WIFI)
+        draws = [profile.sample_downlink_capacity_mbps(rng)
+                 for _ in range(500)]
+        assert np.mean(draws) < 100
+
+    def test_wired_downlink_mean_near_paper(self, rng):
+        # §3.2: wired access mean ~480 Mbps.
+        profile = access_profile(AccessType.WIRED)
+        draws = [profile.sample_downlink_capacity_mbps(rng)
+                 for _ in range(500)]
+        assert np.mean(draws) == pytest.approx(480.0, rel=0.1)
+
+    def test_floor_guards_against_negative_draws(self, rng):
+        profile = access_profile(AccessType.LTE)
+        draws = [profile.sample_downlink_capacity_mbps(rng)
+                 for _ in range(2000)]
+        assert min(draws) >= profile.downlink_mean_mbps * 0.15 - 1e-9

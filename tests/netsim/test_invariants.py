@@ -1,0 +1,117 @@
+"""Property-based invariants of the network simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint
+from repro.netsim.access import AccessType, access_profile
+from repro.netsim.latency import LatencyModel
+from repro.netsim.routing import (
+    TargetSiteSpec,
+    UESpec,
+    backbone_hop_count,
+    backbone_rtt_ms,
+    build_route,
+)
+from repro.netsim.throughput import (
+    ThroughputModel,
+    mathis_throughput_mbps,
+    route_loss_rate,
+)
+
+china_lat = st.floats(min_value=20.0, max_value=50.0, allow_nan=False)
+china_lon = st.floats(min_value=80.0, max_value=130.0, allow_nan=False)
+access_types = st.sampled_from(list(AccessType))
+
+
+def _route(lat1, lon1, lat2, lon2, access, is_edge=True, seed=0):
+    rng = np.random.default_rng(seed)
+    return build_route(
+        UESpec("u", GeoPoint(lat1, lon1), access),
+        TargetSiteSpec("t", GeoPoint(lat2, lon2), is_edge),
+        rng,
+    )
+
+
+class TestRouteInvariants:
+    @given(china_lat, china_lon, china_lat, china_lon, access_types)
+    @settings(max_examples=60, deadline=None)
+    def test_rtt_at_least_access_latency(self, lat1, lon1, lat2, lon2,
+                                         access):
+        route = _route(lat1, lon1, lat2, lon2, access)
+        assert route.mean_rtt_ms >= access_profile(access).mean_access_rtt_ms
+
+    @given(china_lat, china_lon, china_lat, china_lon, access_types)
+    @settings(max_examples=60, deadline=None)
+    def test_rtt_at_least_propagation_floor(self, lat1, lon1, lat2, lon2,
+                                            access):
+        # Physics: a round trip can't beat light in fibre over the
+        # great-circle distance.
+        route = _route(lat1, lon1, lat2, lon2, access)
+        light_floor = 2.0 * route.distance_km / 200.0
+        assert route.mean_rtt_ms >= light_floor
+
+    @given(china_lat, china_lon, access_types)
+    @settings(max_examples=40, deadline=None)
+    def test_cloud_route_never_shorter_hops_than_edge(self, lat, lon,
+                                                      access):
+        edge = _route(lat, lon, lat, lon, access, is_edge=True)
+        cloud = _route(lat, lon, lat, lon, access, is_edge=False)
+        assert cloud.hop_count > edge.hop_count
+
+    @given(st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=5000.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_backbone_monotone_in_distance(self, a, b):
+        low, high = sorted((a, b))
+        assert backbone_rtt_ms(low) <= backbone_rtt_ms(high) + 1e-9
+        assert backbone_hop_count(low) <= backbone_hop_count(high)
+
+
+class TestLatencySamplingInvariants:
+    @given(china_lat, china_lon, access_types,
+           st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_positive_and_finite(self, lat, lon, access, count):
+        route = _route(lat, lon, lat + 1.0, lon + 1.0, access)
+        samples = LatencyModel(np.random.default_rng(1)).sample_many(
+            route, count)
+        assert samples.shape == (count,)
+        assert np.isfinite(samples).all()
+        assert (samples > 0).all()
+
+
+class TestThroughputInvariants:
+    @given(st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+           st.floats(min_value=1e-8, max_value=1e-2, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_mathis_positive(self, rtt, loss):
+        assert mathis_throughput_mbps(rtt, loss) > 0.0
+
+    @given(st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+           st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+           st.floats(min_value=1e-8, max_value=1e-3, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_mathis_monotone_in_rtt(self, rtt_a, rtt_b, loss):
+        low, high = sorted((rtt_a, rtt_b))
+        assert (mathis_throughput_mbps(high, loss)
+                <= mathis_throughput_mbps(low, loss) + 1e-9)
+
+    @given(china_lat, china_lon, china_lat, china_lon,
+           st.floats(min_value=1.0, max_value=2000.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_measured_throughput_bounded(self, lat1, lon1, lat2, lon2,
+                                         capacity):
+        route = _route(lat1, lon1, lat2, lon2, AccessType.WIRED)
+        model = ThroughputModel(np.random.default_rng(2))
+        result = model.run_test(route, capacity)
+        assert 0.0 < result.mbps <= capacity
+        assert 0.0 < result.loss_rate < 1.0
+
+    @given(china_lat, china_lon, china_lat, china_lon)
+    @settings(max_examples=40, deadline=None)
+    def test_loss_rate_valid_probability(self, lat1, lon1, lat2, lon2):
+        route = _route(lat1, lon1, lat2, lon2, AccessType.LTE)
+        assert 0.0 < route_loss_rate(route) < 0.01

@@ -1,0 +1,77 @@
+"""Tests for RTT sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.geo.coords import GeoPoint
+from repro.netsim.access import AccessType
+from repro.netsim.latency import LatencyModel
+from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
+
+BEIJING = GeoPoint(39.90, 116.40)
+NEARBY = GeoPoint(39.95, 116.50)
+GUANGZHOU = GeoPoint(23.13, 113.26)
+
+
+@pytest.fixture()
+def edge_route(rng):
+    return build_route(UESpec("u", BEIJING, AccessType.WIFI),
+                       TargetSiteSpec("e", NEARBY, True), rng)
+
+
+@pytest.fixture()
+def cloud_route(rng):
+    return build_route(UESpec("u", BEIJING, AccessType.WIFI),
+                       TargetSiteSpec("c", GUANGZHOU, False), rng)
+
+
+class TestLatencyModel:
+    def test_samples_positive(self, rng, edge_route):
+        model = LatencyModel(rng)
+        samples = model.sample_many(edge_route, 100)
+        assert (samples > 0).all()
+
+    def test_sample_count(self, rng, edge_route):
+        model = LatencyModel(rng)
+        assert model.sample_many(edge_route, 30).shape == (30,)
+
+    def test_zero_count_rejected(self, rng, edge_route):
+        with pytest.raises(MeasurementError):
+            LatencyModel(rng).sample_many(edge_route, 0)
+
+    def test_mean_tracks_route_mean(self, rng, edge_route):
+        model = LatencyModel(rng)
+        samples = model.sample_many(edge_route, 400)
+        # Spikes push the sample mean slightly above the noise-free mean.
+        assert samples.mean() == pytest.approx(edge_route.mean_rtt_ms,
+                                               rel=0.15)
+
+    def test_per_hop_breakdown_sums_to_total(self, rng, edge_route):
+        model = LatencyModel(rng)
+        sample = model.sample(edge_route)
+        assert sample.total_ms == pytest.approx(sum(sample.per_hop_ms))
+        assert len(sample.per_hop_ms) == edge_route.hop_count
+
+    def test_cloud_path_has_higher_cv_than_edge(self, rng, edge_route,
+                                                cloud_route):
+        # Figure 2(b): backbone-rich cloud paths jitter more.
+        model = LatencyModel(rng)
+        edge_cvs, cloud_cvs = [], []
+        for _ in range(25):
+            _, edge_cv = model.mean_and_cv(edge_route, 30)
+            _, cloud_cv = model.mean_and_cv(cloud_route, 30)
+            edge_cvs.append(edge_cv)
+            cloud_cvs.append(cloud_cv)
+        assert np.median(cloud_cvs) > np.median(edge_cvs)
+
+    def test_edge_cv_near_paper_magnitude(self, rng, edge_route):
+        # Figure 2(b): nearest-edge WiFi CV median ~1.1%.
+        model = LatencyModel(rng)
+        cvs = [model.mean_and_cv(edge_route, 30)[1] for _ in range(40)]
+        assert 0.002 < float(np.median(cvs)) < 0.06
+
+    def test_mean_and_cv_deterministic_per_stream(self, edge_route):
+        a = LatencyModel(np.random.default_rng(7)).mean_and_cv(edge_route, 30)
+        b = LatencyModel(np.random.default_rng(7)).mean_and_cv(edge_route, 30)
+        assert a == b

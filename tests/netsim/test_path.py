@@ -1,0 +1,56 @@
+"""Tests for Hop and Route representations."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netsim.path import Hop, HopKind, Route
+
+
+def _hop(name="h", kind=HopKind.METRO, rtt=1.0, jitter=0.1, visible=True):
+    return Hop(name=name, kind=kind, mean_rtt_ms=rtt, jitter_sd_ms=jitter,
+               icmp_visible=visible)
+
+
+class TestHop:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(TopologyError):
+            _hop(rtt=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(TopologyError):
+            _hop(jitter=-0.1)
+
+
+class TestRoute:
+    def test_empty_route_rejected(self):
+        with pytest.raises(TopologyError):
+            Route(source_label="a", target_label="b", hops=(),
+                  distance_km=10.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(TopologyError):
+            Route(source_label="a", target_label="b", hops=(_hop(),),
+                  distance_km=-1.0)
+
+    def test_mean_rtt_is_sum_of_hops(self):
+        route = Route("a", "b", (_hop(rtt=1.0), _hop(rtt=2.5)), 10.0)
+        assert route.mean_rtt_ms == pytest.approx(3.5)
+
+    def test_hop_count(self):
+        route = Route("a", "b", (_hop(), _hop(), _hop()), 10.0)
+        assert route.hop_count == 3
+
+    def test_backbone_hop_count(self):
+        route = Route("a", "b", (
+            _hop(kind=HopKind.ACCESS),
+            _hop(kind=HopKind.BACKBONE),
+            _hop(kind=HopKind.BACKBONE),
+            _hop(kind=HopKind.DC),
+        ), 500.0)
+        assert route.backbone_hop_count == 2
+
+    def test_cumulative_mean_rtt_monotone(self):
+        route = Route("a", "b", (_hop(rtt=1.0), _hop(rtt=2.0),
+                                 _hop(rtt=0.5)), 10.0)
+        cumulative = route.cumulative_mean_rtt_ms()
+        assert cumulative == pytest.approx([1.0, 3.0, 3.5])

@@ -1,0 +1,150 @@
+"""Tests for route construction (paper §3.1 path structure)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.netsim.access import AccessType
+from repro.netsim.path import HopKind
+from repro.netsim.routing import (
+    SAME_METRO_KM,
+    TargetSiteSpec,
+    UESpec,
+    backbone_hop_count,
+    backbone_rtt_ms,
+    build_intersite_route,
+    build_route,
+)
+
+BEIJING = GeoPoint(39.90, 116.40)
+SHANGHAI = GeoPoint(31.23, 121.47)
+NEARBY = GeoPoint(39.95, 116.50)
+
+
+def _edge_route(access=AccessType.WIFI, target=NEARBY, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return build_route(UESpec("u", BEIJING, access),
+                       TargetSiteSpec("e", target, is_edge=True), rng)
+
+
+def _cloud_route(access=AccessType.WIFI, target=NEARBY, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return build_route(UESpec("u", BEIJING, access),
+                       TargetSiteSpec("c", target, is_edge=False), rng)
+
+
+class TestBackboneModel:
+    def test_no_backbone_within_metro(self):
+        assert backbone_hop_count(SAME_METRO_KM - 1) == 0
+        assert backbone_rtt_ms(SAME_METRO_KM - 1) == 0.0
+
+    def test_hop_count_grows_with_distance(self):
+        assert backbone_hop_count(400) < backbone_hop_count(2000)
+
+    def test_rtt_grows_with_distance(self):
+        assert backbone_rtt_ms(500) < backbone_rtt_ms(1500) < backbone_rtt_ms(3000)
+
+    def test_figure4_calibration_100ms_at_3000km(self):
+        # Figure 4: inter-site RTTs "reach 100ms when two sites are
+        # 3000km away".
+        assert 70 <= backbone_rtt_ms(3000) <= 120
+
+
+class TestRouteStructure:
+    def test_same_city_edge_has_no_backbone(self, rng):
+        route = _edge_route(rng=rng)
+        assert route.backbone_hop_count == 0
+
+    def test_remote_target_has_backbone(self, rng):
+        route = _edge_route(target=SHANGHAI, rng=rng)
+        assert route.backbone_hop_count >= 2
+
+    def test_edge_hop_count_in_paper_range(self, rng):
+        # Figure 3: 5-12 hops to the nearest edge.
+        for access in (AccessType.WIFI, AccessType.LTE, AccessType.FIVE_G):
+            for _ in range(20):
+                route = _edge_route(access=access, rng=rng)
+                assert 4 <= route.hop_count <= 12
+
+    def test_cloud_hop_count_in_paper_range(self, rng):
+        # Figure 3: 10-16 hops to clouds (same-city cloud at the low end).
+        for _ in range(20):
+            route = _cloud_route(rng=rng)
+            assert 9 <= route.hop_count <= 18
+
+    def test_cloud_routes_have_core_pop_hops(self, rng):
+        route = _cloud_route(rng=rng)
+        names = [h.name for h in route.hops]
+        assert any(n.startswith("core-pop") for n in names)
+
+    def test_edge_routes_skip_core_pops(self, rng):
+        route = _edge_route(rng=rng)
+        assert not any(h.name.startswith("core-pop") for h in route.hops)
+
+    def test_access_hops_first(self, rng):
+        route = _edge_route(access=AccessType.LTE, rng=rng)
+        assert route.hops[0].kind is HopKind.ACCESS
+        assert route.hops[-1].kind is HopKind.DC
+
+    def test_5g_has_fewest_metro_hops(self, rng):
+        def metro_count(access):
+            return sum(1 for h in _edge_route(access=access, rng=rng).hops
+                       if h.kind is HopKind.METRO)
+        assert metro_count(AccessType.FIVE_G) <= metro_count(AccessType.WIFI)
+
+    def test_distance_recorded(self, rng):
+        route = _edge_route(target=SHANGHAI, rng=rng)
+        assert route.distance_km == pytest.approx(
+            BEIJING.distance_km(SHANGHAI))
+
+    def test_farther_target_higher_mean_rtt(self, rng):
+        near = _edge_route(rng=rng)
+        far = _edge_route(target=SHANGHAI, rng=rng)
+        assert far.mean_rtt_ms > near.mean_rtt_ms
+
+
+class TestMecRoute:
+    def test_mec_route_is_access_plus_server(self, rng):
+        profile_hops = {
+            AccessType.WIFI: 2, AccessType.LTE: 3, AccessType.FIVE_G: 3,
+        }
+        for access, access_hops in profile_hops.items():
+            route = build_route(
+                UESpec("u", BEIJING, access),
+                TargetSiteSpec("mec", BEIJING, True,
+                               colocated_with_access=True), rng)
+            assert route.hop_count == access_hops + 1
+
+    def test_mec_faster_than_any_edge_site(self, rng):
+        mec = build_route(
+            UESpec("u", BEIJING, AccessType.WIFI),
+            TargetSiteSpec("mec", BEIJING, True,
+                           colocated_with_access=True), rng)
+        edge = _edge_route(rng=rng)
+        assert mec.mean_rtt_ms < edge.mean_rtt_ms
+
+    def test_mec_skips_metro_and_backbone(self, rng):
+        route = build_route(
+            UESpec("u", BEIJING, AccessType.WIFI),
+            TargetSiteSpec("mec", SHANGHAI, True,
+                           colocated_with_access=True), rng)
+        kinds = {h.kind for h in route.hops}
+        assert HopKind.METRO not in kinds
+        assert HopKind.BACKBONE not in kinds
+
+
+class TestIntersiteRoute:
+    def test_same_metro_uses_metro_crossconnect(self, rng):
+        route = build_intersite_route("a", BEIJING, "b", NEARBY, rng)
+        assert route.backbone_hop_count == 0
+        assert route.mean_rtt_ms < 5.0
+
+    def test_long_haul_uses_backbone(self, rng):
+        route = build_intersite_route("a", BEIJING, "b", SHANGHAI, rng)
+        assert route.backbone_hop_count >= 2
+        assert 15 < route.mean_rtt_ms < 60
+
+    def test_endpoints_are_dc_gateways(self, rng):
+        route = build_intersite_route("a", BEIJING, "b", SHANGHAI, rng)
+        assert route.hops[0].kind is HopKind.DC
+        assert route.hops[-1].kind is HopKind.DC

@@ -1,0 +1,116 @@
+"""Tests for the TCP throughput model (§3.2 structure)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.geo.coords import GeoPoint
+from repro.netsim.access import AccessType
+from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
+from repro.netsim.throughput import (
+    ThroughputModel,
+    mathis_throughput_mbps,
+    route_loss_rate,
+)
+
+BEIJING = GeoPoint(39.90, 116.40)
+NEARBY = GeoPoint(39.95, 116.50)
+URUMQI = GeoPoint(43.83, 87.62)  # ~2400 km away
+
+
+def _route(target, rng):
+    return build_route(UESpec("u", BEIJING, AccessType.WIRED),
+                       TargetSiteSpec("e", target, True), rng)
+
+
+class TestMathisModel:
+    def test_known_value(self):
+        # MSS 1460B, RTT 100ms, loss 1e-4 -> ~11.68 Mbps.
+        bw = mathis_throughput_mbps(100.0, 1e-4)
+        assert bw == pytest.approx(11.68, rel=0.01)
+
+    def test_decreases_with_rtt(self):
+        assert (mathis_throughput_mbps(10, 1e-6)
+                > mathis_throughput_mbps(50, 1e-6))
+
+    def test_decreases_with_loss(self):
+        assert (mathis_throughput_mbps(20, 1e-7)
+                > mathis_throughput_mbps(20, 1e-5))
+
+    def test_zero_rtt_rejected(self):
+        with pytest.raises(MeasurementError):
+            mathis_throughput_mbps(0.0, 1e-6)
+
+    def test_zero_loss_rejected(self):
+        with pytest.raises(MeasurementError):
+            mathis_throughput_mbps(10.0, 0.0)
+
+
+class TestRouteLoss:
+    def test_longer_route_lossier(self, rng):
+        near = _route(NEARBY, rng)
+        far = _route(URUMQI, rng)
+        assert route_loss_rate(far) > route_loss_rate(near)
+
+    def test_loss_is_small_probability(self, rng):
+        loss = route_loss_rate(_route(URUMQI, rng))
+        assert 0.0 < loss < 1e-3
+
+
+class TestThroughputModel:
+    def test_access_limited_when_capacity_small(self, rng):
+        model = ThroughputModel(rng)
+        result = model.run_test(_route(NEARBY, rng), access_capacity_mbps=50)
+        assert result.access_limited
+        assert result.mbps <= 50.0
+
+    def test_path_limited_when_capacity_huge(self, rng):
+        model = ThroughputModel(rng)
+        result = model.run_test(_route(URUMQI, rng),
+                                access_capacity_mbps=10_000)
+        assert result.path_limited
+        assert result.mbps < 10_000
+
+    def test_measured_never_exceeds_capacity(self, rng):
+        model = ThroughputModel(rng)
+        for _ in range(50):
+            result = model.run_test(_route(NEARBY, rng), 80.0)
+            assert result.mbps <= 80.0
+
+    def test_throughput_positive(self, rng):
+        model = ThroughputModel(rng)
+        result = model.run_test(_route(URUMQI, rng), 500.0)
+        assert result.mbps > 0
+
+    def test_far_route_slower_when_path_limited(self, rng):
+        # The §3.2 headline: with high last-mile capacity, distance bites.
+        model = ThroughputModel(rng)
+        near = np.mean([model.run_test(_route(NEARBY, rng), 2000).mbps
+                        for _ in range(10)])
+        far = np.mean([model.run_test(_route(URUMQI, rng), 2000).mbps
+                       for _ in range(10)])
+        assert far < near
+
+    def test_longer_test_less_noisy(self, rng):
+        model = ThroughputModel(rng)
+        route = _route(NEARBY, rng)
+        short = [model.run_test(route, 100, duration_seconds=1).mbps
+                 for _ in range(200)]
+        long = [model.run_test(route, 100, duration_seconds=60).mbps
+                for _ in range(200)]
+        assert np.std(long) < np.std(short)
+
+    def test_bad_capacity_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            ThroughputModel(rng).run_test(_route(NEARBY, rng), 0.0)
+
+    def test_bad_duration_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            ThroughputModel(rng).run_test(_route(NEARBY, rng), 100.0,
+                                          duration_seconds=0)
+
+    def test_wide_area_limit_matches_mathis(self, rng):
+        model = ThroughputModel(rng)
+        route = _route(URUMQI, rng)
+        assert model.wide_area_limit_mbps(route) == pytest.approx(
+            mathis_throughput_mbps(route.mean_rtt_ms, route_loss_rate(route)))

@@ -1,0 +1,69 @@
+"""Tests for traceroute simulation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.netsim.access import AccessType
+from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
+from repro.netsim.traceroute import run_traceroute
+
+BEIJING = GeoPoint(39.90, 116.40)
+NEARBY = GeoPoint(39.95, 116.50)
+
+
+def _route(access, rng):
+    return build_route(UESpec("u", BEIJING, access),
+                       TargetSiteSpec("e", NEARBY, True), rng)
+
+
+class TestTraceroute:
+    def test_reports_every_hop(self, rng):
+        route = _route(AccessType.WIFI, rng)
+        trace = run_traceroute(route, rng)
+        assert trace.hop_count == route.hop_count
+
+    def test_cumulative_rtts_monotone(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        visible = [h.cumulative_rtt_ms for h in trace.visible_hops]
+        assert visible == sorted(visible)
+
+    def test_total_at_least_last_visible(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        assert trace.total_rtt_ms >= trace.visible_hops[-1].cumulative_rtt_ms - 1e-9
+
+    def test_5g_first_two_hops_hidden(self, rng):
+        # §3.1: "our collected trace doesn't contain the latency of first
+        # 2 hops" on 5G.
+        trace = run_traceroute(_route(AccessType.FIVE_G, rng), rng)
+        assert not trace.hops[0].visible
+        assert not trace.hops[1].visible
+        assert trace.hops[2].visible
+
+    def test_wifi_all_hops_visible(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        assert all(h.visible for h in trace.hops)
+
+    def test_hop_shares_sum_to_one_when_all_visible(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        shares = trace.hop_latency_shares()
+        assert sum(s for s in shares if s is not None) == pytest.approx(1.0)
+
+    def test_hidden_hop_latency_absorbed_by_next_visible(self, rng):
+        # 5G's first visible hop reports the first-3-hops total, which is
+        # how Table 2's "97.9% in total" arises.
+        trace = run_traceroute(_route(AccessType.FIVE_G, rng), rng)
+        shares = trace.hop_latency_shares()
+        assert shares[0] is None and shares[1] is None
+        non_none = [s for s in shares if s is not None]
+        assert sum(non_none) == pytest.approx(1.0)
+        assert shares[2] > 0.5  # absorbs the hidden packet-core latency
+
+    def test_route_label(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        assert trace.route_label == "u -> e"
+
+    def test_hop_indices_start_at_one(self, rng):
+        trace = run_traceroute(_route(AccessType.WIFI, rng), rng)
+        assert trace.hops[0].index == 1
+        assert trace.hops[-1].index == trace.hop_count

@@ -1,0 +1,65 @@
+"""Tests for the NEP and cloud platform builders."""
+
+from repro.config import Scenario
+from repro.platform.cloud import build_cloud_platform
+from repro.platform.entities import PlatformKind
+from repro.platform.nep import EDGE_SERVER_SKUS, build_nep_platform
+
+SMOKE = Scenario.smoke_scale()
+
+
+class TestNepBuilder:
+    def test_site_count_matches_scenario(self, nep_platform, scenario):
+        assert len(nep_platform.sites) == scenario.nep_site_count
+
+    def test_kind_is_edge(self, nep_platform):
+        assert nep_platform.kind is PlatformKind.EDGE
+
+    def test_server_counts_in_range(self, nep_platform, scenario):
+        for site in nep_platform.sites:
+            assert (scenario.nep_servers_per_site_min
+                    <= site.server_count
+                    <= scenario.nep_servers_per_site_max)
+
+    def test_servers_use_edge_skus(self, nep_platform):
+        skus = {(s.cpu_cores, s.memory_gb) for s, _ in EDGE_SERVER_SKUS}
+        for server in nep_platform.iter_servers():
+            key = (server.capacity.cpu_cores, server.capacity.memory_gb)
+            assert key in skus
+
+    def test_site_ids_unique(self, nep_platform):
+        ids = [s.site_id for s in nep_platform.sites]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self):
+        a = build_nep_platform(SMOKE)
+        b = build_nep_platform(SMOKE)
+        assert ([s.site_id for s in a.sites] == [s.site_id for s in b.sites])
+        assert ([s.location for s in a.sites] == [s.location for s in b.sites])
+
+
+class TestCloudBuilder:
+    def test_region_count(self):
+        platform = build_cloud_platform(SMOKE, region_count=8,
+                                        servers_per_region=10)
+        assert len(platform.sites) == 8
+
+    def test_kind_is_cloud(self):
+        platform = build_cloud_platform(SMOKE, servers_per_region=4)
+        assert platform.kind is PlatformKind.CLOUD
+        assert not platform.is_edge
+
+    def test_cloud_regions_bigger_than_edge_sites(self, nep_platform):
+        cloud = build_cloud_platform(SMOKE, region_count=4,
+                                     servers_per_region=400)
+        mean_edge = (sum(s.server_count for s in nep_platform.sites)
+                     / len(nep_platform.sites))
+        mean_cloud = (sum(s.server_count for s in cloud.sites)
+                      / len(cloud.sites))
+        assert mean_cloud > 5 * mean_edge
+
+    def test_regions_in_top_metros(self):
+        platform = build_cloud_platform(SMOKE, region_count=4,
+                                        servers_per_region=2)
+        cities = {s.city for s in platform.sites}
+        assert "Shanghai" in cities

@@ -1,0 +1,78 @@
+"""Tests for the platform build-out simulation (§4.3 growth driver)."""
+
+import pytest
+
+from repro.config import Scenario
+from repro.errors import ConfigurationError
+from repro.platform.growth import simulate_growth
+
+SCENARIO = Scenario.smoke_scale()
+
+
+@pytest.fixture(scope="module")
+def grown():
+    return simulate_growth(SCENARIO, epochs=5, initial_fraction=0.25,
+                           requests_per_epoch=10)
+
+
+class TestSimulation:
+    def test_epoch_count(self, grown):
+        assert len(grown.epochs) == 5
+
+    def test_sites_grow_monotonically(self, grown):
+        counts = [e.active_sites for e in grown.epochs]
+        assert counts == sorted(counts)
+        assert counts[-1] == SCENARIO.nep_site_count
+
+    def test_vms_accumulate(self, grown):
+        placed = [e.placed_vms for e in grown.epochs]
+        assert placed == sorted(placed)
+        assert placed[-1] > 0
+
+    def test_platform_consistent(self, grown):
+        grown.platform.validate()
+
+    def test_every_site_has_activation_epoch(self, grown):
+        assert set(grown.activation_epoch) == {
+            s.site_id for s in grown.platform.sites}
+
+    def test_static_baseline_activates_everything_at_once(self):
+        static = simulate_growth(SCENARIO, epochs=3, initial_fraction=1.0,
+                                 requests_per_epoch=5)
+        assert all(epoch == 0
+                   for epoch in static.activation_epoch.values())
+        assert static.epochs[0].active_sites == SCENARIO.nep_site_count
+
+
+class TestGrowthSignature:
+    def test_growth_worsens_site_skew(self, grown):
+        # §4.3: "the resource usage skewness is more severe across sites
+        # ... with the arrival of both sites and VM subscriptions".
+        static = simulate_growth(SCENARIO, epochs=5, initial_fraction=1.0,
+                                 requests_per_epoch=10)
+        assert grown.final_skew > static.final_skew
+
+    def test_early_sites_sell_more(self, grown):
+        rates = grown.rate_by_activation_epoch()
+        first = rates[0]
+        last = rates[max(rates)]
+        assert first > last
+
+    def test_skew_is_positive(self, grown):
+        assert all(e.skew >= 1.0 for e in grown.epochs)
+
+
+class TestValidation:
+    def test_bad_epochs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_growth(SCENARIO, epochs=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_growth(SCENARIO, initial_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_growth(SCENARIO, initial_fraction=1.5)
+
+    def test_bad_request_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_growth(SCENARIO, requests_per_epoch=0)

@@ -1,0 +1,146 @@
+"""Property-based invariants of placement and capacity accounting.
+
+Whatever sequence of placements, failures, and migrations happens, the
+platform ledgers must never oversubscribe a server and must stay
+consistent with the VMs' own placement records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, PlacementError
+from repro.geo.coords import GeoPoint
+from repro.platform.cluster import Platform
+from repro.platform.entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VMSpec,
+)
+from repro.platform.migration import migrate
+from repro.platform.placement import (
+    BestFitPolicy,
+    FirstFitPolicy,
+    NepPlacementPolicy,
+    SubscriptionRequest,
+)
+
+request_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=16),   # cores
+        st.integers(min_value=1, max_value=64),   # memory
+        st.integers(min_value=1, max_value=6),    # vm count
+    ),
+    min_size=1, max_size=10,
+)
+
+policies = st.sampled_from([NepPlacementPolicy, FirstFitPolicy,
+                            BestFitPolicy])
+
+
+def _platform(servers=4, cores=64, memory=256):
+    platform = Platform(name="t", kind=PlatformKind.EDGE)
+    site = Site(site_id="s0", name="n", city="Beijing",
+                province="Beijing", location=GeoPoint(39.9, 116.4))
+    for i in range(servers):
+        site.servers.append(Server(
+            server_id=f"m{i}", site_id="s0",
+            capacity=ResourceVector(cores, memory, 100_000),
+        ))
+    platform.add_site(site)
+    platform.register_customer(Customer("c0", "cust"))
+    return platform
+
+
+class TestPlacementInvariants:
+    @given(request_specs, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_never_oversubscribes(self, specs, policy_cls):
+        platform = _platform()
+        policy = policy_cls()
+        for index, (cores, memory, count) in enumerate(specs):
+            app_id = f"a{index}"
+            platform.register_app(App(app_id, "c0", "cdn", f"i{index}"))
+            request = SubscriptionRequest(
+                customer_id="c0", app_id=app_id, image_id=f"i{index}",
+                spec=VMSpec(cores, memory), vm_count=count,
+            )
+            try:
+                policy.place(platform, request)
+            except PlacementError:
+                pass  # rejection is fine; oversubscription is not
+        for server in platform.iter_servers():
+            assert server.allocated.cpu_cores <= server.capacity.cpu_cores
+            assert server.allocated.memory_gb <= server.capacity.memory_gb
+            assert server.allocated.cpu_cores >= 0
+
+    @given(request_specs, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_ledgers_stay_consistent(self, specs, policy_cls):
+        platform = _platform()
+        policy = policy_cls()
+        for index, (cores, memory, count) in enumerate(specs):
+            app_id = f"a{index}"
+            platform.register_app(App(app_id, "c0", "cdn", f"i{index}"))
+            try:
+                policy.place(platform, SubscriptionRequest(
+                    customer_id="c0", app_id=app_id, image_id=f"i{index}",
+                    spec=VMSpec(cores, memory), vm_count=count,
+                ))
+            except PlacementError:
+                pass
+        platform.validate()  # raises on any inconsistency
+        # Allocation equals the sum of hosted VM specs, exactly.
+        for server in platform.iter_servers():
+            total = sum(platform.vms[v].spec.cpu_cores
+                        for v in server.vm_ids)
+            assert server.allocated.cpu_cores == pytest.approx(total)
+
+    @given(request_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_rejected_requests_leave_no_trace(self, specs):
+        platform = _platform(servers=1, cores=8, memory=16)
+        policy = NepPlacementPolicy()
+        platform.register_app(App("big", "c0", "cdn", "i"))
+        before_vms = len(platform.vms)
+        with pytest.raises(PlacementError):
+            policy.place(platform, SubscriptionRequest(
+                customer_id="c0", app_id="big", image_id="i",
+                spec=VMSpec(8, 16), vm_count=5,
+            ))
+        assert len(platform.vms) == before_vms
+        assert all(s.allocated.cpu_cores == 0
+                   for s in platform.iter_servers())
+
+
+class TestMigrationInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_random_migrations_preserve_capacity(self, moves):
+        platform = _platform(servers=4, cores=32, memory=128)
+        policy = FirstFitPolicy()
+        platform.register_app(App("a0", "c0", "cdn", "i"))
+        vms = policy.place(platform, SubscriptionRequest(
+            customer_id="c0", app_id="a0", image_id="i",
+            spec=VMSpec(8, 32), vm_count=6,
+        ))
+        rng = np.random.default_rng(0)
+        for target_index in moves:
+            vm = vms[int(rng.integers(0, len(vms)))]
+            target = f"m{target_index}"
+            if vm.server_id == target:
+                continue
+            try:
+                migrate(platform, vm, target)
+            except CapacityError:
+                continue
+        platform.validate()
+        total_cores = sum(s.allocated.cpu_cores
+                          for s in platform.iter_servers())
+        assert total_cores == pytest.approx(6 * 8)

@@ -1,0 +1,153 @@
+"""Tests for live migration and the usage rebalancer."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.geo.coords import GeoPoint
+from repro.platform.cluster import Platform
+from repro.platform.entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VM,
+    VMSpec,
+)
+from repro.platform.migration import (
+    UsageRebalancer,
+    migrate,
+    predict_migration_cost,
+)
+
+
+@pytest.fixture()
+def platform():
+    p = Platform(name="t", kind=PlatformKind.EDGE)
+    site = Site(site_id="s0", name="n", city="Beijing", province="Beijing",
+                location=GeoPoint(39.9, 116.4))
+    for i in range(3):
+        site.servers.append(Server(server_id=f"m{i}", site_id="s0",
+                                   capacity=ResourceVector(64, 256)))
+    p.add_site(site)
+    p.register_customer(Customer("c0", "cust"))
+    p.register_app(App("a0", "c0", "cdn", "img"))
+    return p
+
+
+def _place(platform, vm_id, server_id, cores=8, mem=32):
+    vm = VM(vm_id=vm_id, spec=VMSpec(cores, mem), customer_id="c0",
+            app_id="a0", image_id="img")
+    platform.server(server_id).attach(vm)
+    platform.register_vm(vm)
+    return vm
+
+
+class TestMigrationCostModel:
+    def test_cost_scales_with_memory(self):
+        small = predict_migration_cost(4.0)
+        large = predict_migration_cost(64.0)
+        assert large.total_seconds > small.total_seconds
+        assert large.data_moved_gb > small.data_moved_gb
+
+    def test_downtime_much_smaller_than_total(self):
+        cost = predict_migration_cost(32.0)
+        assert cost.downtime_seconds < cost.total_seconds
+
+    def test_precopy_moves_more_than_memory(self):
+        # Retransmitting dirtied pages means total data > VM memory.
+        cost = predict_migration_cost(32.0)
+        assert cost.data_moved_gb > 32.0
+
+    def test_non_converging_dirty_rate_bounded(self):
+        cost = predict_migration_cost(32.0, link_gbps=1.0,
+                                      dirty_rate_gbps=2.0)
+        assert cost.total_seconds > 0
+
+    def test_bad_memory_rejected(self):
+        with pytest.raises(CapacityError):
+            predict_migration_cost(0.0)
+
+    def test_bad_link_rejected(self):
+        with pytest.raises(CapacityError):
+            predict_migration_cost(8.0, link_gbps=0.0)
+
+
+class TestMigrate:
+    def test_moves_vm(self, platform):
+        vm = _place(platform, "vm0", "m0")
+        cost = migrate(platform, vm, "m1")
+        assert vm.server_id == "m1"
+        assert platform.server("m0").allocated.cpu_cores == 0
+        assert platform.server("m1").allocated.cpu_cores == 8
+        assert cost.total_seconds > 0
+        platform.validate()
+
+    def test_unplaced_vm_rejected(self, platform):
+        vm = VM(vm_id="vmX", spec=VMSpec(1, 1), customer_id="c0",
+                app_id="a0", image_id="img")
+        platform.register_vm(vm)
+        with pytest.raises(CapacityError):
+            migrate(platform, vm, "m1")
+
+    def test_same_server_rejected(self, platform):
+        vm = _place(platform, "vm0", "m0")
+        with pytest.raises(CapacityError):
+            migrate(platform, vm, "m0")
+
+    def test_full_target_rejected(self, platform):
+        vm = _place(platform, "vm0", "m0")
+        _place(platform, "big", "m1", cores=64, mem=256)
+        with pytest.raises(CapacityError):
+            migrate(platform, vm, "m1")
+        assert vm.server_id == "m0"  # unchanged on failure
+
+
+class TestRebalancer:
+    def test_moves_hot_vm_to_cold_server(self, platform):
+        hot = _place(platform, "hot", "m0", cores=16, mem=64)
+        _place(platform, "warm", "m0", cores=8, mem=32)
+        usage = {"hot": 0.9, "warm": 0.2}
+        rebalancer = UsageRebalancer(usage=lambda v: usage[v],
+                                     target_spread=0.05)
+        moves = rebalancer.rebalance_site(platform, "s0")
+        assert moves
+        assert moves[0].vm_id == "hot"
+        assert platform.vms["hot"].server_id != "m0"
+        platform.validate()
+
+    def test_balanced_site_makes_no_moves(self, platform):
+        _place(platform, "a", "m0")
+        _place(platform, "b", "m1")
+        _place(platform, "c", "m2")
+        rebalancer = UsageRebalancer(usage=lambda v: 0.5, target_spread=0.25)
+        assert rebalancer.rebalance_site(platform, "s0") == []
+
+    def test_respects_max_moves(self, platform):
+        for i in range(6):
+            _place(platform, f"vm{i}", "m0", cores=8, mem=32)
+        rebalancer = UsageRebalancer(usage=lambda v: 0.9, max_moves=2,
+                                     target_spread=0.01)
+        moves = rebalancer.rebalance_site(platform, "s0")
+        assert len(moves) <= 2
+
+    def test_reduces_load_spread(self, platform):
+        for i in range(4):
+            _place(platform, f"vm{i}", "m0", cores=8, mem=32)
+        rebalancer = UsageRebalancer(usage=lambda v: 0.6, target_spread=0.1)
+
+        def spread():
+            loads = [rebalancer.server_load(platform, f"m{i}")
+                     for i in range(3)]
+            return max(loads) - min(loads)
+
+        before = spread()
+        rebalancer.rebalance_site(platform, "s0")
+        assert spread() < before
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(CapacityError):
+            UsageRebalancer(usage=lambda v: 0.0, max_moves=0)
+        with pytest.raises(CapacityError):
+            UsageRebalancer(usage=lambda v: 0.0, target_spread=0.0)

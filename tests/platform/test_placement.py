@@ -1,0 +1,144 @@
+"""Tests for VM placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.geo.coords import GeoPoint
+from repro.platform.cluster import Platform
+from repro.platform.entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VMSpec,
+)
+from repro.platform.placement import (
+    BestFitPolicy,
+    FirstFitPolicy,
+    NepPlacementPolicy,
+    RandomPolicy,
+    SubscriptionRequest,
+)
+
+
+def _platform(server_cores=(64, 64, 64), provinces=("Beijing",)):
+    p = Platform(name="t", kind=PlatformKind.EDGE)
+    for pi, province in enumerate(provinces):
+        site = Site(site_id=f"s{pi}", name=province, city=province,
+                    province=province, location=GeoPoint(30 + pi, 110 + pi))
+        for mi, cores in enumerate(server_cores):
+            site.servers.append(Server(
+                server_id=f"s{pi}-m{mi}", site_id=f"s{pi}",
+                capacity=ResourceVector(cores, cores * 4, 10_000),
+            ))
+        p.add_site(site)
+    p.register_customer(Customer("c0", "cust"))
+    p.register_app(App("a0", "c0", "cdn", "img0"))
+    return p
+
+
+def _request(count=3, cores=8, province=None, city=None):
+    return SubscriptionRequest(
+        customer_id="c0", app_id="a0", image_id="img0",
+        spec=VMSpec(cores, cores * 2), vm_count=count,
+        province=province, city=city,
+    )
+
+
+class TestSubscriptionRequest:
+    def test_zero_count_rejected(self):
+        with pytest.raises(PlacementError):
+            _request(count=0)
+
+
+class TestNepPolicy:
+    def test_places_all_vms(self):
+        platform = _platform()
+        vms = NepPlacementPolicy().place(platform, _request(count=5))
+        assert len(vms) == 5
+        assert all(vm.placed for vm in vms)
+        assert len(platform.vms) == 5
+
+    def test_spreads_across_low_usage_servers(self):
+        # NEP favours servers with the lowest sales ratio, so 3 identical
+        # servers each get one of the first 3 VMs.
+        platform = _platform()
+        NepPlacementPolicy().place(platform, _request(count=3))
+        loads = [s.cpu_sales_rate() for s in platform.iter_servers()]
+        assert max(loads) == pytest.approx(min(loads))
+
+    def test_uses_usage_provider(self):
+        platform = _platform()
+        # Mark m0 as historically hot; placement must avoid it first.
+        usage = {f"s0-m{i}": (0.9 if i == 0 else 0.0, 0.9 if i == 0 else 0.0)
+                 for i in range(3)}
+        policy = NepPlacementPolicy(usage=lambda sid: usage[sid])
+        vms = policy.place(platform, _request(count=2))
+        assert all(vm.server_id != "s0-m0" for vm in vms)
+
+    def test_infeasible_request_rolls_back(self):
+        platform = _platform(server_cores=(8,))
+        with pytest.raises(PlacementError):
+            NepPlacementPolicy().place(platform, _request(count=3, cores=8))
+        # Rollback: nothing left allocated, nothing registered.
+        assert len(platform.vms) == 0
+        assert all(s.allocated.cpu_cores == 0 for s in platform.iter_servers())
+
+    def test_province_scoping(self):
+        platform = _platform(provinces=("Beijing", "Guangdong"))
+        vms = NepPlacementPolicy().place(
+            platform, _request(count=2, province="Guangdong"))
+        assert all(vm.site_id == "s1" for vm in vms)
+
+    def test_unknown_province_rejected(self):
+        platform = _platform()
+        with pytest.raises(PlacementError):
+            NepPlacementPolicy().place(platform,
+                                       _request(province="Atlantis"))
+
+    def test_city_scoping(self):
+        platform = _platform(provinces=("Beijing", "Guangdong"))
+        vms = NepPlacementPolicy().place(
+            platform, _request(count=1, city="Beijing"))
+        assert vms[0].site_id == "s0"
+
+    def test_vm_ids_unique_across_requests(self):
+        platform = _platform()
+        a = NepPlacementPolicy().place(platform, _request(count=3))
+        b = NepPlacementPolicy().place(platform, _request(count=3))
+        ids = [vm.vm_id for vm in a + b]
+        assert len(ids) == len(set(ids))
+
+
+class TestClassicPolicies:
+    def test_first_fit_fills_in_order(self):
+        platform = _platform()
+        FirstFitPolicy().place(platform, _request(count=2, cores=8))
+        first = platform.server("s0-m0")
+        assert len(first.vm_ids) == 2
+
+    def test_best_fit_consolidates(self):
+        platform = _platform(server_cores=(64, 16))
+        # Best-fit picks the 16-core server for an 8-core VM.
+        vms = BestFitPolicy().place(platform, _request(count=1, cores=8))
+        assert vms[0].server_id == "s0-m1"
+
+    def test_random_policy_is_feasible(self):
+        platform = _platform()
+        policy = RandomPolicy(np.random.default_rng(0))
+        vms = policy.place(platform, _request(count=6, cores=8))
+        assert len(vms) == 6
+        platform.validate()
+
+    def test_best_fit_vs_nep_fragmentation(self):
+        # The §4.1 implication: spreading (NEP) leaves more partially-
+        # filled servers than bin-packing best-fit.
+        def used_servers(policy):
+            platform = _platform(server_cores=(32, 32, 32, 32))
+            policy.place(platform, _request(count=4, cores=8))
+            return sum(1 for s in platform.iter_servers() if s.vm_ids)
+
+        assert used_servers(BestFitPolicy()) <= used_servers(NepPlacementPolicy())

@@ -1,0 +1,113 @@
+"""Tests for end-user request scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.geo.coords import GeoPoint
+from repro.platform.cluster import Platform
+from repro.platform.entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VM,
+    VMSpec,
+)
+from repro.platform.scheduling import LoadAwareScheduler, NearestSiteScheduler
+
+BEIJING = GeoPoint(39.90, 116.40)
+
+
+@pytest.fixture()
+def platform():
+    p = Platform(name="t", kind=PlatformKind.EDGE)
+    cities = [("Beijing", 39.9, 116.4), ("Tianjin", 39.1, 117.2),
+              ("Guangzhou", 23.1, 113.3)]
+    for i, (city, lat, lon) in enumerate(cities):
+        site = Site(site_id=f"s{i}", name=city, city=city, province=city,
+                    location=GeoPoint(lat, lon))
+        site.servers.append(Server(server_id=f"s{i}-m0", site_id=f"s{i}",
+                                   capacity=ResourceVector(64, 256)))
+        p.add_site(site)
+    p.register_customer(Customer("c0", "cust"))
+    p.register_app(App("a0", "c0", "gaming", "img"))
+    for i in range(3):
+        vm = VM(vm_id=f"vm{i}", spec=VMSpec(4, 16), customer_id="c0",
+                app_id="a0", image_id="img")
+        p.site(f"s{i}").servers[0].attach(vm)
+        p.register_vm(vm)
+    return p
+
+
+class TestNearestSiteScheduler:
+    def test_routes_to_nearest(self, platform):
+        decision = NearestSiteScheduler().schedule(platform, "a0", BEIJING)
+        assert decision.site_id == "s0"
+
+    def test_distance_reported(self, platform):
+        decision = NearestSiteScheduler().schedule(platform, "a0", BEIJING)
+        assert decision.distance_km < 50
+
+    def test_no_vms_raises(self, platform):
+        platform.register_app(App("a1", "c0", "empty", "img"))
+        with pytest.raises(SchedulingError):
+            NearestSiteScheduler().schedule(platform, "a1", BEIJING)
+
+
+class TestLoadAwareScheduler:
+    def test_prefers_nearest_when_unloaded(self, platform):
+        scheduler = LoadAwareScheduler(load=lambda vm_id: 0.1)
+        decision = scheduler.schedule(platform, "a0", BEIJING)
+        assert decision.site_id == "s0"
+
+    def test_detours_away_from_overloaded_vm(self, platform):
+        # Beijing VM is overloaded; Tianjin (~115 km) is inside the detour.
+        loads = {"vm0": 0.95, "vm1": 0.2, "vm2": 0.2}
+        scheduler = LoadAwareScheduler(load=lambda vm_id: loads[vm_id],
+                                       detour_km=300.0)
+        decision = scheduler.schedule(platform, "a0", BEIJING)
+        assert decision.vm_id == "vm1"
+
+    def test_does_not_detour_beyond_radius(self, platform):
+        # Only Guangzhou is lightly loaded but it is ~1900 km away:
+        # outside the detour, every in-radius VM is overloaded, so the
+        # last-resort pool picks the globally least-loaded VM.
+        loads = {"vm0": 0.95, "vm1": 0.9, "vm2": 0.1}
+        scheduler = LoadAwareScheduler(load=lambda vm_id: loads[vm_id],
+                                       detour_km=300.0)
+        decision = scheduler.schedule(platform, "a0", BEIJING)
+        assert decision.vm_id == "vm2"
+
+    def test_load_recorded_in_decision(self, platform):
+        scheduler = LoadAwareScheduler(load=lambda vm_id: 0.3)
+        decision = scheduler.schedule(platform, "a0", BEIJING)
+        assert decision.load == pytest.approx(0.3)
+
+    def test_bad_detour_rejected(self):
+        with pytest.raises(SchedulingError):
+            LoadAwareScheduler(load=lambda v: 0.0, detour_km=-1)
+
+    def test_bad_overload_rejected(self):
+        with pytest.raises(SchedulingError):
+            LoadAwareScheduler(load=lambda v: 0.0, overload=0.0)
+
+    def test_balances_better_than_nearest(self, platform):
+        # The §4.3 claim: load-aware GSLB evens VM load at small delay cost.
+        import numpy as np
+        loads = {"vm0": 0.0, "vm1": 0.0, "vm2": 0.0}
+        nearest_counts = {"vm0": 0, "vm1": 0, "vm2": 0}
+        scheduler = LoadAwareScheduler(load=lambda v: loads[v],
+                                       detour_km=300.0, overload=0.8)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            user = GeoPoint(39.9 + rng.uniform(-0.3, 0.3),
+                            116.4 + rng.uniform(-0.3, 0.3))
+            nearest = NearestSiteScheduler().schedule(platform, "a0", user)
+            nearest_counts[nearest.vm_id] += 1
+            decision = scheduler.schedule(platform, "a0", user)
+            loads[decision.vm_id] += 0.05  # each request adds load
+        # Nearest-only sends everything to vm0; load-aware spreads.
+        assert nearest_counts["vm0"] == 60
+        assert loads["vm1"] > 0

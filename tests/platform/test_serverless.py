@@ -1,0 +1,141 @@
+"""Tests for the serverless/FaaS extension (§5 'decomposing edge services')."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.platform.serverless import (
+    FaasBilling,
+    FaasRuntime,
+    FunctionSpec,
+    compare_vm_vs_faas,
+)
+
+SPEC = FunctionSpec(name="transcode", memory_mb=512, exec_ms=80.0,
+                    cold_start_ms=400.0, warm_start_ms=2.0)
+
+
+class TestFunctionSpec:
+    def test_bad_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionSpec(name="f", memory_mb=0, exec_ms=10.0)
+
+    def test_bad_exec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionSpec(name="f", memory_mb=128, exec_ms=0.0)
+
+
+class TestFaasRuntime:
+    def test_first_request_is_cold(self, rng):
+        runtime = FaasRuntime(SPEC)
+        stats = runtime.run_window(1, 60.0, rng)
+        assert stats.cold_starts == 1
+        assert stats.mean_latency_ms == pytest.approx(
+            SPEC.cold_start_ms + SPEC.exec_ms, rel=0.01)
+
+    def test_warm_requests_are_fast(self, rng):
+        runtime = FaasRuntime(SPEC, keep_alive_s=3600.0)
+        runtime.run_window(5, 60.0, rng)
+        stats = runtime.run_window(5, 60.0, rng)
+        # The pool is warm and the load stable: no new cold starts.
+        assert stats.cold_starts == 0
+        assert stats.mean_latency_ms == pytest.approx(
+            SPEC.warm_start_ms + SPEC.exec_ms, rel=0.2)
+
+    def test_keep_alive_expiry_forces_cold_start(self, rng):
+        runtime = FaasRuntime(SPEC, keep_alive_s=10.0)
+        runtime.run_window(1, 60.0, rng)
+        runtime.run_window(0, 120.0, rng)  # idle past the keep-alive
+        stats = runtime.run_window(1, 60.0, rng)
+        assert stats.cold_starts == 1
+
+    def test_concurrency_scales_with_load(self, rng):
+        runtime = FaasRuntime(SPEC, keep_alive_s=3600.0)
+        stats = runtime.run_window(500, 1.0, rng)  # 500 rps burst
+        assert stats.max_concurrency > 10
+
+    def test_pool_limit_enforced(self, rng):
+        runtime = FaasRuntime(SPEC, max_instances=3)
+        with pytest.raises(CapacityError):
+            runtime.run_window(200, 0.5, rng)
+
+    def test_gb_seconds_accumulate(self, rng):
+        runtime = FaasRuntime(SPEC, keep_alive_s=3600.0)
+        runtime.run_window(10, 60.0, rng)
+        # 10 invocations x 0.5 GB x ~0.082-0.482 s each.
+        assert 0.3 < runtime.gb_seconds < 3.0
+
+    def test_zero_request_window(self, rng):
+        runtime = FaasRuntime(SPEC)
+        stats = runtime.run_window(0, 60.0, rng)
+        assert stats.invocations == 0
+        assert stats.mean_latency_ms == 0.0
+
+    def test_bad_window_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            FaasRuntime(SPEC).run_window(1, 0.0, rng)
+
+    def test_bad_keep_alive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaasRuntime(SPEC, keep_alive_s=-1.0)
+
+
+class TestFaasBilling:
+    def test_zero_usage_is_free(self):
+        assert FaasBilling().cost(0, 0.0) == 0.0
+
+    def test_known_value(self):
+        billing = FaasBilling(per_million_invocations=1.0,
+                              per_gb_second=0.0001)
+        assert billing.cost(2_000_000, 10_000.0) == pytest.approx(3.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaasBilling().cost(-1, 0.0)
+
+
+class TestVmVsFaas:
+    def _diurnal_rate(self, peak_rps=5.0, windows=48):
+        t = np.arange(windows)
+        return peak_rps * np.clip(np.sin(2 * np.pi * t / windows), 0.02,
+                                  None)
+
+    def test_bursty_low_volume_favours_faas(self, rng):
+        # An app busy 3 hours a day: the right-sized reserved VM
+        # (2C/8G-class, ~260 RMB/month) still idles 21 hours, FaaS wins.
+        rate = np.zeros(48)
+        rate[18:24] = 2.0
+        comparison = compare_vm_vs_faas(
+            rate, window_s=1800.0, spec=SPEC, vm_monthly_rmb=260.0,
+            vm_capacity_rps=50.0, rng=rng)
+        assert comparison.faas_cheaper
+        assert comparison.vm_peak_utilization < 0.2
+
+    def test_steady_high_volume_favours_vm(self, rng):
+        # Saturating the same right-sized VM around the clock: the
+        # GB-second premium makes FaaS the expensive option (§5's
+        # "elasticity comes at a price").
+        rate = np.full(48, 45.0)
+        comparison = compare_vm_vs_faas(
+            rate, window_s=1800.0, spec=SPEC, vm_monthly_rmb=260.0,
+            vm_capacity_rps=50.0, rng=rng)
+        assert not comparison.faas_cheaper
+        assert comparison.vm_peak_utilization > 0.8
+
+    def test_cold_start_fraction_reported(self, rng):
+        comparison = compare_vm_vs_faas(
+            self._diurnal_rate(), window_s=1800.0, spec=SPEC,
+            vm_monthly_rmb=500.0, vm_capacity_rps=20.0, rng=rng)
+        assert 0.0 <= comparison.faas_cold_start_fraction <= 1.0
+        # Diurnal ramps force some cold starts (§5's latency caveat).
+        assert comparison.faas_cold_start_fraction > 0.0
+
+    def test_faas_p95_reflects_cold_starts(self, rng):
+        comparison = compare_vm_vs_faas(
+            self._diurnal_rate(), window_s=1800.0, spec=SPEC,
+            vm_monthly_rmb=500.0, vm_capacity_rps=20.0, rng=rng)
+        assert comparison.faas_p95_latency_ms >= SPEC.exec_ms
+
+    def test_empty_series_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            compare_vm_vs_faas(np.array([]), 60.0, SPEC, 100.0, 10.0, rng)

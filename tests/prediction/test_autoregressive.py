@@ -1,0 +1,90 @@
+"""Tests for the seasonal-AR (ARIMA-family) forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.autoregressive import SeasonalARForecaster
+from repro.prediction.evaluate import ExperimentSpec, evaluate_seasonal_ar
+
+
+def _seasonal_series(days=14, period=48, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(days * period)
+    series = 0.4 + 0.25 * np.sin(2 * np.pi * t / period)
+    return np.clip(series + rng.normal(0, noise, t.size), 0, 1)
+
+
+class TestConstruction:
+    def test_bad_season_rejected(self):
+        with pytest.raises(PredictionError):
+            SeasonalARForecaster(season_length=1)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(PredictionError):
+            SeasonalARForecaster(season_length=48, order=0)
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(PredictionError):
+            SeasonalARForecaster(season_length=48, ridge=-1.0)
+
+
+class TestFitting:
+    def test_too_short_rejected(self):
+        model = SeasonalARForecaster(season_length=48)
+        with pytest.raises(PredictionError):
+            model.fit(np.zeros(30))
+
+    def test_forecast_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            SeasonalARForecaster(season_length=48).forecast_next()
+
+    def test_update_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            SeasonalARForecaster(season_length=48).update(0.5)
+
+
+class TestForecasting:
+    def test_tracks_clean_seasonal_signal(self):
+        series = _seasonal_series(noise=0.002)
+        train, test = series[:-96], series[-96:]
+        model = SeasonalARForecaster(season_length=48).fit(train)
+        forecasts = model.walk_forward(test)
+        rmse = np.sqrt(np.mean((forecasts - test) ** 2))
+        assert rmse < 0.02
+
+    def test_beats_naive_mean(self):
+        series = _seasonal_series(noise=0.02)
+        train, test = series[:-96], series[-96:]
+        model = SeasonalARForecaster(season_length=48).fit(train)
+        forecasts = model.walk_forward(test)
+        model_rmse = np.sqrt(np.mean((forecasts - test) ** 2))
+        naive_rmse = np.sqrt(np.mean((train.mean() - test) ** 2))
+        assert model_rmse < naive_rmse
+
+    def test_constant_series_stays_constant(self):
+        model = SeasonalARForecaster(season_length=48).fit(
+            np.full(480, 0.3))
+        assert model.forecast_next() == pytest.approx(0.3, abs=0.01)
+
+    def test_walk_forward_length(self):
+        series = _seasonal_series()
+        model = SeasonalARForecaster(season_length=48).fit(series[:-20])
+        assert model.walk_forward(series[-20:]).shape == (20,)
+
+    def test_harness_integration(self):
+        spec = ExperimentSpec(cpu_interval_minutes=30, window_minutes=30,
+                              train_days=7, test_days=2)
+        outcome = evaluate_seasonal_ar(
+            "vm0", _seasonal_series(days=9), "mean", spec)
+        assert outcome.model == "seasonal-ar"
+        assert outcome.rmse_percent < 5.0
+
+    def test_comparable_to_holt_winters(self):
+        from repro.prediction.evaluate import evaluate_holt_winters
+        spec = ExperimentSpec(cpu_interval_minutes=30, window_minutes=30,
+                              train_days=7, test_days=2)
+        series = _seasonal_series(days=9, noise=0.02)
+        ar = evaluate_seasonal_ar("vm0", series, "mean", spec)
+        hw = evaluate_holt_winters("vm0", series, "mean", spec)
+        assert ar.rmse_percent < 3 * hw.rmse_percent

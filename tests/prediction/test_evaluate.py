@@ -1,0 +1,85 @@
+"""Tests for the §4.4 prediction harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.evaluate import (
+    ExperimentSpec,
+    evaluate_holt_winters,
+    evaluate_lstm,
+    split_train_test,
+    window_aggregate,
+)
+
+
+def _raw_series(days=10, interval=30, seed=0):
+    rng = np.random.default_rng(seed)
+    per_day = 24 * 60 // interval
+    t = np.arange(days * per_day)
+    series = 0.3 + 0.2 * np.sin(2 * np.pi * t / per_day)
+    return np.clip(series + rng.normal(0, 0.01, t.size), 0, 1)
+
+
+SPEC = ExperimentSpec(cpu_interval_minutes=30, window_minutes=30,
+                      train_days=7, test_days=2)
+
+
+class TestWindowing:
+    def test_max_aggregation(self):
+        series = np.array([0.1, 0.5, 0.3, 0.2])
+        assert window_aggregate(series, 2, "max").tolist() == [0.5, 0.3]
+
+    def test_mean_aggregation(self):
+        series = np.array([0.2, 0.4, 0.6, 0.8])
+        assert window_aggregate(series, 2, "mean").tolist() == \
+            pytest.approx([0.3, 0.7])
+
+    def test_partial_window_rejected(self):
+        with pytest.raises(PredictionError):
+            window_aggregate(np.zeros(5), 2, "max")
+
+    def test_unknown_reducer_rejected(self):
+        with pytest.raises(PredictionError):
+            window_aggregate(np.zeros(4), 2, "p99")
+
+    def test_spec_window_alignment_checked(self):
+        spec = ExperimentSpec(cpu_interval_minutes=7)
+        with pytest.raises(PredictionError):
+            _ = spec.readings_per_window
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        windows = np.arange(SPEC.windows_per_day * 9, dtype=float)
+        train, test = split_train_test(windows, SPEC)
+        assert train.size == 7 * SPEC.windows_per_day
+        assert test.size == 2 * SPEC.windows_per_day
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PredictionError):
+            split_train_test(np.zeros(10), SPEC)
+
+    def test_no_overlap(self):
+        windows = np.arange(SPEC.windows_per_day * 9, dtype=float)
+        train, test = split_train_test(windows, SPEC)
+        assert train[-1] < test[0]
+
+
+class TestEvaluators:
+    def test_holt_winters_outcome(self):
+        outcome = evaluate_holt_winters("vm0", _raw_series(), "mean", SPEC)
+        assert outcome.model == "holt-winters"
+        assert outcome.target == "mean"
+        assert 0.0 <= outcome.rmse_percent < 20.0
+
+    def test_lstm_outcome(self):
+        outcome = evaluate_lstm("vm0", _raw_series(), "max", SPEC,
+                                epochs=8)
+        assert outcome.model == "lstm"
+        assert 0.0 <= outcome.rmse_percent < 30.0
+
+    def test_seasonal_series_predicts_well(self):
+        # The paper's headline: low single-digit percent errors.
+        outcome = evaluate_holt_winters("vm0", _raw_series(), "mean", SPEC)
+        assert outcome.rmse_percent < 5.0

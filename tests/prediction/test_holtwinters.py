@@ -1,0 +1,79 @@
+"""Tests for the Holt-Winters forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.holtwinters import HoltWinters
+
+
+def _seasonal_series(days=14, period=48, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(days * period)
+    series = 0.4 + 0.25 * np.sin(2 * np.pi * t / period)
+    return np.clip(series + rng.normal(0, noise, t.size), 0, 1)
+
+
+class TestFitting:
+    def test_too_short_rejected(self):
+        with pytest.raises(PredictionError):
+            HoltWinters(season_length=48).fit(np.zeros(50))
+
+    def test_bad_season_length_rejected(self):
+        with pytest.raises(PredictionError):
+            HoltWinters(season_length=1)
+
+    def test_grid_search_fills_params(self):
+        model = HoltWinters(season_length=48).fit(_seasonal_series())
+        assert model.alpha is not None
+        assert model.beta is not None
+        assert model.gamma is not None
+
+    def test_explicit_params_kept(self):
+        model = HoltWinters(season_length=48, alpha=0.3, beta=0.05,
+                            gamma=0.2)
+        model.fit(_seasonal_series())
+        assert (model.alpha, model.beta, model.gamma) == (0.3, 0.05, 0.2)
+
+
+class TestForecasting:
+    def test_forecast_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            HoltWinters(season_length=48).forecast_next()
+
+    def test_update_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            HoltWinters(season_length=48).update(0.5)
+
+    def test_tracks_clean_seasonal_signal(self):
+        series = _seasonal_series(noise=0.001)
+        train, test = series[:-96], series[-96:]
+        model = HoltWinters(season_length=48).fit(train)
+        forecasts = model.walk_forward(test)
+        rmse = np.sqrt(np.mean((forecasts - test) ** 2))
+        assert rmse < 0.02
+
+    def test_seasonal_signal_beats_noise_only_baseline(self):
+        series = _seasonal_series(noise=0.02)
+        train, test = series[:-96], series[-96:]
+        model = HoltWinters(season_length=48).fit(train)
+        forecasts = model.walk_forward(test)
+        model_rmse = np.sqrt(np.mean((forecasts - test) ** 2))
+        naive_rmse = np.sqrt(np.mean((train.mean() - test) ** 2))
+        assert model_rmse < naive_rmse
+
+    def test_walk_forward_length(self):
+        series = _seasonal_series()
+        model = HoltWinters(season_length=48).fit(series[:-20])
+        assert model.walk_forward(series[-20:]).shape == (20,)
+
+    def test_constant_series_forecast_constant(self):
+        series = np.full(480, 0.3)
+        model = HoltWinters(season_length=48).fit(series)
+        assert model.forecast_next() == pytest.approx(0.3, abs=0.02)
+
+    def test_update_advances_phase(self):
+        model = HoltWinters(season_length=48).fit(_seasonal_series())
+        before = model._state.index
+        model.update(0.5)
+        assert model._state.index == before + 1

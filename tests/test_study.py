@@ -1,0 +1,65 @@
+"""Tests for the EdgeStudy facade and its caching behaviour."""
+
+from repro import EdgeStudy, Scenario, smoke_study
+from repro.errors import ReproError
+
+
+class TestFacade:
+    def test_components_are_cached(self, study):
+        assert study.nep is study.nep
+        assert study.per_user is study.per_user
+        assert study.qoe_testbed is study.qoe_testbed
+
+    def test_smoke_study_is_module_cached(self):
+        assert smoke_study() is smoke_study()
+
+    def test_distinct_seeds_distinct_studies(self):
+        assert smoke_study(1) is not smoke_study(2)
+
+    def test_platforms_have_expected_kinds(self, study):
+        assert study.nep.platform.is_edge
+        assert not study.alicloud.is_edge
+        assert not study.azure.platform.is_edge
+
+    def test_vcloud_regions_match_alicloud(self, study):
+        assert len(study.vcloud_regions) == len(study.alicloud.sites)
+
+    def test_billing_engines_named(self, study):
+        assert study.nep_billing.provider == "NEP"
+        assert study.vcloud1.provider == "vCloud-1"
+        assert study.vcloud2.provider == "vCloud-2"
+
+    def test_lazy_construction(self):
+        # Creating a study is instant; nothing is built until accessed.
+        study = EdgeStudy(Scenario.smoke_scale().with_overrides(seed=404))
+        assert "nep" not in study.__dict__
+        assert "campaign" not in study.__dict__
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_a_base(self):
+        from repro import errors
+
+        subclasses = [
+            errors.ConfigurationError, errors.GeoError,
+            errors.TopologyError, errors.CapacityError,
+            errors.PlacementError, errors.SchedulingError,
+            errors.TraceError, errors.MeasurementError,
+            errors.PredictionError, errors.BillingError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, ReproError)
+
+    def test_placement_error_is_capacity_error(self):
+        from repro.errors import CapacityError, PlacementError
+
+        assert issubclass(PlacementError, CapacityError)
+
+    def test_catching_base_catches_all(self):
+        from repro.errors import BillingError
+
+        try:
+            raise BillingError("x")
+        except ReproError:
+            caught = True
+        assert caught

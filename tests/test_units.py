@@ -1,0 +1,61 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_ms_seconds_round_trip(self):
+        assert units.ms_to_seconds(1500.0) == 1.5
+        assert units.seconds_to_ms(1.5) == 1500.0
+
+    def test_mbps_to_bytes_per_second(self):
+        # 8 Mbps = 1 MB/s.
+        assert units.mbps_to_bytes_per_second(8.0) == pytest.approx(1e6)
+
+    def test_gb_round_trip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(2.5)) == pytest.approx(2.5)
+
+    def test_traffic_volume(self):
+        # 8 Mbps for 1000 s moves 1 GB.
+        assert units.mbps_for_seconds_to_gb(8.0, 1000.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_time_round_trip_property(self, value):
+        assert units.ms_to_seconds(units.seconds_to_ms(value)) == \
+            pytest.approx(value)
+
+
+class TestTransmissionDelay:
+    def test_known_value(self):
+        # 1500 bytes at 12 Mbps = 1 ms.
+        assert units.transmission_delay_ms(1500.0, 12.0) == pytest.approx(1.0)
+
+    def test_faster_link_is_faster(self):
+        slow = units.transmission_delay_ms(1e6, 10.0)
+        fast = units.transmission_delay_ms(1e6, 100.0)
+        assert fast == pytest.approx(slow / 10)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay_ms(100.0, 0.0)
+
+
+class TestPropagationDelay:
+    def test_fiber_rule_of_thumb(self):
+        # 200 km of fibre ~ 1 ms one way (without inflation).
+        assert units.propagation_delay_ms(200.0, inflation=1.0) == \
+            pytest.approx(1.0)
+
+    def test_inflation_scales(self):
+        base = units.propagation_delay_ms(1000.0, inflation=1.0)
+        inflated = units.propagation_delay_ms(1000.0, inflation=1.6)
+        assert inflated == pytest.approx(1.6 * base)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            units.propagation_delay_ms(-1.0)

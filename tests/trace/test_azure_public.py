@@ -1,0 +1,125 @@
+"""Tests for the real Azure Public Dataset adapter (synthetic fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.azure_public import (
+    AZURE_READING_INTERVAL_MINUTES,
+    load_azure_public_dataset,
+    read_cpu_readings,
+    read_vmtable,
+    to_trace_dataset,
+)
+
+VMTABLE_ROWS = [
+    # vmid, sub, deployment, created, deleted, maxcpu, avgcpu, p95, cat,
+    # cores, memory
+    "vm1,sub1,dep1,0,2592000,95.0,12.0,80.0,Interactive,2,4",
+    "vm2,sub1,dep1,0,2592000,50.0,5.0,30.0,Interactive,1,2",
+    "vm3,sub2,dep2,0,2592000,99.0,60.0,95.0,Delay-insensitive,>24,>64",
+    "vm4,sub3,dep3,0,2592000,10.0,1.0,5.0,Unknown,1,1",  # no readings
+]
+
+
+@pytest.fixture()
+def azure_dir(tmp_path):
+    (tmp_path / "vmtable.csv").write_text("\n".join(VMTABLE_ROWS) + "\n")
+    interval = AZURE_READING_INTERVAL_MINUTES * 60
+    lines = []
+    for vm, level in (("vm1", 12.0), ("vm2", 5.0), ("vm3", 60.0)):
+        for i in range(2 * 24 * 60 // AZURE_READING_INTERVAL_MINUTES):
+            lines.append(f"{i * interval},{vm},0.0,{level + 5},{level}")
+    (tmp_path / "vm_cpu_readings-file-1-of-1.csv").write_text(
+        "\n".join(lines) + "\n")
+    return tmp_path
+
+
+class TestVmtable:
+    def test_parses_rows(self, azure_dir):
+        rows = read_vmtable(azure_dir / "vmtable.csv")
+        assert len(rows) == 4
+        assert rows[0]["cores"] == 2
+        assert rows[0]["category"] == "interactive"
+
+    def test_bucket_tails(self, azure_dir):
+        rows = read_vmtable(azure_dir / "vmtable.csv")
+        assert rows[2]["cores"] == 30      # ">24"
+        assert rows[2]["memory_gb"] == 96  # ">64"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_vmtable(tmp_path / "vmtable.csv")
+
+    def test_malformed_row_rejected(self, tmp_path):
+        (tmp_path / "vmtable.csv").write_text("a,b,c\n")
+        with pytest.raises(TraceError):
+            read_vmtable(tmp_path / "vmtable.csv")
+
+    def test_empty_table_rejected(self, tmp_path):
+        (tmp_path / "vmtable.csv").write_text("")
+        with pytest.raises(TraceError):
+            read_vmtable(tmp_path / "vmtable.csv")
+
+
+class TestReadings:
+    def test_grouped_by_vm(self, azure_dir):
+        readings = read_cpu_readings(
+            [azure_dir / "vm_cpu_readings-file-1-of-1.csv"])
+        assert set(readings) == {"vm1", "vm2", "vm3"}
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "vm_cpu_readings-x.csv"
+        bad.write_text("1,2\n")
+        with pytest.raises(TraceError):
+            read_cpu_readings([bad])
+
+
+class TestConversion:
+    def test_full_load(self, azure_dir):
+        dataset = load_azure_public_dataset(azure_dir, trace_days=2)
+        assert dataset.platform_name == "AzurePublic"
+        assert set(dataset.vm_ids()) == {"vm1", "vm2", "vm3"}
+        dataset.validate()
+
+    def test_vm_without_readings_dropped(self, azure_dir):
+        dataset = load_azure_public_dataset(azure_dir, trace_days=2)
+        assert "vm4" not in dataset.vms
+
+    def test_cpu_converted_to_fraction(self, azure_dir):
+        dataset = load_azure_public_dataset(azure_dir, trace_days=2)
+        assert dataset.mean_cpu("vm1") == pytest.approx(0.12, abs=0.01)
+        assert dataset.mean_cpu("vm3") == pytest.approx(0.60, abs=0.01)
+
+    def test_deployment_becomes_app(self, azure_dir):
+        dataset = load_azure_public_dataset(azure_dir, trace_days=2)
+        assert {vm.vm_id for vm in dataset.vms_of_app("dep1")} == \
+            {"vm1", "vm2"}
+
+    def test_missing_windows_padded_with_mean(self, azure_dir):
+        # Ask for more days than the readings cover: padding, not NaN.
+        dataset = load_azure_public_dataset(azure_dir, trace_days=4)
+        series = dataset.cpu_series["vm1"]
+        assert series.size == dataset.cpu_points
+        assert not np.isnan(series).any()
+
+    def test_analyses_run_on_converted_dataset(self, azure_dir):
+        from repro.core.workload_analysis import (
+            cpu_utilization_summary,
+            vm_size_summary,
+        )
+        dataset = load_azure_public_dataset(azure_dir, trace_days=2)
+        sizes = vm_size_summary(dataset)
+        assert sizes.median_cpu >= 1
+        util = cpu_utilization_summary(dataset)
+        assert 0.0 <= util.overall_mean_utilization <= 1.0
+
+    def test_no_readings_at_all_rejected(self, azure_dir):
+        vmtable = read_vmtable(azure_dir / "vmtable.csv")
+        with pytest.raises(TraceError):
+            to_trace_dataset(vmtable, {}, trace_days=2)
+
+    def test_missing_readings_files_rejected(self, tmp_path):
+        (tmp_path / "vmtable.csv").write_text(VMTABLE_ROWS[0] + "\n")
+        with pytest.raises(TraceError):
+            load_azure_public_dataset(tmp_path)

@@ -1,0 +1,50 @@
+"""Tests for the trace dataset disk round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, nep_dataset, tmp_path):
+        root = save_dataset(nep_dataset, tmp_path / "nep")
+        loaded = load_dataset(root)
+        assert loaded.platform_name == nep_dataset.platform_name
+        assert loaded.trace_days == nep_dataset.trace_days
+        assert set(loaded.vms) == set(nep_dataset.vms)
+        assert set(loaded.apps) == set(nep_dataset.apps)
+        assert len(loaded.sites) == len(nep_dataset.sites)
+        assert len(loaded.servers) == len(nep_dataset.servers)
+
+    def test_series_preserved_exactly(self, nep_dataset, tmp_path):
+        root = save_dataset(nep_dataset, tmp_path / "nep")
+        loaded = load_dataset(root)
+        vm_id = nep_dataset.vm_ids()[0]
+        assert np.array_equal(loaded.cpu_series[vm_id],
+                              nep_dataset.cpu_series[vm_id])
+        assert np.array_equal(loaded.bw_series[vm_id],
+                              nep_dataset.bw_series[vm_id])
+
+    def test_private_series_preserved(self, nep_dataset, tmp_path):
+        root = save_dataset(nep_dataset, tmp_path / "nep")
+        loaded = load_dataset(root)
+        assert set(loaded.bw_private_series) == set(
+            nep_dataset.bw_private_series)
+
+    def test_vm_records_preserved(self, nep_dataset, tmp_path):
+        root = save_dataset(nep_dataset, tmp_path / "nep")
+        loaded = load_dataset(root)
+        vm_id = nep_dataset.vm_ids()[0]
+        assert loaded.vms[vm_id] == nep_dataset.vms[vm_id]
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_dataset(tmp_path / "nothing-here")
+
+    def test_expected_files_written(self, nep_dataset, tmp_path):
+        root = save_dataset(nep_dataset, tmp_path / "nep")
+        for name in ("meta.json", "vms.csv", "apps.csv", "sites.csv",
+                     "servers.csv", "cpu.npz", "bw.npz"):
+            assert (root / name).exists(), name

@@ -1,0 +1,83 @@
+"""Tests for app-category profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.apps import (
+    AZURE_PROFILES,
+    CpuLevelMixture,
+    NEP_PROFILES,
+    profiles_by_category,
+    sample_profile,
+)
+
+
+class TestCpuLevelMixture:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            CpuLevelMixture(components=((0.5, 0.0, 0.5),))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuLevelMixture(components=((1.0, 0.5, 0.2),))
+
+    def test_samples_within_component_ranges(self, rng):
+        mixture = CpuLevelMixture(components=((0.5, 0.0, 0.1),
+                                              (0.5, 0.5, 0.9)))
+        draws = [mixture.sample(rng) for _ in range(300)]
+        assert all((0.0 <= d <= 0.1) or (0.5 <= d <= 0.9) for d in draws)
+
+
+class TestCatalogs:
+    def test_nep_has_paper_categories(self):
+        # §4.1 names these as NEP's most popular customers.
+        categories = {p.category for p in NEP_PROFILES}
+        assert {"live_streaming", "online_education", "cdn",
+                "video_communication", "video_surveillance",
+                "cloud_gaming"} == categories
+
+    def test_category_index(self):
+        by_cat = profiles_by_category(NEP_PROFILES)
+        assert by_cat["cdn"].vm_count_max == 1000  # the ~1000-VM CDN app
+
+    def test_nep_more_bandwidth_hungry_than_azure(self):
+        nep_bw = np.mean([p.bw_median_mbps for p in NEP_PROFILES])
+        azure_bw = np.mean([p.bw_median_mbps for p in AZURE_PROFILES])
+        assert nep_bw > 5 * azure_bw
+
+    def test_nep_stronger_seasonality(self):
+        # Effective seasonal amplitude = weight x pattern swing; the raw
+        # weights are not comparable because cloud patterns are weak.
+        from repro.workload.patterns import pattern, time_axis_minutes
+
+        minutes = time_axis_minutes(7, 30)
+
+        def amplitude(profiles):
+            return np.mean([
+                p.seasonal_weight * pattern(p.pattern_name)(minutes).std()
+                for p in profiles
+            ])
+
+        assert amplitude(NEP_PROFILES) > 1.5 * amplitude(AZURE_PROFILES)
+
+    def test_nep_more_within_app_heterogeneity(self):
+        nep = np.mean([p.within_app_sigma for p in NEP_PROFILES])
+        azure = np.mean([p.within_app_sigma for p in AZURE_PROFILES])
+        assert nep > 2 * azure
+
+    def test_popularities_normalisable(self):
+        assert sum(p.popularity for p in NEP_PROFILES) == pytest.approx(1.0)
+        assert sum(p.popularity for p in AZURE_PROFILES) == pytest.approx(1.0)
+
+    def test_sample_profile_respects_popularity(self, rng):
+        draws = [sample_profile(NEP_PROFILES, rng).category
+                 for _ in range(2000)]
+        share = draws.count("live_streaming") / len(draws)
+        assert share == pytest.approx(0.30, abs=0.06)
+
+    def test_vm_count_sampling_within_limits(self, rng):
+        for profile in NEP_PROFILES + AZURE_PROFILES:
+            counts = [profile.sample_vm_count(rng) for _ in range(200)]
+            assert min(counts) >= 1
+            assert max(counts) <= profile.vm_count_max

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end workload generators (smoke-scale fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.apps import AZURE_PROFILES, NEP_PROFILES
+
+
+class TestNepGeneration:
+    def test_vm_count_near_budget(self, nep_dataset, scenario):
+        assert len(nep_dataset.vms) >= scenario.nep_vm_count
+
+    def test_dataset_validates(self, nep_dataset):
+        nep_dataset.validate()
+
+    def test_platform_validates(self, nep_platform):
+        nep_platform.validate()
+
+    def test_every_vm_has_both_series(self, nep_dataset):
+        for vm_id in nep_dataset.vm_ids():
+            assert nep_dataset.cpu_series[vm_id].size == nep_dataset.cpu_points
+            assert nep_dataset.bw_series[vm_id].size == nep_dataset.bw_points
+
+    def test_private_traffic_recorded(self, nep_dataset):
+        assert len(nep_dataset.bw_private_series) == len(nep_dataset.vms)
+
+    def test_categories_from_catalog(self, nep_dataset):
+        known = {p.category for p in NEP_PROFILES}
+        assert {vm.category for vm in nep_dataset.vms.values()} <= known
+
+    def test_vm_placement_consistent_with_platform(self, nep_workload):
+        dataset, platform = nep_workload.dataset, nep_workload.platform
+        for record in dataset.vms.values():
+            vm = platform.vms[record.vm_id]
+            assert vm.server_id == record.server_id
+            assert vm.site_id == record.site_id
+
+    def test_app_vms_share_spec(self, nep_dataset):
+        # NEP customers subscribe uniform fleets per app (§2 example).
+        for app_id in nep_dataset.app_ids_with_vms():
+            vms = nep_dataset.vms_of_app(app_id)
+            assert len({(vm.cpu_cores, vm.memory_gb) for vm in vms}) == 1
+
+    def test_big_apps_span_provinces(self, nep_dataset):
+        for app_id in nep_dataset.app_ids_with_vms():
+            vms = nep_dataset.vms_of_app(app_id)
+            if len(vms) >= 30:
+                provinces = {vm.province for vm in vms}
+                assert len(provinces) >= 2
+
+    def test_city_matches_site(self, nep_dataset):
+        for vm in nep_dataset.vms.values():
+            assert nep_dataset.sites[vm.site_id].city == vm.city
+
+
+class TestAzureGeneration:
+    def test_dataset_validates(self, azure_dataset):
+        azure_dataset.validate()
+
+    def test_categories_from_cloud_catalog(self, azure_dataset):
+        known = {p.category for p in AZURE_PROFILES}
+        assert {vm.category for vm in azure_dataset.vms.values()} <= known
+
+    def test_no_private_traffic_table(self, azure_dataset):
+        # The Azure public dataset has no intra-site traffic telemetry.
+        assert not azure_dataset.bw_private_series
+
+    def test_smaller_vms_than_nep(self, nep_dataset, azure_dataset):
+        nep_med = np.median([vm.cpu_cores for vm in nep_dataset.vms.values()])
+        az_med = np.median([vm.cpu_cores
+                            for vm in azure_dataset.vms.values()])
+        assert nep_med > az_med
+
+    def test_lower_utilisation_on_nep(self, nep_dataset, azure_dataset):
+        # Figure 10(a): NEP VMs are much less utilised.
+        nep_mean = np.mean([nep_dataset.mean_cpu(v)
+                            for v in nep_dataset.vm_ids()])
+        az_mean = np.mean([azure_dataset.mean_cpu(v)
+                           for v in azure_dataset.vm_ids()])
+        assert nep_mean < az_mean
+
+    def test_higher_cv_on_nep(self, nep_dataset, azure_dataset):
+        # Figure 10(b): NEP usage varies more across time.
+        nep_cv = np.median([nep_dataset.cpu_cv(v)
+                            for v in nep_dataset.vm_ids()])
+        az_cv = np.median([azure_dataset.cpu_cv(v)
+                           for v in azure_dataset.vm_ids()])
+        assert nep_cv > az_cv

@@ -1,0 +1,66 @@
+"""Tests for VM-size subscription distributions (Figure 8 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.subscription import (
+    AZURE_SIZE_OPTIONS,
+    NEP_SIZE_OPTIONS,
+    sample_azure_spec,
+    sample_nep_disk_gb,
+    sample_nep_spec,
+)
+
+
+class TestNepSizes:
+    def test_median_matches_paper(self, rng):
+        # Figure 8: NEP medians are 8 cores / 32 GB.
+        specs = [sample_nep_spec(rng) for _ in range(3000)]
+        assert np.median([s.cpu_cores for s in specs]) == 8
+        assert np.median([s.memory_gb for s in specs]) == 32
+
+    def test_half_of_vms_large(self, rng):
+        # "NEP's half VMs have more than 8 CPU cores and 16GBs memory"
+        # (>= 8 cores and >= 16 GB in our discrete shape set).
+        specs = [sample_nep_spec(rng) for _ in range(3000)]
+        big = np.mean([s.cpu_cores >= 8 and s.memory_gb >= 16 for s in specs])
+        assert big == pytest.approx(0.6, abs=0.15)
+
+    def test_disk_median_and_mean(self, rng):
+        # §4.1: median/mean storage is 100/650 GB.
+        disks = np.array([sample_nep_disk_gb(rng) for _ in range(20_000)])
+        assert np.median(disks) == pytest.approx(100, rel=0.25)
+        assert disks.mean() == pytest.approx(650, rel=0.5)
+
+    def test_weights_positive(self):
+        assert all(o.weight > 0 for o in NEP_SIZE_OPTIONS)
+
+
+class TestAzureSizes:
+    def test_median_matches_paper(self, rng):
+        # Figure 8: Azure medians are 1 core / 4 GB.
+        specs = [sample_azure_spec(rng) for _ in range(3000)]
+        assert np.median([s.cpu_cores for s in specs]) <= 2
+        assert np.median([s.memory_gb for s in specs]) == 4
+
+    def test_90pct_small_cpu(self, rng):
+        # "90% VMs with <= 4 vCPUs".
+        specs = [sample_azure_spec(rng) for _ in range(3000)]
+        assert np.mean([s.cpu_cores <= 4 for s in specs]) >= 0.85
+
+    def test_70pct_small_memory(self, rng):
+        # "70% VMs with <= 4 GBs".
+        specs = [sample_azure_spec(rng) for _ in range(3000)]
+        assert np.mean([s.memory_gb <= 4 for s in specs]) == pytest.approx(
+            0.7, abs=0.1)
+
+    def test_weights_positive(self):
+        assert all(o.weight > 0 for o in AZURE_SIZE_OPTIONS)
+
+    def test_nep_vms_bigger_than_azure(self, rng):
+        nep = [sample_nep_spec(rng) for _ in range(1000)]
+        azure = [sample_azure_spec(rng) for _ in range(1000)]
+        assert (np.median([s.cpu_cores for s in nep])
+                > np.median([s.cpu_cores for s in azure]))
+        assert (np.median([s.memory_gb for s in nep])
+                > np.median([s.memory_gb for s in azure]))
