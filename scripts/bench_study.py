@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Benchmark the study's hot phases and track them in BENCH_study.json.
+
+Runs the four expensive :class:`repro.EdgeStudy` phases (NEP workload,
+Azure workload, latency campaign, throughput campaign) at a chosen scale,
+taking the best of ``--repeat`` runs per phase, and records the result in
+a JSON ledger keyed by scale.  The ledger is committed so the perf
+trajectory of the simulator is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_study.py --scale default
+    PYTHONPATH=src python scripts/bench_study.py --scale smoke \
+        --check BENCH_study.json --max-regression 2.0   # CI gate
+
+``--check`` compares the fresh run against the committed ledger and exits
+non-zero if the latency-campaign phase regressed by more than
+``--max-regression``x — the CI guard for the vectorized batch engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: The phases tracked per run, in execution order.
+PHASES = ("workload_nep", "workload_azure", "campaign_latency",
+          "campaign_throughput")
+
+
+def run_once(scale: str, seed: int | None) -> dict[str, object]:
+    """One cold study run; returns its perf registry as a dict."""
+    from repro.study import EdgeStudy, scenario_for
+
+    study = EdgeStudy(scenario_for(scale, seed))
+    study.nep
+    study.azure
+    study.latency_results
+    study.throughput_results
+    return study.perf.as_dict()
+
+
+def bench(scale: str, seed: int | None, repeats: int) -> dict[str, object]:
+    """Best-of-``repeats`` phase timings (min is robust to CI noise)."""
+    runs = [run_once(scale, seed) for _ in range(repeats)]
+    phases: dict[str, dict[str, float]] = {}
+    for phase in PHASES:
+        samples = [run["spans"][phase] for run in runs
+                   if phase in run["spans"]]
+        if not samples:
+            continue
+        phases[phase] = {
+            "wall_s": min(s["wall_s"] for s in samples),
+            "cpu_s": min(s["cpu_s"] for s in samples),
+        }
+    total = sum(p["wall_s"] for p in phases.values())
+    return {
+        "seed": seed,
+        "repeats": repeats,
+        "phases": phases,
+        "total_wall_s": round(total, 6),
+        "counters": runs[0]["counters"],
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+    }
+
+
+def load_ledger(path: Path) -> dict[str, object]:
+    if path.exists():
+        with path.open() as handle:
+            return json.load(handle)
+    return {"schema": 1, "runs": {}}
+
+
+def check_regression(ledger: dict[str, object], scale: str,
+                     fresh: dict[str, object], max_ratio: float) -> int:
+    """Return 0 if the campaign phase is within budget, 1 otherwise."""
+    runs = ledger.get("runs", {})
+    if scale not in runs:
+        print(f"check: no committed baseline for scale {scale!r}; skipping")
+        return 0
+    baseline = runs[scale]["phases"].get("campaign_latency")
+    current = fresh["phases"].get("campaign_latency")
+    if baseline is None or current is None:
+        print("check: campaign_latency phase missing; skipping")
+        return 0
+    ratio = current["wall_s"] / max(baseline["wall_s"], 1e-9)
+    verdict = "OK" if ratio <= max_ratio else "REGRESSION"
+    print(f"check: campaign_latency {current['wall_s']:.3f}s vs committed "
+          f"{baseline['wall_s']:.3f}s -> {ratio:.2f}x (budget "
+          f"{max_ratio:.1f}x) {verdict}")
+    return 0 if ratio <= max_ratio else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("smoke", "default", "paper"),
+                        default="default")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per phase; the minimum is kept")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_study.json",
+                        help="ledger to update (default: repo root)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="compare against this committed ledger instead "
+                             "of writing")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="allowed campaign_latency slowdown for --check")
+    args = parser.parse_args(argv)
+
+    if args.scale == "paper" and args.repeat > 1:
+        args.repeat = 1  # a paper-scale repeat is minutes, once is plenty
+
+    fresh = bench(args.scale, args.seed, args.repeat)
+    print(f"scale={args.scale}:")
+    for phase, stats in fresh["phases"].items():
+        print(f"  {phase:<22}{stats['wall_s']:>9.3f}s wall "
+              f"{stats['cpu_s']:>9.3f}s cpu")
+    print(f"  {'total':<22}{fresh['total_wall_s']:>9.3f}s wall")
+
+    if args.check is not None:
+        return check_regression(load_ledger(args.check), args.scale, fresh,
+                                args.max_regression)
+
+    ledger = load_ledger(args.output)
+    ledger.setdefault("runs", {})[args.scale] = fresh
+    with args.output.open("w") as handle:
+        json.dump(ledger, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"updated {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,8 @@ from .errors import (
     TopologyError,
     TraceError,
 )
-from .study import EdgeStudy, default_study, smoke_study
+from .perf import PerfRegistry
+from .study import EdgeStudy, default_study, smoke_study, study_for
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,7 @@ __all__ = [
     "EdgeStudy",
     "GeoError",
     "MeasurementError",
+    "PerfRegistry",
     "PlacementError",
     "PredictionError",
     "RandomState",
@@ -54,5 +56,6 @@ __all__ = [
     "TraceError",
     "default_study",
     "smoke_study",
+    "study_for",
     "__version__",
 ]

@@ -16,7 +16,7 @@ import sys
 from typing import Sequence
 
 from .reports import REPORTS
-from .study import EdgeStudy, default_study, smoke_study
+from .study import SCALES, EdgeStudy, study_for
 
 #: Human-readable one-liners for `repro list`.
 DESCRIPTIONS = {
@@ -70,18 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", choices=("smoke", "default"),
+    parser.add_argument("--scale", choices=SCALES,
                         default="smoke",
-                        help="simulation scale (default: smoke)")
+                        help="simulation scale (default: smoke; 'paper' is "
+                             "the full-fidelity 92-day/20k-VM run)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
+    parser.add_argument("--perf", action="store_true",
+                        help="print per-phase wall/CPU timings afterwards")
 
 
 def _study(args: argparse.Namespace) -> EdgeStudy:
     """The study for the CLI args, sharing the module-level cache."""
-    if args.scale == "smoke":
-        return smoke_study(args.seed)
-    return default_study(args.seed)
+    return study_for(args.scale, args.seed)
+
+
+def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
+    if getattr(args, "perf", False):
+        print(file=sys.stderr)
+        print(study.perf.report(), file=sys.stderr)
 
 
 def _command_list() -> int:
@@ -104,6 +111,7 @@ def _command_info(args: argparse.Namespace) -> int:
     print(f"built NEP: {len(platform.sites)} sites / "
           f"{platform.server_count} servers / {len(platform.vms)} VMs, "
           f"{len(platform.apps)} apps")
+    _maybe_report_perf(args, study)
     return 0
 
 
@@ -119,6 +127,7 @@ def _command_run(args: argparse.Namespace) -> int:
         if index:
             print()
         print(REPORTS[name](study))
+    _maybe_report_perf(args, study)
     return 0
 
 
@@ -142,6 +151,7 @@ def _command_export(args: argparse.Namespace) -> int:
     print(f"performance dataset: {campaign_dir}")
     print(f"NEP workload trace:  {nep_dir}")
     print(f"cloud workload trace: {azure_dir}")
+    _maybe_report_perf(args, study)
     return 0
 
 

@@ -1,6 +1,7 @@
 """Geographic substrate: coordinates, the China gazetteer, site placement."""
 
-from .coords import EARTH_RADIUS_KM, GeoPoint, haversine_km
+from .coords import (EARTH_RADIUS_KM, GeoPoint, haversine_km,
+                     haversine_km_many)
 from .regions import (
     CHINA_CITIES,
     City,
@@ -20,6 +21,7 @@ __all__ = [
     "cities_in_province",
     "city",
     "haversine_km",
+    "haversine_km_many",
     "nearest_site",
     "place_cloud_regions",
     "place_edge_sites",

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 EARTH_RADIUS_KM = 6371.0
 
 
@@ -44,3 +46,19 @@ def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
     d_lon = lon2 - lon1
     h = math.sin(d_lat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(d_lon / 2) ** 2
     return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(min(1.0, h)))
+
+
+def haversine_km_many(point: GeoPoint, lats: np.ndarray,
+                      lons: np.ndarray) -> np.ndarray:
+    """Great-circle distances from one point to arrays of lat/lon degrees.
+
+    The vectorised twin of :func:`haversine_km`, used for nearest-site
+    queries over a whole platform at once.
+    """
+    lat1 = math.radians(point.lat)
+    lon1 = math.radians(point.lon)
+    lat2 = np.radians(lats)
+    lon2 = np.radians(lons)
+    h = (np.sin((lat2 - lat1) / 2.0) ** 2
+         + math.cos(lat1) * np.cos(lat2) * np.sin((lon2 - lon1) / 2.0) ** 2)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.minimum(1.0, h)))

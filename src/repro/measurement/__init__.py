@@ -10,7 +10,7 @@ from .campaign import (
 )
 from .io import load_campaign, save_campaign
 from .iperf import EDGE_VM_PORT_MBPS, IperfResult, run_iperf_test
-from .ping import PingResult, run_ping_test
+from .ping import PingResult, run_ping_test, run_ping_tests
 
 __all__ = [
     "ACCESS_SHARES",
@@ -26,4 +26,5 @@ __all__ = [
     "run_iperf_test",
     "save_campaign",
     "run_ping_test",
+    "run_ping_tests",
 ]

@@ -19,6 +19,7 @@ makes Figure 2(a)'s 5G nearest-cloud gap small.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from ..netsim.access import AccessType, access_profile
 from ..netsim.routing import TargetSiteSpec, UESpec, build_route
 from ..platform.cluster import Platform
 from .iperf import IperfResult, run_iperf_test
-from .ping import run_ping_test
+from .ping import run_ping_tests
 
 #: Access-technology shares of the paper's 385 test sessions.
 ACCESS_SHARES = {
@@ -57,9 +58,12 @@ class Participant:
     access: AccessType
 
 
-@dataclass(frozen=True)
-class LatencyObservation:
-    """The retained summary of one (participant, target) ping test."""
+class LatencyObservation(NamedTuple):
+    """The retained summary of one (participant, target) ping test.
+
+    A NamedTuple: campaigns create thousands of these in the batch hot
+    path, and they are pure records.
+    """
 
     participant_id: str
     city: str
@@ -156,18 +160,35 @@ class CrowdCampaign:
 
     def run_latency(self, participants: list[Participant] | None = None,
                     ) -> CampaignResults:
-        """Run the ping/traceroute campaign; returns all observations."""
+        """Run the ping/traceroute campaign; returns all observations.
+
+        Every (participant, target) route of the whole campaign is built
+        first, then a single vectorised
+        :func:`~repro.measurement.ping.run_ping_tests` pass draws all
+        pings and traceroutes at once.
+        """
         if participants is None:
             participants = self.recruit()
         rng = self._random.stream("latency")
+        probe_sets = [(p, *self._participant_routes(p, rng))
+                      for p in participants]
+        all_routes = [route for _, _, routes in probe_sets
+                      for route in routes]
+        pings = run_ping_tests(all_routes, self._scenario.pings_per_target,
+                               rng)
         results = CampaignResults()
-        for participant in participants:
-            results.latency.extend(self._probe_participant(participant, rng))
+        cursor = 0
+        for participant, targets, routes in probe_sets:
+            chunk = pings[cursor:cursor + len(routes)]
+            cursor += len(routes)
+            results.latency.extend(
+                self._observations(participant, targets, routes, chunk))
         return results
 
-    def _probe_participant(self, participant: Participant,
-                           rng: np.random.Generator,
-                           ) -> list[LatencyObservation]:
+    def _participant_routes(self, participant: Participant,
+                            rng: np.random.Generator,
+                            ) -> tuple[list[tuple[str, str, GeoPoint]],
+                                       list]:
         ue = UESpec(label=participant.participant_id,
                     location=participant.location,
                     access=participant.access)
@@ -177,17 +198,24 @@ class CrowdCampaign:
             targets.append((site.site_id, "edge", site.location))
         for site in self._cloud.sites:
             targets.append((site.site_id, "cloud", site.location))
-
-        observations = []
-        for target_id, kind, location in targets:
-            route = build_route(
+        routes = [
+            build_route(
                 ue,
                 TargetSiteSpec(label=target_id, location=location,
                                is_edge=(kind == "edge")),
                 rng,
             )
-            ping = run_ping_test(route, self._scenario.pings_per_target, rng)
-            observations.append(LatencyObservation(
+            for target_id, kind, location in targets
+        ]
+        return targets, routes
+
+    @staticmethod
+    def _observations(participant: Participant,
+                      targets: list[tuple[str, str, GeoPoint]],
+                      routes: list, pings: list,
+                      ) -> list[LatencyObservation]:
+        return [
+            LatencyObservation(
                 participant_id=participant.participant_id,
                 city=participant.city,
                 province=participant.province,
@@ -198,9 +226,11 @@ class CrowdCampaign:
                 mean_rtt_ms=ping.mean_ms,
                 rtt_cv=ping.cv,
                 hop_count=ping.hop_count,
-                hop_shares=tuple(ping.traceroute.hop_latency_shares()),
-            ))
-        return observations
+                hop_shares=ping.traceroute.shares,
+            )
+            for (target_id, kind, _), route, ping in zip(targets, routes,
+                                                         pings)
+        ]
 
     # ---- throughput campaign ----------------------------------------------
 

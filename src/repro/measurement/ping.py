@@ -3,50 +3,65 @@
 Mirrors the speed-testing app of §2.1.1: each (user, target) pair is
 probed 30 times; the analysis keeps the mean RTT and its coefficient of
 variation, plus one traceroute for the hop-level views.
+
+Summary statistics are computed inside the batch engine, so
+:class:`PingResult` no longer has to retain the full 30-sample tuple per
+observation — pass ``keep_samples=True`` to get it back.  A campaign of
+thousands of observations keeps only two floats each.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
 from ..errors import MeasurementError
 from ..netsim.latency import LatencyModel
 from ..netsim.path import Route
-from ..netsim.traceroute import TracerouteResult, run_traceroute
+from ..netsim.traceroute import TracerouteResult, traceroute_from_row
 
 
-@dataclass(frozen=True)
-class PingResult:
+class PingResult(NamedTuple):
     """Summary of one repeated-ping test."""
 
     target_label: str
-    samples_ms: tuple[float, ...]
+    mean_ms: float
+    std_ms: float
     traceroute: TracerouteResult
-
-    @property
-    def mean_ms(self) -> float:
-        return float(np.mean(self.samples_ms))
-
-    @property
-    def std_ms(self) -> float:
-        return float(np.std(self.samples_ms))
+    #: The raw per-ping RTTs; retained only when requested (memory).
+    samples_ms: tuple[float, ...] | None = None
 
     @property
     def cv(self) -> float:
-        mean = self.mean_ms
-        if mean == 0.0:
+        if self.mean_ms == 0.0:
             return 0.0
-        return self.std_ms / mean
+        return self.std_ms / self.mean_ms
 
     @property
     def hop_count(self) -> int:
         return self.traceroute.hop_count
 
 
-def run_ping_test(route: Route, repetitions: int,
-                  rng: np.random.Generator) -> PingResult:
+def _result_from_matrix(route: Route, matrix: np.ndarray,
+                        keep_samples: bool) -> PingResult:
+    """Fold one ``(repetitions + 1, n_hops)`` draw into a PingResult.
+
+    The final row is the traceroute's per-hop breakdown; the rows before
+    it are the repeated pings.
+    """
+    totals = matrix[:-1].sum(axis=1)
+    return PingResult(
+        target_label=route.target_label,
+        mean_ms=float(totals.mean()),
+        std_ms=float(totals.std()),
+        traceroute=traceroute_from_row(route, matrix[-1]),
+        samples_ms=tuple(float(x) for x in totals) if keep_samples else None,
+    )
+
+
+def run_ping_test(route: Route, repetitions: int, rng: np.random.Generator,
+                  keep_samples: bool = False) -> PingResult:
     """Probe ``route`` ``repetitions`` times and traceroute it once.
 
     Raises:
@@ -57,10 +72,48 @@ def run_ping_test(route: Route, repetitions: int,
             f"repetitions must be positive, got {repetitions}"
         )
     model = LatencyModel(rng)
-    samples = tuple(float(x) for x in model.sample_many(route, repetitions))
-    trace = run_traceroute(route, rng)
-    return PingResult(
-        target_label=route.target_label,
-        samples_ms=samples,
-        traceroute=trace,
-    )
+    matrix = model.sample_matrix(route, repetitions + 1)
+    return _result_from_matrix(route, matrix, keep_samples)
+
+
+def run_ping_tests(routes: Sequence[Route], repetitions: int,
+                   rng: np.random.Generator,
+                   keep_samples: bool = False) -> list[PingResult]:
+    """Probe many routes in one vectorised pass (one result per route).
+
+    All routes' pings and traceroutes are drawn by a single
+    :meth:`~repro.netsim.latency.LatencyModel.sample_route_batch` call —
+    this is the campaign's hot path.
+
+    Raises:
+        MeasurementError: if repetitions is not positive.
+    """
+    if repetitions <= 0:
+        raise MeasurementError(
+            f"repetitions must be positive, got {repetitions}"
+        )
+    if not routes:
+        return []
+    model = LatencyModel(rng)
+    block, starts = model.sample_routes_block(routes, repetitions + 1)
+    # Per-route RTT sums straight off the undivided block: reduceat gives
+    # a (repetitions + 1, n_routes) matrix of end-to-end samples, and the
+    # summary statistics of every route fall out of two axis reductions.
+    sums = np.add.reduceat(block, starts, axis=1)
+    ping_sums = sums[:-1]
+    means = ping_sums.mean(axis=0)
+    stds = ping_sums.std(axis=0)
+    trace_row = block[-1]
+    ends = np.concatenate((starts[1:], [block.shape[1]]))
+    results = []
+    for j, route in enumerate(routes):
+        samples = tuple(ping_sums[:, j].tolist()) if keep_samples else None
+        results.append(PingResult(
+            target_label=route.target_label,
+            mean_ms=float(means[j]),
+            std_ms=float(stds[j]),
+            traceroute=traceroute_from_row(
+                route, trace_row[starts[j]:ends[j]]),
+            samples_ms=samples,
+        ))
+    return results

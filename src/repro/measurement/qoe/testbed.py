@@ -108,8 +108,8 @@ class QoETestbed:
         )
         if not vm.is_edge:
             hops = tuple(
-                replace(h, mean_rtt_ms=h.mean_rtt_ms
-                        * self.PREMIUM_BACKBONE_FACTOR)
+                h.replace(mean_rtt_ms=h.mean_rtt_ms
+                          * self.PREMIUM_BACKBONE_FACTOR)
                 if h.kind is HopKind.BACKBONE else h
                 for h in route.hops
             )

@@ -19,7 +19,8 @@ from .throughput import (
     mathis_throughput_mbps,
     route_loss_rate,
 )
-from .traceroute import TracerouteHop, TracerouteResult, run_traceroute
+from .traceroute import (TracerouteHop, TracerouteResult, run_traceroute,
+                         traceroute_from_row)
 
 __all__ = [
     "ACCESS_PROFILES",
@@ -46,4 +47,5 @@ __all__ = [
     "mathis_throughput_mbps",
     "route_loss_rate",
     "run_traceroute",
+    "traceroute_from_row",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..errors import TopologyError
 
@@ -23,21 +24,38 @@ class HopKind(enum.Enum):
     DC = "dc"                # datacenter ingress / fabric
 
 
-@dataclass(frozen=True)
-class Hop:
-    """One hop of a route with its latency model parameters."""
-
+class _HopFields(NamedTuple):
     name: str
     kind: HopKind
     mean_rtt_ms: float
     jitter_sd_ms: float
     icmp_visible: bool = True
 
-    def __post_init__(self) -> None:
-        if self.mean_rtt_ms < 0:
-            raise TopologyError(f"hop {self.name!r}: negative mean RTT")
-        if self.jitter_sd_ms < 0:
-            raise TopologyError(f"hop {self.name!r}: negative jitter")
+
+class Hop(_HopFields):
+    """One hop of a route with its latency model parameters.
+
+    A NamedTuple rather than a frozen dataclass: route builders create one
+    per hop per route on the campaign's hot path, and the latency engine
+    extracts whole parameter columns with ``zip(*hops)``.  Use
+    :meth:`replace` (not :func:`dataclasses.replace`) for modified copies.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, name: str, kind: HopKind, mean_rtt_ms: float,
+                jitter_sd_ms: float, icmp_visible: bool = True) -> "Hop":
+        if mean_rtt_ms < 0:
+            raise TopologyError(f"hop {name!r}: negative mean RTT")
+        if jitter_sd_ms < 0:
+            raise TopologyError(f"hop {name!r}: negative jitter")
+        return tuple.__new__(cls, (name, kind, mean_rtt_ms, jitter_sd_ms,
+                                   icmp_visible))
+
+    def replace(self, **changes) -> "Hop":
+        """A copy with the given fields changed (validated like new Hops)."""
+        fields = {**self._asdict(), **changes}
+        return Hop(**fields)
 
 
 @dataclass(frozen=True)

@@ -81,15 +81,51 @@ def backbone_hop_count(distance_km: float) -> int:
     return 2 + int(round(distance_km / BACKBONE_KM_PER_HOP))
 
 
-def _access_hops(ue: UESpec) -> list[Hop]:
-    return [
-        Hop(name=h.name, kind=HopKind.ACCESS, mean_rtt_ms=h.mean_rtt_ms,
-            jitter_sd_ms=h.jitter_sd_ms, icmp_visible=h.icmp_visible)
-        for h in ue.profile.hops
-    ]
+#: Access hops depend only on the access technology, and Hop is immutable,
+#: so every route of every participant on the same technology shares one
+#: tuple — route construction is campaign-hot.
+_ACCESS_HOPS_CACHE: dict[AccessType, tuple[Hop, ...]] = {}
+
+#: Trusted fast constructor for the route builders below: skips Hop's
+#: validating ``__new__`` where the parameters are drawn from ranges that
+#: are non-negative by construction.
+_new_hop = tuple.__new__
+
+#: Hops whose parameters never vary between routes — built once and
+#: shared (Hop is immutable).
+_FIVE_G_METRO_HOPS = (
+    Hop("metro-0", HopKind.METRO, mean_rtt_ms=0.2, jitter_sd_ms=0.03),
+)
+_EDGE_GW_HOPS = (
+    Hop("edge-gw", HopKind.DC, mean_rtt_ms=0.3, jitter_sd_ms=0.04),
+)
+_MEC_GW_HOP = Hop("mec-gw", HopKind.DC, mean_rtt_ms=0.2, jitter_sd_ms=0.03)
 
 
-def _metro_hops(ue: UESpec, rng: np.random.Generator) -> list[Hop]:
+def _hop_names(prefix: str, count: int,
+               _cache: dict[str, tuple[str, ...]] = {}) -> tuple[str, ...]:
+    """Interned ``prefix0, prefix1, ...`` names (formatting is route-hot)."""
+    names = _cache.get(prefix)
+    if names is None or len(names) < count:
+        names = tuple(f"{prefix}{i}" for i in range(max(count, 16)))
+        _cache[prefix] = names
+    return names
+
+
+def _access_hops(ue: UESpec) -> tuple[Hop, ...]:
+    cached = _ACCESS_HOPS_CACHE.get(ue.access)
+    if cached is None:
+        cached = tuple(
+            Hop(name=h.name, kind=HopKind.ACCESS, mean_rtt_ms=h.mean_rtt_ms,
+                jitter_sd_ms=h.jitter_sd_ms, icmp_visible=h.icmp_visible)
+            for h in ue.profile.hops
+        )
+        _ACCESS_HOPS_CACHE[ue.access] = cached
+    return cached
+
+
+def _metro_hops(ue: UESpec,
+                rng: np.random.Generator) -> tuple[Hop, ...] | list[Hop]:
     """Intra-city hops between the access exit and the metro core.
 
     WiFi/wired traffic enters at a residential aggregation router and
@@ -98,29 +134,30 @@ def _metro_hops(ue: UESpec, rng: np.random.Generator) -> list[Hop]:
     (5G) additional metro hops — matching Table 2's "rest" shares.
     """
     if ue.access is AccessType.FIVE_G:
-        return [Hop("metro-0", HopKind.METRO, mean_rtt_ms=0.2, jitter_sd_ms=0.03)]
+        return _FIVE_G_METRO_HOPS
     if ue.access is AccessType.LTE:
         count = int(rng.integers(1, 4))
+        names = _hop_names("metro-", count)
         return [
-            Hop(f"metro-{i}", HopKind.METRO,
-                mean_rtt_ms=float(rng.uniform(0.8, 1.6)),
-                jitter_sd_ms=0.06)
-            for i in range(count)
+            _new_hop(Hop, (names[i], HopKind.METRO, mean, 0.06, True))
+            for i, mean in enumerate(rng.uniform(0.8, 1.6,
+                                                 size=count).tolist())
         ]
     # WiFi / wired residential path: a pricier first aggregation hop then
     # a handful of small metro-core hops.
     hops = [Hop("metro-agg", HopKind.METRO,
                 mean_rtt_ms=float(rng.uniform(1.9, 2.9)), jitter_sd_ms=0.08)]
     count = int(rng.integers(3, 8))
+    names = _hop_names("metro-", count)
     hops.extend(
-        Hop(f"metro-{i}", HopKind.METRO,
-            mean_rtt_ms=float(rng.uniform(0.5, 1.0)), jitter_sd_ms=0.05)
-        for i in range(count)
+        _new_hop(Hop, (names[i], HopKind.METRO, mean, 0.05, True))
+        for i, mean in enumerate(rng.uniform(0.5, 1.0, size=count).tolist())
     )
     return hops
 
 
-def _backbone_hops(distance_km: float, rng: np.random.Generator) -> list[Hop]:
+def _backbone_hops(distance_km: float,
+                   rng: np.random.Generator) -> list[Hop]:
     count = backbone_hop_count(distance_km)
     if count == 0:
         return []
@@ -129,23 +166,24 @@ def _backbone_hops(distance_km: float, rng: np.random.Generator) -> list[Hop]:
     # carry the queueing jitter that makes cloud RTT CV ~5x the edge's.
     weights = rng.uniform(0.6, 1.4, size=count)
     weights /= weights.sum()
+    weights *= total_rtt
+    jitters = rng.uniform(0.4, 0.9, size=count).tolist()
+    names = _hop_names("bb-", count)
     return [
-        Hop(f"bb-{i}", HopKind.BACKBONE,
-            mean_rtt_ms=float(total_rtt * w),
-            jitter_sd_ms=float(rng.uniform(0.4, 0.9)))
-        for i, w in enumerate(weights)
+        _new_hop(Hop, (names[i], HopKind.BACKBONE, mean, jitters[i], True))
+        for i, mean in enumerate(weights.tolist())
     ]
 
 
-def _dc_hops(target: TargetSiteSpec, rng: np.random.Generator) -> list[Hop]:
+def _dc_hops(target: TargetSiteSpec,
+             rng: np.random.Generator) -> tuple[Hop, ...] | list[Hop]:
     if target.is_edge:
-        return [Hop("edge-gw", HopKind.DC, mean_rtt_ms=0.3, jitter_sd_ms=0.04)]
+        return _EDGE_GW_HOPS
     count = int(rng.integers(3, 5))
+    names = _hop_names("dc-", count)
     return [
-        Hop(f"dc-{i}", HopKind.DC,
-            mean_rtt_ms=float(rng.uniform(0.3, 0.7)),
-            jitter_sd_ms=0.12)
-        for i in range(count)
+        _new_hop(Hop, (names[i], HopKind.DC, mean, 0.12, True))
+        for i, mean in enumerate(rng.uniform(0.3, 0.7, size=count).tolist())
     ]
 
 
@@ -158,8 +196,7 @@ def build_route(ue: UESpec, target: TargetSiteSpec,
     if target.colocated_with_access:
         # MEC: the server hangs off the access network's own exit —
         # no metro core, no backbone, one server-attachment hop.
-        hops.append(Hop("mec-gw", HopKind.DC, mean_rtt_ms=0.2,
-                        jitter_sd_ms=0.03))
+        hops.append(_MEC_GW_HOP)
         return Route(
             source_label=ue.label,
             target_label=target.label,
@@ -173,8 +210,8 @@ def build_route(ue: UESpec, target: TargetSiteSpec,
         # path shorter than ~10 hops (Figure 3).
         hops.extend(
             Hop(f"core-pop-{i}", HopKind.METRO,
-                mean_rtt_ms=float(rng.uniform(0.4, 0.8)), jitter_sd_ms=0.1)
-            for i in range(2)
+                mean_rtt_ms=mean, jitter_sd_ms=0.1)
+            for i, mean in enumerate(rng.uniform(0.4, 0.8, size=2).tolist())
         )
     hops.extend(_backbone_hops(distance, rng))
     hops.extend(_dc_hops(target, rng))

@@ -5,21 +5,31 @@ each intermediate hop "if visible" (§2.1.1).  5G packet-core hops drop ICMP
 (the paper notes their trace "doesn't contain the latency of first 2 hops,
 possibly because the ICMP service is disabled by the operator"), which the
 access profile encodes via ``icmp_visible``.
+
+:class:`TracerouteResult` is lazy about its hop lines: campaigns only read
+the precomputed per-hop shares and the hop count, so the
+:class:`TracerouteHop` tuples are materialised on first access to
+:attr:`TracerouteResult.hops` rather than once per observation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import NamedTuple
 
 import numpy as np
 
 from .latency import LatencyModel
-from .path import Route
+from .path import Hop, Route
 
 
-@dataclass(frozen=True)
-class TracerouteHop:
-    """One traceroute line: hop index, name, cumulative RTT or None."""
+class TracerouteHop(NamedTuple):
+    """One traceroute line: hop index, name, cumulative RTT or None.
+
+    A NamedTuple rather than a dataclass: campaigns build one per hop per
+    observation, and tuple construction is the cheapest thing Python has.
+    """
 
     index: int
     name: str
@@ -32,15 +42,34 @@ class TracerouteHop:
 
 @dataclass(frozen=True)
 class TracerouteResult:
-    """A full traceroute: ordered hops plus the end-to-end RTT."""
+    """A full traceroute: ordered hops plus the end-to-end RTT.
+
+    Stores the route's hop descriptors and the cumulative per-hop RTTs;
+    the rendered :class:`TracerouteHop` lines are built lazily because the
+    campaign analyses only consume :attr:`shares` and :attr:`hop_count`.
+    """
 
     route_label: str
-    hops: tuple[TracerouteHop, ...]
     total_rtt_ms: float
+    #: Per-hop RTT shares (None entries are ICMP-hidden hops).
+    shares: tuple[float | None, ...]
+    #: The route's hop descriptors (shared with the Route, immutable).
+    path_hops: tuple[Hop, ...]
+    #: Cumulative RTT after each hop, hidden hops included.
+    cumulative_ms: tuple[float, ...]
+
+    @cached_property
+    def hops(self) -> tuple[TracerouteHop, ...]:
+        return tuple(
+            TracerouteHop(index, hop.name,
+                          cum if hop.icmp_visible else None)
+            for index, (hop, cum) in enumerate(
+                zip(self.path_hops, self.cumulative_ms), start=1)
+        )
 
     @property
     def hop_count(self) -> int:
-        return len(self.hops)
+        return len(self.path_hops)
 
     @property
     def visible_hops(self) -> tuple[TracerouteHop, ...]:
@@ -52,32 +81,38 @@ class TracerouteResult:
         This is the quantity Table 2 aggregates: the fraction of the total
         RTT attributable to each individual hop.
         """
-        shares: list[float | None] = []
-        previous_visible = 0.0
-        for hop in self.hops:
-            if hop.cumulative_rtt_ms is None:
-                shares.append(None)
-                continue
-            shares.append((hop.cumulative_rtt_ms - previous_visible)
-                          / self.total_rtt_ms)
-            previous_visible = hop.cumulative_rtt_ms
-        return shares
+        return list(self.shares)
+
+
+def traceroute_from_row(route: Route,
+                        per_hop_ms: np.ndarray) -> TracerouteResult:
+    """Build a traceroute from one already-drawn per-hop RTT row.
+
+    The batch ping engine draws one extra row of its
+    :meth:`~repro.netsim.latency.LatencyModel.sample_matrix` for the
+    traceroute; this turns that row into the cumulative-RTT view the
+    paper's app recorded.
+    """
+    cumulative = np.cumsum(per_hop_ms).tolist()
+    total = cumulative[-1]
+    shares: list[float | None] = []
+    previous_visible = 0.0
+    for hop, cum in zip(route.hops, cumulative):
+        if hop.icmp_visible:
+            shares.append((cum - previous_visible) / total)
+            previous_visible = cum
+        else:
+            shares.append(None)
+    return TracerouteResult(
+        route_label=f"{route.source_label} -> {route.target_label}",
+        total_rtt_ms=total,
+        shares=tuple(shares),
+        path_hops=route.hops,
+        cumulative_ms=tuple(cumulative),
+    )
 
 
 def run_traceroute(route: Route, rng: np.random.Generator) -> TracerouteResult:
     """Simulate one traceroute over ``route``."""
     model = LatencyModel(rng)
-    cumulative = 0.0
-    hops = []
-    for index, hop in enumerate(route.hops, start=1):
-        cumulative += model.sample_hop_ms(hop)
-        hops.append(TracerouteHop(
-            index=index,
-            name=hop.name,
-            cumulative_rtt_ms=cumulative if hop.icmp_visible else None,
-        ))
-    return TracerouteResult(
-        route_label=f"{route.source_label} -> {route.target_label}",
-        hops=tuple(hops),
-        total_rtt_ms=cumulative,
-    )
+    return traceroute_from_row(route, model.sample_matrix(route, 1)[0])

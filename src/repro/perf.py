@@ -1,0 +1,111 @@
+"""Lightweight performance telemetry: named spans and counters.
+
+The simulator's batch engine exists to make paper-scale runs practical;
+this module is how that speed is *tracked*.  A :class:`PerfRegistry`
+accumulates wall-clock and CPU time per named phase (plus arbitrary
+counters), :class:`~repro.study.EdgeStudy` carries one and wraps each
+expensive phase in a span, and ``scripts/bench_study.py`` serialises the
+result to ``BENCH_study.json`` so regressions show up in CI.
+
+Spans nest and re-enter safely: each ``with`` block adds its own elapsed
+time and bumps the call count, so a phase touched twice reports the sum.
+
+Usage::
+
+    perf = PerfRegistry()
+    with perf.span("campaign_latency"):
+        results = campaign.run_latency()
+    perf.count("observations", len(results.latency))
+    print(perf.report())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class SpanStats:
+    """Accumulated timings of one named phase."""
+
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    calls: int = 0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "calls": self.calls,
+        }
+
+
+class PerfRegistry:
+    """Accumulates span timings and counters for one study/run."""
+
+    def __init__(self) -> None:
+        self._spans: dict[str, SpanStats] = {}
+        self._counters: dict[str, int] = {}
+
+    # ---- recording -------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a phase; wall and CPU elapsed are added to ``name``."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            stats = self._spans.setdefault(name, SpanStats())
+            stats.wall_s += time.perf_counter() - wall0
+            stats.cpu_s += time.process_time() - cpu0
+            stats.calls += 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter (e.g. observations produced)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._counters.clear()
+
+    # ---- reading ---------------------------------------------------------
+
+    @property
+    def spans(self) -> dict[str, SpanStats]:
+        return dict(self._spans)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def wall_s(self, name: str) -> float:
+        """Total wall time of a span (0.0 if it never ran)."""
+        stats = self._spans.get(name)
+        return stats.wall_s if stats is not None else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view: ``{"spans": {...}, "counters": {...}}``."""
+        return {
+            "spans": {name: stats.as_dict()
+                      for name, stats in self._spans.items()},
+            "counters": dict(self._counters),
+        }
+
+    def report(self) -> str:
+        """Human-readable table, slowest phase first."""
+        if not self._spans and not self._counters:
+            return "perf: no spans recorded"
+        lines = ["phase                         wall_s    cpu_s  calls"]
+        ordered = sorted(self._spans.items(),
+                         key=lambda item: item[1].wall_s, reverse=True)
+        for name, stats in ordered:
+            lines.append(f"{name:<28}{stats.wall_s:>8.3f} {stats.cpu_s:>8.3f}"
+                         f" {stats.calls:>6d}")
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"{name:<28}{value:>15d}")
+        return "\n".join(lines)

@@ -9,8 +9,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from ..errors import TopologyError
-from ..geo.coords import GeoPoint
+from ..geo.coords import GeoPoint, haversine_km_many
 from .entities import App, Customer, PlatformKind, Server, Site, VM
 
 
@@ -24,6 +26,13 @@ class Platform:
     vms: dict[str, VM] = field(default_factory=dict)
     apps: dict[str, App] = field(default_factory=dict)
     customers: dict[str, Customer] = field(default_factory=dict)
+    # Derived lookup caches, rebuilt whenever the site list changes.
+    _site_index: dict[str, Site] | None = field(default=None, init=False,
+                                                repr=False, compare=False)
+    _server_index: dict[str, Server] | None = field(default=None, init=False,
+                                                    repr=False, compare=False)
+    _site_coords: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ---- registration --------------------------------------------------
 
@@ -31,6 +40,9 @@ class Platform:
         if any(s.site_id == site.site_id for s in self.sites):
             raise TopologyError(f"duplicate site id {site.site_id!r}")
         self.sites.append(site)
+        self._site_index = None
+        self._server_index = None
+        self._site_coords = None
 
     def register_customer(self, customer: Customer) -> None:
         self.customers[customer.customer_id] = customer
@@ -57,17 +69,27 @@ class Platform:
         return self.kind is PlatformKind.EDGE
 
     def site(self, site_id: str) -> Site:
-        for s in self.sites:
-            if s.site_id == site_id:
-                return s
-        raise TopologyError(f"unknown site {site_id!r} on {self.name}")
+        if self._site_index is None:
+            self._site_index = {s.site_id: s for s in self.sites}
+        try:
+            return self._site_index[site_id]
+        except KeyError:
+            raise TopologyError(
+                f"unknown site {site_id!r} on {self.name}"
+            ) from None
 
     def server(self, server_id: str) -> Server:
-        for s in self.sites:
-            for server in s.servers:
-                if server.server_id == server_id:
-                    return server
-        raise TopologyError(f"unknown server {server_id!r} on {self.name}")
+        if self._server_index is None:
+            self._server_index = {
+                server.server_id: server
+                for s in self.sites for server in s.servers
+            }
+        try:
+            return self._server_index[server_id]
+        except KeyError:
+            raise TopologyError(
+                f"unknown server {server_id!r} on {self.name}"
+            ) from None
 
     def iter_servers(self) -> Iterable[Server]:
         for s in self.sites:
@@ -87,18 +109,40 @@ class Platform:
         return [self.vms[vid] for vid in server.vm_ids]
 
     def vms_on_site(self, site_id: str) -> list[VM]:
-        return [vm for vm in self.vms.values() if vm.site_id == site_id]
+        """VMs hosted at a site, straight from the server ledgers.
+
+        Walks ``server.vm_ids`` of the site's own servers instead of
+        scanning every VM on the platform, so the cost is proportional to
+        the site, not the fleet — and it stays correct through
+        migrations, which update the ledgers.
+        """
+        return [
+            self.vms[vm_id]
+            for server in self.site(site_id).servers
+            for vm_id in server.vm_ids
+            if vm_id in self.vms
+        ]
 
     def sites_in_province(self, province: str) -> list[Site]:
         return [s for s in self.sites if s.province == province]
 
     def nearest_sites(self, point: GeoPoint, count: int = 1) -> list[Site]:
-        """The ``count`` sites geographically nearest to ``point``."""
+        """The ``count`` sites geographically nearest to ``point``.
+
+        Distances to every site come from one vectorised haversine over
+        the platform's cached lat/lon arrays.
+        """
         if count <= 0:
             raise TopologyError(f"count must be positive, got {count}")
-        ordered = sorted(self.sites,
-                         key=lambda s: s.location.distance_km(point))
-        return ordered[:count]
+        if self._site_coords is None:
+            self._site_coords = (
+                np.array([s.location.lat for s in self.sites]),
+                np.array([s.location.lon for s in self.sites]),
+            )
+        lats, lons = self._site_coords
+        distances = haversine_km_many(point, lats, lons)
+        order = np.argsort(distances, kind="stable")[:count]
+        return [self.sites[i] for i in order]
 
     # ---- platform-wide statistics (§4.1 sales rates) --------------------
 

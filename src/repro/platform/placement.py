@@ -45,6 +45,43 @@ class SubscriptionRequest:
 UsageProvider = Callable[[str], tuple[float, float]]
 
 
+class _ServerTable:
+    """Numeric columns over the scoped servers for vectorised placement.
+
+    Feasibility checks and scoring over hundreds of servers per VM were
+    the placement hot path (each went through `Server.free` /
+    `ResourceVector` object churn); the table keeps free capacity as flat
+    arrays, updated incrementally as VMs commit.
+    """
+
+    def __init__(self, servers: list[Server]) -> None:
+        self.servers = servers
+        self.cap_cpu = np.array([s.capacity.cpu_cores for s in servers])
+        self.free_cpu = np.array(
+            [s.capacity.cpu_cores - s.allocated.cpu_cores for s in servers])
+        self.free_mem = np.array(
+            [s.capacity.memory_gb - s.allocated.memory_gb for s in servers])
+        self.free_disk = np.array(
+            [s.capacity.disk_gb - s.allocated.disk_gb for s in servers])
+
+    def feasible_indices(self, spec: VMSpec) -> np.ndarray:
+        return np.flatnonzero(
+            (self.free_cpu >= spec.cpu_cores)
+            & (self.free_mem >= spec.memory_gb)
+            & (self.free_disk >= spec.disk_gb)
+        )
+
+    def cpu_sales_rates(self) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = (self.cap_cpu - self.free_cpu) / self.cap_cpu
+        return np.where(self.cap_cpu > 0, rates, 0.0)
+
+    def commit(self, index: int, spec: VMSpec) -> None:
+        self.free_cpu[index] -= spec.cpu_cores
+        self.free_mem[index] -= spec.memory_gb
+        self.free_disk[index] -= spec.disk_gb
+
+
 class PlacementPolicy(abc.ABC):
     """Strategy interface: order candidate servers for one VM."""
 
@@ -58,42 +95,80 @@ class PlacementPolicy(abc.ABC):
         ``candidates`` is non-empty and every entry already fits the spec.
         """
 
+    def _choose_index(self, table: _ServerTable, feasible: np.ndarray,
+                      spec: VMSpec) -> int:
+        """Vectorised selection hook; built-in policies override this.
+
+        The default delegates to :meth:`choose_server` so custom policies
+        written against the public interface keep working unchanged.
+        """
+        candidates = [table.servers[i] for i in feasible]
+        chosen = self.choose_server(candidates, spec)
+        for i, candidate in zip(feasible, candidates):
+            if candidate is chosen:
+                return int(i)
+        raise PlacementError(
+            f"policy {self.name!r} chose a server outside the candidate set"
+        )
+
     def place(self, platform: Platform, request: SubscriptionRequest,
-              usage: UsageProvider | None = None) -> list[VM]:
+              usage: UsageProvider | None = None,
+              specs: list[VMSpec] | None = None,
+              allow_partial: bool = False) -> list[VM]:
         """Place all VMs of a subscription request; returns the new VMs.
 
         Placement is transactional in spirit: if any VM cannot be placed,
         a :class:`PlacementError` is raised after rolling back the VMs
         already attached for this request.
 
+        Args:
+            platform: the target platform.
+            request: the subscription request.
+            usage: optional historical-usage provider for the policy.
+            specs: optional per-VM spec overrides (e.g. per-VM disk sizes);
+                must have ``request.vm_count`` entries.
+            allow_partial: when True, a saturated scope stops placement and
+                the VMs placed so far are kept and returned instead of
+                rolled back — the behaviour of issuing one request per VM,
+                without rebuilding the candidate table each time.
+
         Raises:
-            PlacementError: when the scoped sites lack feasible capacity.
+            PlacementError: when the scoped sites lack feasible capacity
+                (unless ``allow_partial``), or ``specs`` is mis-sized.
         """
+        per_vm_specs = specs if specs is not None \
+            else [request.spec] * request.vm_count
+        if len(per_vm_specs) != request.vm_count:
+            raise PlacementError(
+                f"got {len(per_vm_specs)} specs for "
+                f"{request.vm_count} VMs of request {request.app_id!r}"
+            )
         sites = _scoped_sites(platform, request)
+        servers = [server for site in sites for server in site.servers]
+        table = _ServerTable(servers)
         placed: list[tuple[Server, VM]] = []
         try:
-            for index in range(request.vm_count):
-                candidates = [
-                    server
-                    for site in sites
-                    for server in site.servers
-                    if server.can_host(request.spec)
-                ]
-                if not candidates:
+            for index, spec in enumerate(per_vm_specs):
+                feasible = table.feasible_indices(spec)
+                if feasible.size == 0:
+                    if allow_partial:
+                        break
                     raise PlacementError(
                         f"no feasible server for request {request.app_id!r} "
                         f"(VM {index + 1}/{request.vm_count}, scope "
                         f"province={request.province!r} city={request.city!r})"
                     )
-                server = self.choose_server(candidates, request.spec)
+                choice = self._choose_index(table, feasible, spec)
+                server = servers[choice]
                 vm = VM(
                     vm_id=f"{request.app_id}-vm{len(platform.vms) + index:05d}",
-                    spec=request.spec,
+                    spec=spec,
                     customer_id=request.customer_id,
                     app_id=request.app_id,
                     image_id=request.image_id,
                 )
                 server.attach(vm)
+                table.commit(choice, spec)
                 placed.append((server, vm))
         except PlacementError:
             for server, vm in placed:
@@ -142,6 +217,19 @@ class NepPlacementPolicy(PlacementPolicy):
 
         return min(candidates, key=score)
 
+    def _choose_index(self, table: _ServerTable, feasible: np.ndarray,
+                      spec: VMSpec) -> int:
+        score = table.cpu_sales_rates()[feasible]
+        if self._usage is not None:
+            extra = np.empty(feasible.size)
+            for j, i in enumerate(feasible):
+                mean_u, max_u = self._usage(table.servers[i].server_id)
+                extra[j] = mean_u + max_u
+            score = score + extra
+        # lexsort: last key is primary — lowest score, then most free cores.
+        order = np.lexsort((-table.free_cpu[feasible], score))
+        return int(feasible[order[0]])
+
 
 class FirstFitPolicy(PlacementPolicy):
     """Classic first-fit: the first feasible server in inventory order."""
@@ -150,6 +238,10 @@ class FirstFitPolicy(PlacementPolicy):
 
     def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
         return candidates[0]
+
+    def _choose_index(self, table: _ServerTable, feasible: np.ndarray,
+                      spec: VMSpec) -> int:
+        return int(feasible[0])
 
 
 class BestFitPolicy(PlacementPolicy):
@@ -168,6 +260,12 @@ class BestFitPolicy(PlacementPolicy):
                            s.free.memory_gb - spec.memory_gb),
         )
 
+    def _choose_index(self, table: _ServerTable, feasible: np.ndarray,
+                      spec: VMSpec) -> int:
+        order = np.lexsort((table.free_mem[feasible],
+                            table.free_cpu[feasible]))
+        return int(feasible[order[0]])
+
 
 class RandomPolicy(PlacementPolicy):
     """Uniform random feasible server; the null baseline."""
@@ -179,3 +277,7 @@ class RandomPolicy(PlacementPolicy):
 
     def choose_server(self, candidates: list[Server], spec: VMSpec) -> Server:
         return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def _choose_index(self, table: _ServerTable, feasible: np.ndarray,
+                      spec: VMSpec) -> int:
+        return int(feasible[int(self._rng.integers(0, feasible.size))])

@@ -16,8 +16,10 @@ from .billing.nep import CityPriceBook, NepBilling
 from .config import DEFAULT_SCENARIO, Scenario
 from .core.cost_analysis import cloud_regions_from_platform
 from .core.latency_analysis import PerUserLatency, per_user_latency
+from .errors import ConfigurationError
 from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
 from .measurement.qoe.testbed import QoETestbed
+from .perf import PerfRegistry
 from .platform.cloud import build_cloud_platform
 from .platform.cluster import Platform
 from .workload.azure import generate_azure_workload
@@ -25,22 +27,34 @@ from .workload.generator import GeneratedWorkload, generate_nep_workload
 
 
 class EdgeStudy:
-    """Lazily-computed bundle of every dataset the paper's figures need."""
+    """Lazily-computed bundle of every dataset the paper's figures need.
+
+    Each expensive phase runs inside a :class:`~repro.perf.PerfRegistry`
+    span, so ``study.perf.report()`` (or the CLI's ``--perf`` flag) shows
+    where a run spent its time.
+    """
 
     def __init__(self, scenario: Scenario = DEFAULT_SCENARIO) -> None:
         self.scenario = scenario
+        self.perf = PerfRegistry()
 
     # ---- platforms and workloads -----------------------------------------
 
     @cached_property
     def nep(self) -> GeneratedWorkload:
         """The NEP platform with placed VMs and its 3-month-style trace."""
-        return generate_nep_workload(self.scenario)
+        with self.perf.span("workload_nep"):
+            workload = generate_nep_workload(self.scenario)
+        self.perf.count("nep_vms", len(workload.platform.vms))
+        return workload
 
     @cached_property
     def azure(self) -> GeneratedWorkload:
         """The Azure-like cloud comparison dataset."""
-        return generate_azure_workload(self.scenario)
+        with self.perf.span("workload_azure"):
+            workload = generate_azure_workload(self.scenario)
+        self.perf.count("azure_vms", len(workload.platform.vms))
+        return workload
 
     @cached_property
     def alicloud(self) -> Platform:
@@ -49,8 +63,9 @@ class EdgeStudy:
         Only its region locations matter for the campaign, so the server
         fleet is kept minimal.
         """
-        return build_cloud_platform(self.scenario, name="AliCloud",
-                                    servers_per_region=4)
+        with self.perf.span("platform_alicloud"):
+            return build_cloud_platform(self.scenario, name="AliCloud",
+                                        servers_per_region=4)
 
     # ---- campaigns ---------------------------------------------------------
 
@@ -64,11 +79,19 @@ class EdgeStudy:
 
     @cached_property
     def latency_results(self) -> CampaignResults:
-        return self.campaign.run_latency(self.participants)
+        campaign, participants = self.campaign, self.participants
+        with self.perf.span("campaign_latency"):
+            results = campaign.run_latency(participants)
+        self.perf.count("latency_observations", len(results.latency))
+        return results
 
     @cached_property
     def throughput_results(self) -> CampaignResults:
-        return self.campaign.run_throughput(self.participants)
+        campaign, participants = self.campaign, self.participants
+        with self.perf.span("campaign_throughput"):
+            results = campaign.run_throughput(participants)
+        self.perf.count("throughput_observations", len(results.throughput))
+        return results
 
     @cached_property
     def per_user(self) -> list[PerUserLatency]:
@@ -104,24 +127,43 @@ class EdgeStudy:
         return cloud_regions_from_platform(self.alicloud)
 
 
+#: Scale names accepted by :func:`study_for` and the CLI's ``--scale``.
+SCALES = ("smoke", "default", "paper")
+
+
+def scenario_for(scale: str, seed: int | None = None) -> Scenario:
+    """The scenario behind a named scale (see :data:`SCALES`)."""
+    if seed is None:
+        seed = DEFAULT_SCENARIO.seed
+    if scale == "default":
+        return Scenario(seed=seed)
+    if scale == "smoke":
+        return Scenario.smoke_scale().with_overrides(seed=seed)
+    if scale == "paper":
+        return Scenario.paper_scale().with_overrides(seed=seed)
+    raise ConfigurationError(
+        f"unknown scale {scale!r}, expected one of {SCALES}")
+
+
 @lru_cache(maxsize=4)
 def _study_for(scale: str, seed: int) -> EdgeStudy:
-    if scale == "default":
-        scenario = Scenario(seed=seed)
-    elif scale == "smoke":
-        scenario = Scenario.smoke_scale().with_overrides(seed=seed)
-    else:
-        raise ValueError(f"unknown scale {scale!r}")
-    return EdgeStudy(scenario)
+    return EdgeStudy(scenario_for(scale, seed))
+
+
+def study_for(scale: str, seed: int | None = None) -> EdgeStudy:
+    """The shared study for a named scale (cached per (scale, seed))."""
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}, expected one of {SCALES}")
+    return _study_for(scale, seed if seed is not None
+                      else DEFAULT_SCENARIO.seed)
 
 
 def default_study(seed: int | None = None) -> EdgeStudy:
     """The shared full-scale study (cached per seed)."""
-    return _study_for("default", seed if seed is not None
-                      else DEFAULT_SCENARIO.seed)
+    return study_for("default", seed)
 
 
 def smoke_study(seed: int | None = None) -> EdgeStudy:
     """The shared reduced-scale study for tests (cached per seed)."""
-    return _study_for("smoke", seed if seed is not None
-                      else DEFAULT_SCENARIO.seed)
+    return study_for("smoke", seed)

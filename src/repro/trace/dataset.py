@@ -36,6 +36,15 @@ class TraceDataset:
     bw_series: dict[str, np.ndarray] = field(default_factory=dict)
     #: Intra-site ("private") traffic, also reported by NEP's collector.
     bw_private_series: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Lazy reverse indexes (site/server/app -> vm ids); rebuilt after any
+    #: add_vm.  The §4 analyses query these per site/server in loops, and
+    #: a paper-scale fleet makes the naive full-table scan quadratic.
+    _site_index: dict[str, list[str]] | None = field(
+        default=None, repr=False, compare=False)
+    _server_index: dict[str, list[str]] | None = field(
+        default=None, repr=False, compare=False)
+    _app_index: dict[str, list[str]] | None = field(
+        default=None, repr=False, compare=False)
 
     # ---- structure -------------------------------------------------------
 
@@ -83,6 +92,7 @@ class TraceDataset:
         if np.any(bw < 0):
             raise TraceError(f"VM {record.vm_id!r}: negative bandwidth")
         self.vms[record.vm_id] = record
+        self._site_index = self._server_index = self._app_index = None
         self.cpu_series[record.vm_id] = cpu.astype(np.float32)
         self.bw_series[record.vm_id] = bw.astype(np.float32)
         if bw_private is not None:
@@ -97,19 +107,34 @@ class TraceDataset:
     def vm_ids(self) -> list[str]:
         return list(self.vms)
 
+    def _index(self, attr: str) -> dict[str, list[str]]:
+        """One lazy reverse index over the VM table (vm attr -> vm ids)."""
+        slot = f"_{attr}_index"
+        index = getattr(self, slot)
+        if index is None:
+            index = {}
+            key = f"{attr}_id"
+            for vm_id, vm in self.vms.items():
+                index.setdefault(getattr(vm, key), []).append(vm_id)
+            setattr(self, slot, index)
+        return index
+
     def vms_of_app(self, app_id: str) -> list[VMRecord]:
         if app_id not in self.apps:
             raise TraceError(f"unknown app {app_id!r}")
-        return [vm for vm in self.vms.values() if vm.app_id == app_id]
+        return [self.vms[vm_id]
+                for vm_id in self._index("app").get(app_id, ())]
 
     def vms_on_server(self, server_id: str) -> list[VMRecord]:
-        return [vm for vm in self.vms.values() if vm.server_id == server_id]
+        return [self.vms[vm_id]
+                for vm_id in self._index("server").get(server_id, ())]
 
     def vms_on_site(self, site_id: str) -> list[VMRecord]:
-        return [vm for vm in self.vms.values() if vm.site_id == site_id]
+        return [self.vms[vm_id]
+                for vm_id in self._index("site").get(site_id, ())]
 
     def app_ids_with_vms(self) -> list[str]:
-        present = {vm.app_id for vm in self.vms.values()}
+        present = self._index("app")
         return [app_id for app_id in self.apps if app_id in present]
 
     # ---- aggregations ------------------------------------------------------

@@ -9,14 +9,22 @@ from .apps import (
     sample_profile,
 )
 from .azure import generate_azure_workload
-from .bandwidth import derive_private_series, generate_bw_series, peak_to_mean_ratio
-from .cpu import generate_cpu_series
-from .generator import GeneratedWorkload, generate_nep_workload
+from .bandwidth import (
+    derive_private_series,
+    derive_private_series_batch,
+    generate_bw_series,
+    generate_bw_series_batch,
+    peak_to_mean_ratio,
+)
+from .cpu import generate_cpu_series, generate_cpu_series_batch
+from .generator import GeneratedWorkload, SeasonCache, generate_nep_workload
 from .patterns import (
     PATTERNS,
     ar1_noise,
+    ar1_noise_batch,
     pattern,
     regime_switching_level,
+    regime_switching_levels,
     time_axis_minutes,
 )
 from .subscription import (
@@ -37,16 +45,22 @@ __all__ = [
     "NEP_SIZE_OPTIONS",
     "PATTERNS",
     "SizeOption",
+    "SeasonCache",
     "ar1_noise",
+    "ar1_noise_batch",
     "derive_private_series",
+    "derive_private_series_batch",
     "generate_azure_workload",
     "generate_bw_series",
+    "generate_bw_series_batch",
     "generate_cpu_series",
+    "generate_cpu_series_batch",
     "generate_nep_workload",
     "pattern",
     "peak_to_mean_ratio",
     "profiles_by_category",
     "regime_switching_level",
+    "regime_switching_levels",
     "sample_azure_spec",
     "sample_nep_spec",
     "sample_profile",

@@ -19,9 +19,9 @@ from ..platform.placement import RandomPolicy, SubscriptionRequest
 from ..trace.dataset import TraceDataset
 from ..trace.schema import AppRecord, ServerRecord, SiteRecord, VMRecord
 from .apps import AZURE_PROFILES, sample_profile
-from .bandwidth import generate_bw_series
-from .cpu import generate_cpu_series
-from .generator import GeneratedWorkload
+from .bandwidth import generate_bw_series_batch
+from .cpu import generate_cpu_series_batch
+from .generator import GeneratedWorkload, SERIES_CHUNK_VMS, SeasonCache
 from .patterns import time_axis_minutes
 from .subscription import sample_azure_spec
 
@@ -65,6 +65,7 @@ def generate_azure_workload(scenario: Scenario,
                                     scenario.cpu_interval_minutes)
     bw_minutes = time_axis_minutes(scenario.trace_days,
                                    scenario.bw_interval_minutes)
+    seasons = SeasonCache()
 
     vm_budget = scenario.azure_vm_count
     app_index = 0
@@ -108,25 +109,34 @@ def generate_azure_workload(scenario: Scenario,
         app_sigma = profile.within_app_sigma * float(rng.uniform(0.6, 1.4))
         multipliers = rng.lognormal(-app_sigma ** 2 / 2, app_sigma,
                                     size=len(placed_vms))
-        for vm, multiplier in zip(placed_vms, multipliers):
-            site = platform.site(vm.site_id)
-            mean_cpu = float(np.clip(base_level * multiplier, 0.005, 0.95))
-            mean_bw = max(base_bw * multiplier, 0.01)
-            cpu = generate_cpu_series(profile, mean_cpu, cpu_minutes, rng)
-            bw = generate_bw_series(profile, mean_bw, bw_minutes, rng,
-                                    erratic=rng.random() < profile.erratic_probability)
-            record = VMRecord(
-                vm_id=vm.vm_id, app_id=app_id,
-                customer_id=vm.customer_id,
-                site_id=vm.site_id, server_id=vm.server_id,
-                city=site.city, province=site.province,
-                category=profile.category, image_id=vm.image_id,
-                os_type=vm.os_type,
-                cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
-                disk_gb=spec.disk_gb,
-                bandwidth_mbps=float(np.ceil(mean_bw * 3.0)),
-            )
-            dataset.add_vm(record, cpu, bw)
+        mean_cpus = np.clip(base_level * multipliers, 0.005, 0.95)
+        mean_bws = np.maximum(base_bw * multipliers, 0.01)
+        erratic = rng.random(len(placed_vms)) < profile.erratic_probability
+        cpu_season = seasons.get(profile.pattern_name, cpu_minutes)
+        bw_season = seasons.get(profile.pattern_name, bw_minutes)
+        for start in range(0, len(placed_vms), SERIES_CHUNK_VMS):
+            stop = min(start + SERIES_CHUNK_VMS, len(placed_vms))
+            cpu_rows = generate_cpu_series_batch(
+                profile, mean_cpus[start:stop], cpu_minutes, rng,
+                season=cpu_season)
+            bw_rows = generate_bw_series_batch(
+                profile, mean_bws[start:stop], bw_minutes, rng,
+                erratic=erratic[start:stop], season=bw_season)
+            for offset, vm in enumerate(placed_vms[start:stop]):
+                site = platform.site(vm.site_id)
+                record = VMRecord(
+                    vm_id=vm.vm_id, app_id=app_id,
+                    customer_id=vm.customer_id,
+                    site_id=vm.site_id, server_id=vm.server_id,
+                    city=site.city, province=site.province,
+                    category=profile.category, image_id=vm.image_id,
+                    os_type=vm.os_type,
+                    cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
+                    disk_gb=spec.disk_gb,
+                    bandwidth_mbps=float(
+                        np.ceil(mean_bws[start + offset] * 3.0)),
+                )
+                dataset.add_vm(record, cpu_rows[offset], bw_rows[offset])
         vm_budget -= len(placed_vms)
         app_index += 1
 

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .apps import AppProfile
-from .patterns import ar1_noise, pattern, regime_switching_level
+from .patterns import ar1_noise_batch, pattern, regime_switching_levels
 
 #: Short traffic spikes (flash crowds) on top of the seasonal shape.
 #: Kept small: NEP bills the *daily peak*, so heavy spikes would dominate
@@ -25,18 +25,63 @@ SPIKE_SCALE = (1.3, 2.0)
 PRIVATE_FRACTION_RANGE = (0.01, 0.08)
 
 
+def generate_bw_series_batch(profile: AppProfile, mean_mbps: np.ndarray,
+                             minutes: np.ndarray, rng: np.random.Generator,
+                             erratic: np.ndarray | None = None,
+                             season: np.ndarray | None = None) -> np.ndarray:
+    """Generate public bandwidth rows (Mbps) for a whole fleet at once.
+
+    Args:
+        profile: the app category's workload profile.
+        mean_mbps: per-VM target mean public bandwidths.
+        minutes: time axis.
+        rng: the fleet's random stream.
+        erratic: optional boolean mask; True rows get a regime-switching
+            level — the unpredictable VMs of Figure 12.
+        season: optional precomputed ``pattern(profile.pattern_name)(minutes)``.
+
+    Returns:
+        A ``(len(mean_mbps), len(minutes))`` non-negative array.
+
+    Raises:
+        ConfigurationError: if any mean bandwidth is negative.
+    """
+    mean_mbps = np.asarray(mean_mbps, dtype=np.float64)
+    if mean_mbps.size == 0:
+        raise ConfigurationError("mean_mbps must be non-empty")
+    if np.any(mean_mbps < 0):
+        raise ConfigurationError(
+            f"mean bandwidths must be non-negative, got {mean_mbps!r}"
+        )
+    count = mean_mbps.size
+    points = minutes.size
+    if season is None:
+        season = pattern(profile.pattern_name)(minutes)
+    # Bandwidth swings harder with the season than CPU does: keep the
+    # seasonal weight but square-root the residual floor so traffic almost
+    # vanishes off-peak for strongly seasonal categories.
+    w = min(1.0, profile.seasonal_weight * 1.15)
+    shape = w * season + (1.0 - w)
+    series = ar1_noise_batch(count, points, rng, rho=profile.noise_rho,
+                             sigma=profile.noise_sigma * 1.3)
+    series *= shape[None, :]
+    series *= mean_mbps[:, None]
+    if erratic is not None and erratic.any():
+        series[erratic] *= regime_switching_levels(
+            int(erratic.sum()), points, rng)
+    spikes = rng.random((count, points)) < SPIKE_PROBABILITY
+    n_spikes = int(spikes.sum())
+    if n_spikes:
+        series[spikes] *= rng.uniform(*SPIKE_SCALE, size=n_spikes)
+    return np.maximum(series, 0.0, out=series)
+
+
 def generate_bw_series(profile: AppProfile, mean_mbps: float,
                        minutes: np.ndarray, rng: np.random.Generator,
                        erratic: bool = False) -> np.ndarray:
     """Generate one VM's public bandwidth series (Mbps).
 
-    Args:
-        profile: the app category's workload profile.
-        mean_mbps: the VM's target mean public bandwidth.
-        minutes: time axis.
-        rng: the VM's random stream.
-        erratic: if True, multiply by a regime-switching level — the
-            unpredictable VMs of Figure 12.
+    One row of :func:`generate_bw_series_batch`; see there for the model.
 
     Raises:
         ConfigurationError: if ``mean_mbps`` is negative.
@@ -45,30 +90,26 @@ def generate_bw_series(profile: AppProfile, mean_mbps: float,
         raise ConfigurationError(
             f"mean bandwidth must be non-negative, got {mean_mbps}"
         )
-    points = minutes.size
-    season = pattern(profile.pattern_name)(minutes)
-    # Bandwidth swings harder with the season than CPU does: keep the
-    # seasonal weight but square-root the residual floor so traffic almost
-    # vanishes off-peak for strongly seasonal categories.
-    w = min(1.0, profile.seasonal_weight * 1.15)
-    shape = w * season + (1.0 - w)
-    noise = ar1_noise(points, rng, rho=profile.noise_rho,
-                      sigma=profile.noise_sigma * 1.3)
-    series = mean_mbps * shape * noise
-    if erratic:
-        series = series * regime_switching_level(points, rng)
-    spikes = rng.random(points) < SPIKE_PROBABILITY
-    if spikes.any():
-        series[spikes] *= rng.uniform(*SPIKE_SCALE, size=int(spikes.sum()))
-    return np.maximum(series, 0.0)
+    return generate_bw_series_batch(
+        profile, np.array([mean_mbps]), minutes, rng,
+        erratic=np.array([erratic]))[0]
+
+
+def derive_private_series_batch(public_series: np.ndarray,
+                                rng: np.random.Generator) -> np.ndarray:
+    """Intra-site traffic rows derived from the public rows."""
+    count, points = public_series.shape
+    fractions = rng.uniform(*PRIVATE_FRACTION_RANGE, size=count)
+    wobble = ar1_noise_batch(count, points, rng, rho=0.8, sigma=0.3)
+    wobble *= public_series
+    wobble *= fractions[:, None]
+    return wobble
 
 
 def derive_private_series(public_series: np.ndarray,
                           rng: np.random.Generator) -> np.ndarray:
     """Intra-site traffic derived from the public series."""
-    fraction = float(rng.uniform(*PRIVATE_FRACTION_RANGE))
-    wobble = ar1_noise(public_series.size, rng, rho=0.8, sigma=0.3)
-    return public_series * fraction * wobble
+    return derive_private_series_batch(public_series[None, :], rng)[0]
 
 
 def peak_to_mean_ratio(series: np.ndarray) -> float:

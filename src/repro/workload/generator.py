@@ -24,10 +24,36 @@ from ..platform.placement import NepPlacementPolicy, SubscriptionRequest
 from ..trace.dataset import TraceDataset
 from ..trace.schema import AppRecord, ServerRecord, SiteRecord, VMRecord
 from .apps import AppProfile, NEP_PROFILES, sample_profile
-from .bandwidth import derive_private_series, generate_bw_series
-from .cpu import generate_cpu_series
-from .patterns import time_axis_minutes
+from .bandwidth import derive_private_series_batch, generate_bw_series_batch
+from .cpu import generate_cpu_series_batch
+from .patterns import pattern, time_axis_minutes
 from .subscription import sample_nep_disk_gb, sample_nep_spec
+
+#: VMs per batched series-generation chunk.  Bounds the transient float64
+#: working set (a chunk is ~CHUNK x points x 8 bytes per component) so
+#: paper-scale runs stay well inside memory while small apps still
+#: vectorise as a single chunk.
+SERIES_CHUNK_VMS = 256
+
+
+class SeasonCache:
+    """Memoises ``pattern(name)(minutes)`` per (pattern, axis).
+
+    Every VM of every app with the same category recomputed the same
+    seasonal curve; at paper scale that alone was minutes of work.  The
+    cache holds one row per pattern per time axis (cpu and bw).
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, int], np.ndarray] = {}
+
+    def get(self, pattern_name: str, minutes: np.ndarray) -> np.ndarray:
+        key = (pattern_name, id(minutes))
+        curve = self._cache.get(key)
+        if curve is None:
+            curve = pattern(pattern_name)(minutes)
+            self._cache[key] = curve
+        return curve
 
 
 @dataclass
@@ -110,6 +136,7 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
                                     scenario.cpu_interval_minutes)
     bw_minutes = time_axis_minutes(scenario.trace_days,
                                    scenario.bw_interval_minutes)
+    seasons = SeasonCache()
 
     vm_budget = scenario.nep_vm_count
     app_index = 0
@@ -134,28 +161,32 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
         counts = _split_counts(vm_count, len(app_provinces), app_rng)
         placed_vms = []
         for province, count in zip(app_provinces, counts):
-            for _ in range(count):
-                # Cores/memory are uniform across an app's fleet (the §2
-                # subscription example), but disk follows each VM's data
-                # volume — that is what gives the 100 GB median / 650 GB
-                # mean storage tail of §4.1.
-                vm_spec = VMSpec(
+            # Cores/memory are uniform across an app's fleet (the §2
+            # subscription example), but disk follows each VM's data
+            # volume — that is what gives the 100 GB median / 650 GB
+            # mean storage tail of §4.1.
+            vm_specs = [
+                VMSpec(
                     cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
                     disk_gb=sample_nep_disk_gb(app_rng),
                     bandwidth_mbps=spec.bandwidth_mbps,
                 )
-                request = SubscriptionRequest(
-                    customer_id=customer.customer_id, app_id=app_id,
-                    image_id=app.image_id, spec=vm_spec, vm_count=1,
-                    province=province,
-                )
-                try:
-                    placed_vms.extend(policy.place(platform, request))
-                except PlacementError:
-                    # A saturated province is skipped; the app simply
-                    # deploys fewer VMs there, as a real customer would
-                    # be told.
-                    break
+                for _ in range(count)
+            ]
+            request = SubscriptionRequest(
+                customer_id=customer.customer_id, app_id=app_id,
+                image_id=app.image_id, spec=vm_specs[0], vm_count=count,
+                province=province,
+            )
+            # A saturated province places fewer VMs (allow_partial) and a
+            # province without sites is skipped; the app simply deploys
+            # less there, as a real customer would be told.
+            try:
+                placed_vms.extend(policy.place(platform, request,
+                                               specs=vm_specs,
+                                               allow_partial=True))
+            except PlacementError:
+                continue
         if not placed_vms:
             app_index += 1
             continue
@@ -165,6 +196,7 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
             platform=platform, dataset=dataset,
             cpu_minutes=cpu_minutes, bw_minutes=bw_minutes,
             rng=series_rng_root.stream(app_id), spec=spec,
+            seasons=seasons,
         )
         vm_budget -= len(placed_vms)
         app_index += 1
@@ -177,8 +209,16 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
 def _generate_app_series(profile: AppProfile, app_id: str, placed_vms: list,
                          platform: Platform, dataset: TraceDataset,
                          cpu_minutes: np.ndarray, bw_minutes: np.ndarray,
-                         rng: np.random.Generator, spec: VMSpec) -> None:
-    """Create the per-VM series and trace records for one placed app."""
+                         rng: np.random.Generator, spec: VMSpec,
+                         seasons: SeasonCache | None = None) -> None:
+    """Create the per-VM series and trace records for one placed app.
+
+    The whole fleet's CPU, bandwidth, and private-traffic series come from
+    the batch generators — one RNG/filter pass per component per chunk
+    rather than per VM.
+    """
+    if seasons is None:
+        seasons = SeasonCache()
     base_level = profile.cpu_levels.sample(rng)
     base_bw = float(rng.lognormal(np.log(profile.bw_median_mbps),
                                   profile.bw_sigma))
@@ -189,24 +229,32 @@ def _generate_app_series(profile: AppProfile, app_id: str, placed_vms: list,
     # spread controls the Figure 13 cross-VM gap.
     multipliers = rng.lognormal(mean=-app_sigma ** 2 / 2, sigma=app_sigma,
                                 size=len(placed_vms))
+    mean_cpus = np.clip(base_level * multipliers, 0.003, 0.92)
+    mean_bws = np.maximum(base_bw * multipliers, 0.05)
+    erratic = rng.random(len(placed_vms)) < profile.erratic_probability
+    cpu_season = seasons.get(profile.pattern_name, cpu_minutes)
+    bw_season = seasons.get(profile.pattern_name, bw_minutes)
 
-    for vm, multiplier in zip(placed_vms, multipliers):
-        site = platform.site(vm.site_id)
-        mean_cpu = float(np.clip(base_level * multiplier, 0.003, 0.92))
-        mean_bw = max(base_bw * multiplier, 0.05)
-        erratic = rng.random() < profile.erratic_probability
-        cpu = generate_cpu_series(profile, mean_cpu, cpu_minutes, rng)
-        bw = generate_bw_series(profile, mean_bw, bw_minutes, rng,
-                                erratic=erratic)
-        private = derive_private_series(bw, rng)
-        record = VMRecord(
-            vm_id=vm.vm_id, app_id=app_id, customer_id=vm.customer_id,
-            site_id=vm.site_id, server_id=vm.server_id,
-            city=site.city, province=site.province,
-            category=profile.category, image_id=vm.image_id,
-            os_type=vm.os_type,
-            cpu_cores=vm.spec.cpu_cores, memory_gb=vm.spec.memory_gb,
-            disk_gb=vm.spec.disk_gb,
-            bandwidth_mbps=float(np.ceil(mean_bw * 3.0)),
-        )
-        dataset.add_vm(record, cpu, bw, private)
+    for start in range(0, len(placed_vms), SERIES_CHUNK_VMS):
+        stop = min(start + SERIES_CHUNK_VMS, len(placed_vms))
+        cpu_rows = generate_cpu_series_batch(
+            profile, mean_cpus[start:stop], cpu_minutes, rng,
+            season=cpu_season)
+        bw_rows = generate_bw_series_batch(
+            profile, mean_bws[start:stop], bw_minutes, rng,
+            erratic=erratic[start:stop], season=bw_season)
+        private_rows = derive_private_series_batch(bw_rows, rng)
+        for offset, vm in enumerate(placed_vms[start:stop]):
+            site = platform.site(vm.site_id)
+            record = VMRecord(
+                vm_id=vm.vm_id, app_id=app_id, customer_id=vm.customer_id,
+                site_id=vm.site_id, server_id=vm.server_id,
+                city=site.city, province=site.province,
+                category=profile.category, image_id=vm.image_id,
+                os_type=vm.os_type,
+                cpu_cores=vm.spec.cpu_cores, memory_gb=vm.spec.memory_gb,
+                disk_gb=vm.spec.disk_gb,
+                bandwidth_mbps=float(np.ceil(mean_bws[start + offset] * 3.0)),
+            )
+            dataset.add_vm(record, cpu_rows[offset], bw_rows[offset],
+                           private_rows[offset])

@@ -112,24 +112,59 @@ def pattern(name: str):
         ) from None
 
 
-def regime_switching_level(points: int, rng: np.random.Generator,
-                           switch_probability: float = 0.004,
-                           low: float = 0.2, high: float = 2.5) -> np.ndarray:
-    """A piecewise-constant multiplier that jumps between random levels.
+def regime_switching_levels(count: int, points: int,
+                            rng: np.random.Generator,
+                            switch_probability: float = 0.004,
+                            low: float = 0.2, high: float = 2.5) -> np.ndarray:
+    """``count`` independent piecewise-constant multiplier rows at once.
 
     Models the "dramatic and unpredictable" weekly bandwidth swings of
     Figure 12's VM-1/VM-2: occasionally the level re-draws uniformly in
-    [low, high] and holds until the next switch.
+    [low, high] and holds until the next switch.  Segment boundaries for
+    every row come from one Bernoulli matrix; one flat uniform draw then
+    supplies the levels of all rows' segments.
     """
     if not 0.0 < switch_probability < 1.0:
         raise ConfigurationError(
             f"switch probability must be in (0, 1), got {switch_probability}"
         )
-    switches = rng.random(points) < switch_probability
-    switches[0] = True  # segment 0 needs a level too
-    segment_ids = np.cumsum(switches) - 1
-    segment_levels = rng.uniform(low, high, size=int(segment_ids[-1]) + 1)
-    return segment_levels[segment_ids]
+    if count <= 0 or points <= 0:
+        raise ConfigurationError("count and points must be positive")
+    switches = rng.random((count, points)) < switch_probability
+    switches[:, 0] = True  # segment 0 of each row needs a level too
+    segment_ids = np.cumsum(switches, axis=1) - 1
+    segments_per_row = segment_ids[:, -1] + 1
+    offsets = np.concatenate(([0], np.cumsum(segments_per_row)[:-1]))
+    levels = rng.uniform(low, high, size=int(segments_per_row.sum()))
+    return levels[segment_ids + offsets[:, None]]
+
+
+def regime_switching_level(points: int, rng: np.random.Generator,
+                           switch_probability: float = 0.004,
+                           low: float = 0.2, high: float = 2.5) -> np.ndarray:
+    """One row of :func:`regime_switching_levels` (scalar convenience)."""
+    return regime_switching_levels(1, points, rng, switch_probability,
+                                   low, high)[0]
+
+
+def ar1_noise_batch(count: int, points: int, rng: np.random.Generator,
+                    rho: float = 0.9, sigma: float = 0.15) -> np.ndarray:
+    """``count`` independent AR(1) noise rows as one ``(count, points)`` array.
+
+    All innovations come from a single normal draw; the recursion runs as
+    one :func:`scipy.signal.lfilter` along axis 1, so cost per row is a
+    fraction of the scalar path's.
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"rho must be in [0, 1), got {rho}")
+    if count <= 0 or points <= 0:
+        raise ConfigurationError("count and points must be positive")
+    innovations = rng.standard_normal((count, points))
+    innovations *= sigma * np.sqrt(1 - rho * rho)
+    noise = lfilter([1.0], [1.0, -rho], innovations, axis=1)
+    noise += 1.0
+    np.maximum(noise, 0.05, out=noise)
+    return noise
 
 
 def ar1_noise(points: int, rng: np.random.Generator, rho: float = 0.9,
@@ -140,8 +175,4 @@ def ar1_noise(points: int, rng: np.random.Generator, rho: float = 0.9,
     are strongly autocorrelated, and the §4.4 predictability experiment
     depends on that.
     """
-    if not 0.0 <= rho < 1.0:
-        raise ConfigurationError(f"rho must be in [0, 1), got {rho}")
-    innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho * rho), size=points)
-    noise = lfilter([1.0], [1.0, -rho], innovations)
-    return np.maximum(1.0 + noise, 0.05)
+    return ar1_noise_batch(1, points, rng, rho, sigma)[0]

@@ -1,5 +1,6 @@
 """Tests for ping and iperf probe runners."""
 
+import numpy as np
 import pytest
 
 from repro.errors import MeasurementError
@@ -20,15 +21,23 @@ def route(rng):
 
 
 class TestPing:
-    def test_thirty_pings(self, route, rng):
+    def test_samples_dropped_by_default(self, route, rng):
+        # Campaigns keep only the summary stats; raw samples cost memory.
         result = run_ping_test(route, 30, rng)
+        assert result.samples_ms is None
+
+    def test_thirty_pings_when_keeping_samples(self, route, rng):
+        result = run_ping_test(route, 30, rng, keep_samples=True)
         assert len(result.samples_ms) == 30
 
     def test_summary_statistics(self, route, rng):
-        result = run_ping_test(route, 30, rng)
+        result = run_ping_test(route, 30, rng, keep_samples=True)
         assert result.mean_ms > 0
         assert result.std_ms >= 0
         assert result.cv == pytest.approx(result.std_ms / result.mean_ms)
+        samples = np.asarray(result.samples_ms)
+        assert result.mean_ms == pytest.approx(samples.mean())
+        assert result.std_ms == pytest.approx(samples.std())
 
     def test_traceroute_attached(self, route, rng):
         result = run_ping_test(route, 10, rng)

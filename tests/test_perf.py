@@ -1,0 +1,82 @@
+"""Tests for the perf telemetry registry."""
+
+import time
+
+from repro.perf import PerfRegistry
+
+
+class TestSpans:
+    def test_span_records_time_and_calls(self):
+        perf = PerfRegistry()
+        with perf.span("work"):
+            time.sleep(0.01)
+        stats = perf.spans["work"]
+        assert stats.calls == 1
+        assert stats.wall_s >= 0.01
+        assert stats.cpu_s >= 0.0
+
+    def test_spans_accumulate(self):
+        perf = PerfRegistry()
+        for _ in range(3):
+            with perf.span("phase"):
+                pass
+        assert perf.spans["phase"].calls == 3
+
+    def test_span_survives_exceptions(self):
+        perf = PerfRegistry()
+        try:
+            with perf.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert perf.spans["boom"].calls == 1
+
+    def test_wall_s_of_unknown_span_is_zero(self):
+        assert PerfRegistry().wall_s("never-ran") == 0.0
+
+
+class TestCountersAndViews:
+    def test_counters_accumulate(self):
+        perf = PerfRegistry()
+        perf.count("vms", 5)
+        perf.count("vms", 2)
+        assert perf.counters == {"vms": 7}
+
+    def test_as_dict_round_trips(self):
+        perf = PerfRegistry()
+        with perf.span("a"):
+            pass
+        perf.count("n", 1)
+        data = perf.as_dict()
+        assert set(data) == {"spans", "counters"}
+        assert data["spans"]["a"]["calls"] == 1
+        assert data["counters"] == {"n": 1}
+
+    def test_report_lists_phases(self):
+        perf = PerfRegistry()
+        with perf.span("alpha"):
+            pass
+        perf.count("widgets", 3)
+        report = perf.report()
+        assert "alpha" in report
+        assert "widgets" in report
+
+    def test_empty_report(self):
+        assert "no spans" in PerfRegistry().report()
+
+    def test_reset(self):
+        perf = PerfRegistry()
+        with perf.span("a"):
+            pass
+        perf.reset()
+        assert perf.spans == {}
+        assert perf.counters == {}
+
+
+class TestStudyIntegration:
+    def test_study_phases_recorded(self, study, latency_results):
+        # The session study has at least built NEP and run the campaign.
+        assert study.perf.wall_s("workload_nep") > 0
+        assert study.perf.wall_s("campaign_latency") > 0
+        assert study.perf.counters["latency_observations"] == len(
+            latency_results.latency)
