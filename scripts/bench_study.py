@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform as platform_mod
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -77,6 +79,28 @@ def load_ledger(path: Path) -> dict[str, object]:
         with path.open() as handle:
             return json.load(handle)
     return {"schema": 1, "runs": {}}
+
+
+def write_ledger(ledger: dict[str, object], path: Path) -> None:
+    """Atomically replace ``path`` with the serialized ledger.
+
+    Written via a sibling temp file + ``os.replace`` so an interrupted
+    run (ctrl-C, OOM, full disk) never leaves a truncated JSON behind
+    for the next ``--check`` to choke on.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(ledger, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
 
 
 def check_regression(ledger: dict[str, object], scale: str,
@@ -133,9 +157,7 @@ def main(argv: list[str] | None = None) -> int:
 
     ledger = load_ledger(args.output)
     ledger.setdefault("runs", {})[args.scale] = fresh
-    with args.output.open("w") as handle:
-        json.dump(ledger, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_ledger(ledger, args.output)
     print(f"updated {args.output}")
     return 0
 

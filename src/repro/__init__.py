@@ -18,11 +18,12 @@ See DESIGN.md for the experiment index and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-from .config import DEFAULT_SCENARIO, RandomState, Scenario
+from .config import DEFAULT_SCENARIO, FAULT_PROFILES, RandomState, Scenario
 from .errors import (
     BillingError,
     CapacityError,
     ConfigurationError,
+    FaultError,
     GeoError,
     MeasurementError,
     PlacementError,
@@ -32,7 +33,9 @@ from .errors import (
     TopologyError,
     TraceError,
 )
+from .faults import FaultSchedule, build_fault_schedule
 from .perf import PerfRegistry
+from .phases import PhaseLedger, PhaseStatus
 from .study import EdgeStudy, default_study, smoke_study, study_for
 
 __version__ = "1.0.0"
@@ -43,9 +46,14 @@ __all__ = [
     "ConfigurationError",
     "DEFAULT_SCENARIO",
     "EdgeStudy",
+    "FAULT_PROFILES",
+    "FaultError",
+    "FaultSchedule",
     "GeoError",
     "MeasurementError",
     "PerfRegistry",
+    "PhaseLedger",
+    "PhaseStatus",
     "PlacementError",
     "PredictionError",
     "RandomState",
@@ -54,6 +62,7 @@ __all__ = [
     "SchedulingError",
     "TopologyError",
     "TraceError",
+    "build_fault_schedule",
     "default_study",
     "smoke_study",
     "study_for",

@@ -15,6 +15,8 @@ import argparse
 import sys
 from typing import Sequence
 
+from .config import FAULT_PROFILES
+from .errors import ReproError
 from .reports import REPORTS
 from .study import SCALES, EdgeStudy, study_for
 
@@ -41,6 +43,8 @@ DESCRIPTIONS = {
     "sales": "sales-rate skew (§4.1 prose)",
     "categories": "application types and traffic shares (§4.1)",
     "findings": "the paper's eight findings with measured values",
+    "availability": "site availability, probe failures, MTTR (needs "
+                    "--faults)",
 }
 
 
@@ -76,13 +80,16 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "the full-fidelity 92-day/20k-VM run)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
+    parser.add_argument("--faults", choices=FAULT_PROFILES, default="off",
+                        help="fault-injection profile (default: off; "
+                             "'paper' calibrates to reported edge churn)")
     parser.add_argument("--perf", action="store_true",
                         help="print per-phase wall/CPU timings afterwards")
 
 
 def _study(args: argparse.Namespace) -> EdgeStudy:
     """The study for the CLI args, sharing the module-level cache."""
-    return study_for(args.scale, args.seed)
+    return study_for(args.scale, args.seed, getattr(args, "faults", None))
 
 
 def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
@@ -123,11 +130,22 @@ def _command_run(args: argparse.Namespace) -> int:
               f"(see 'repro list')", file=sys.stderr)
         return 2
     study = _study(args)
+    failed = []
     for index, name in enumerate(names):
         if index:
             print()
-        print(REPORTS[name](study))
+        # Graceful degradation: one failing report must not take down the
+        # rest of an `all` run — record it, keep going, exit non-zero.
+        try:
+            print(REPORTS[name](study))
+        except ReproError as exc:
+            failed.append(name)
+            print(f"[failed] {name}: {exc}", file=sys.stderr)
     _maybe_report_perf(args, study)
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -166,6 +184,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "export":
             return _command_export(args)
         return _command_run(args)
+    except ReproError as exc:
+        # A library-level failure (bad config, infeasible scenario, ...)
+        # is an expected error class: one clean line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: the POSIX
         # convention is to exit quietly, not to traceback.

@@ -24,6 +24,11 @@ from .errors import ConfigurationError
 
 _DEFAULT_SEED = 20211102  # IMC 2021 opening day
 
+#: Fault-injection profiles accepted by :attr:`Scenario.fault_profile`
+#: (the CLI's ``--faults``).  ``off`` is the historical fair-weather
+#: behaviour; the calibrations live in :mod:`repro.faults.schedule`.
+FAULT_PROFILES = ("off", "paper", "harsh")
+
 
 class RandomState:
     """A root seed plus a family of named, independent substreams.
@@ -107,6 +112,9 @@ class Scenario:
     # --- billing study (§4.5) -------------------------------------------
     heaviest_app_count: int = 50
 
+    # --- fault injection (availability study) ---------------------------
+    fault_profile: str = "off"
+
     def __post_init__(self) -> None:
         positive_fields = (
             "nep_site_count", "nep_servers_per_site_min",
@@ -131,6 +139,11 @@ class Scenario:
         if self.prediction_window_minutes % self.cpu_interval_minutes:
             raise ConfigurationError(
                 "prediction window must be a multiple of the CPU interval"
+            )
+        if self.fault_profile not in FAULT_PROFILES:
+            raise ConfigurationError(
+                f"fault_profile must be one of {FAULT_PROFILES}, "
+                f"got {self.fault_profile!r}"
             )
 
     @property

@@ -1,0 +1,226 @@
+"""Availability, failure-rate, and MTTR analysis under fault injection.
+
+The paper's cloud-vs-edge contrast is incomplete without reliability:
+edge sites individually churn far more than cloud regions, and the
+question is how much of that the retry/failover machinery absorbs.  This
+module folds one run's :class:`~repro.faults.schedule.FaultSchedule`,
+the campaign's probe accounting, and the failover simulator's outcome
+into a single :class:`AvailabilityReport` — per-platform availability,
+probe failure/recovery rates, MTTR, and the measured throughput cost of
+degradation episodes.
+
+All inputs are deterministic functions of the scenario seed, so the
+formatted report is byte-identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultError
+from ..faults.failover import FailoverReport
+from ..faults.injection import ProbeStats
+from ..faults.schedule import FaultSchedule
+from ..measurement.campaign import CampaignResults
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Reliability summary of one fault-injected study run."""
+
+    profile: str
+    horizon_minutes: float
+
+    # Site availability (outage windows integrated over the horizon).
+    edge_site_count: int
+    cloud_site_count: int
+    edge_mean_availability: float
+    edge_min_availability: float
+    edge_p5_availability: float
+    cloud_mean_availability: float
+    cloud_min_availability: float
+    edge_outage_count: int
+    cloud_outage_count: int
+    mttr_minutes: float
+
+    # Probe accounting (latency campaign).
+    probes: int
+    probe_timeout_rate: float
+    probe_recovery_rate: float
+    probe_unreachable_rate: float
+    ping_loss_rate: float
+    failed_edge_probes: int
+    failed_cloud_probes: int
+
+    # Failover (server crashes replayed through live migration).
+    server_crashes: int
+    evacuated_vms: int
+    stranded_vms: int
+    data_moved_gb: float
+    mean_vm_downtime_seconds: float
+
+    # Degradation episodes and their measured throughput cost.
+    degradation_episodes: int
+    mean_degradation_loss: float
+    mean_degradation_extra_ms: float
+    iperf_aborts: int
+    degraded_iperf_tests: int
+    #: mean degraded downlink / mean clean downlink; None when no iperf
+    #: test landed inside an episode.
+    degraded_throughput_ratio: float | None
+
+    @property
+    def availability_gap(self) -> float:
+        """Cloud minus edge mean availability (positive = cloud wins)."""
+        return self.cloud_mean_availability - self.edge_mean_availability
+
+    def format(self) -> str:
+        """The full plain-text report (CLI ``repro run availability``)."""
+        site_rows = [
+            ("edge (NEP)", self.edge_site_count,
+             f"{self.edge_mean_availability:.5f}",
+             f"{self.edge_p5_availability:.5f}",
+             f"{self.edge_min_availability:.5f}", self.edge_outage_count),
+            ("cloud", self.cloud_site_count,
+             f"{self.cloud_mean_availability:.5f}", "-",
+             f"{self.cloud_min_availability:.5f}", self.cloud_outage_count),
+        ]
+        probe_rows = [
+            ("probes", self.probes),
+            ("first-attempt timeout rate", f"{self.probe_timeout_rate:.4f}"),
+            ("recovered by retries", f"{self.probe_recovery_rate:.4f}"),
+            ("unreachable after retries",
+             f"{self.probe_unreachable_rate:.4f}"),
+            ("ping loss rate", f"{self.ping_loss_rate:.4f}"),
+            ("failed probes (edge/cloud)",
+             f"{self.failed_edge_probes}/{self.failed_cloud_probes}"),
+        ]
+        failover_rows = [
+            ("server crashes", self.server_crashes),
+            ("VMs evacuated (live migration)", self.evacuated_vms),
+            ("VMs stranded (no feasible target)", self.stranded_vms),
+            ("migration data moved (GB)", f"{self.data_moved_gb:.2f}"),
+            ("mean affected-VM downtime (s)",
+             f"{self.mean_vm_downtime_seconds:.2f}"),
+            ("MTTR, outages + crashes (min)", f"{self.mttr_minutes:.1f}"),
+        ]
+        ratio = ("n/a" if self.degraded_throughput_ratio is None
+                 else f"{self.degraded_throughput_ratio:.3f}")
+        degradation_rows = [
+            ("episodes", self.degradation_episodes),
+            ("mean loss probability", f"{self.mean_degradation_loss:.3f}"),
+            ("mean extra latency (ms)",
+             f"{self.mean_degradation_extra_ms:.1f}"),
+            ("iperf tests aborted", self.iperf_aborts),
+            ("iperf tests degraded", self.degraded_iperf_tests),
+            ("degraded/clean downlink ratio", ratio),
+        ]
+        parts = [
+            f"Availability study — faults profile {self.profile!r}, "
+            f"{self.horizon_minutes / 1440:.0f}-day horizon",
+            "",
+            format_table(["platform", "sites", "mean avail", "p5 avail",
+                          "min avail", "outages"], site_rows,
+                         title="Site availability"),
+            "",
+            format_table(["metric", "value"], probe_rows,
+                         title="Probe outcomes (latency campaign)"),
+            "",
+            format_table(["metric", "value"], failover_rows,
+                         title="Failover"),
+            "",
+            format_table(["metric", "value"], degradation_rows,
+                         title="Access degradation"),
+        ]
+        return "\n".join(parts)
+
+
+def run_availability_study(schedule: FaultSchedule,
+                           latency_results: CampaignResults,
+                           throughput_results: CampaignResults,
+                           failover: FailoverReport) -> AvailabilityReport:
+    """Fold one run's fault outcomes into an :class:`AvailabilityReport`.
+
+    Raises:
+        FaultError: if the latency results carry no probe accounting
+            (i.e. the campaign ran without the fault schedule attached).
+    """
+    stats = latency_results.probe_stats
+    if stats is None:
+        raise FaultError(
+            "latency results carry no probe accounting — the campaign ran "
+            "without the fault schedule attached"
+        )
+    return AvailabilityReport(
+        profile=schedule.profile_name,
+        horizon_minutes=schedule.horizon_minutes,
+        **_site_fields(schedule),
+        **_probe_fields(stats, latency_results),
+        server_crashes=failover.crashes,
+        evacuated_vms=failover.evacuated_vms,
+        stranded_vms=failover.stranded_vms,
+        data_moved_gb=failover.total_data_moved_gb,
+        mean_vm_downtime_seconds=failover.mean_vm_downtime_seconds,
+        **_degradation_fields(schedule, throughput_results),
+    )
+
+
+def _site_fields(schedule: FaultSchedule) -> dict[str, object]:
+    edge = schedule.availabilities(schedule.edge_site_ids)
+    cloud = schedule.availabilities(schedule.cloud_site_ids)
+    edge_sites = set(schedule.edge_site_ids)
+    return {
+        "edge_site_count": len(schedule.edge_site_ids),
+        "cloud_site_count": len(schedule.cloud_site_ids),
+        "edge_mean_availability": float(edge.mean()),
+        "edge_min_availability": float(edge.min()),
+        "edge_p5_availability": float(np.percentile(edge, 5.0)),
+        "cloud_mean_availability": float(cloud.mean()),
+        "cloud_min_availability": float(cloud.min()),
+        "edge_outage_count": sum(1 for o in schedule.outages
+                                 if o.site_id in edge_sites),
+        "cloud_outage_count": sum(1 for o in schedule.outages
+                                  if o.site_id not in edge_sites),
+        "mttr_minutes": schedule.mttr_minutes(),
+    }
+
+
+def _probe_fields(stats: ProbeStats,
+                  latency_results: CampaignResults) -> dict[str, object]:
+    ping_failures = [f for f in latency_results.failures
+                     if f.probe == "ping"]
+    return {
+        "probes": stats.probes,
+        "probe_timeout_rate": stats.timeout_rate,
+        "probe_recovery_rate": stats.recovery_rate,
+        "probe_unreachable_rate": stats.unreachable_rate,
+        "ping_loss_rate": stats.ping_loss_rate,
+        "failed_edge_probes": sum(1 for f in ping_failures
+                                  if f.target_kind == "edge"),
+        "failed_cloud_probes": sum(1 for f in ping_failures
+                                   if f.target_kind == "cloud"),
+    }
+
+
+def _degradation_fields(schedule: FaultSchedule,
+                        throughput_results: CampaignResults,
+                        ) -> dict[str, object]:
+    degraded = [o.result.downlink_mbps
+                for o in throughput_results.throughput if o.degraded]
+    clean = [o.result.downlink_mbps
+             for o in throughput_results.throughput if not o.degraded]
+    ratio = None
+    if degraded and clean:
+        ratio = float(np.mean(degraded) / np.mean(clean))
+    return {
+        "degradation_episodes": len(schedule.episodes),
+        "mean_degradation_loss": schedule.mean_degradation_loss(),
+        "mean_degradation_extra_ms": schedule.mean_degradation_extra_ms(),
+        "iperf_aborts": sum(1 for f in throughput_results.failures
+                            if f.probe == "iperf"),
+        "degraded_iperf_tests": len(degraded),
+        "degraded_throughput_ratio": ratio,
+    }

@@ -45,6 +45,10 @@ class MeasurementError(ReproError):
     """A measurement campaign or individual probe was mis-specified."""
 
 
+class FaultError(ReproError):
+    """A fault schedule, retry policy, or failover step was mis-specified."""
+
+
 class PredictionError(ReproError):
     """A forecasting model received unusable input or failed to converge."""
 

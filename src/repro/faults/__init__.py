@@ -1,0 +1,65 @@
+"""Deterministic fault injection for the edge-vs-cloud study.
+
+The paper's central contrast is that edge sites are individually far
+less reliable than cloud regions: sites churn, last-mile links degrade,
+and request scheduling "frequently goes wrong" (Fig. 13).  This package
+makes the simulator reproduce that weather deterministically:
+
+* :mod:`repro.faults.schedule` — a seeded :class:`FaultSchedule` of site
+  outage windows, server crash/recovery pairs, and access-network
+  degradation episodes over the study horizon;
+* :mod:`repro.faults.injection` — the probe-side policy: retry with
+  exponential backoff, loss/unreachable accounting, degraded-throughput
+  scaling;
+* :mod:`repro.faults.failover` — the platform-side response: a
+  health-aware scheduler wrapper and an evacuation simulator that drains
+  crashed servers through the live-migration machinery.
+
+Everything draws from named :class:`repro.config.RandomState` streams,
+so two runs with the same seed produce bit-identical fault weather and
+byte-identical availability reports.
+"""
+
+from .failover import (
+    EvacuationRecord,
+    FailoverReport,
+    HealthAwareScheduler,
+    simulate_failover,
+)
+from .injection import (
+    DEFAULT_RETRY_POLICY,
+    FailedProbe,
+    ProbeStats,
+    RetryPolicy,
+    degraded_throughput_factor,
+)
+from .schedule import (
+    FAULT_PROFILES,
+    DegradationEpisode,
+    FaultProfile,
+    FaultSchedule,
+    OutageWindow,
+    ServerCrash,
+    build_fault_schedule,
+    fault_profile,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "DegradationEpisode",
+    "EvacuationRecord",
+    "FAULT_PROFILES",
+    "FailedProbe",
+    "FailoverReport",
+    "FaultProfile",
+    "FaultSchedule",
+    "HealthAwareScheduler",
+    "OutageWindow",
+    "ProbeStats",
+    "RetryPolicy",
+    "ServerCrash",
+    "build_fault_schedule",
+    "degraded_throughput_factor",
+    "fault_profile",
+    "simulate_failover",
+]

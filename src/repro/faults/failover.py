@@ -1,0 +1,201 @@
+"""Platform-side failover: health-aware scheduling and crash evacuation.
+
+Two responses to the fault weather:
+
+* :class:`HealthAwareScheduler` wraps any
+  :class:`~repro.platform.scheduling.RequestScheduler` and re-routes a
+  request whose chosen VM sits on a crashed server or an out-of-service
+  site — the GSLB health check NEP's customers would deploy;
+* :func:`simulate_failover` replays every server crash of a
+  :class:`~repro.faults.schedule.FaultSchedule` chronologically against
+  a **copy** of the platform, draining each crashed server through the
+  live-migration cost model (:func:`repro.platform.migration.migrate`)
+  and recording per-VM downtime.  VMs with no feasible evacuation
+  target are *stranded*: they ride out the crash and eat the full
+  recovery window as downtime.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..geo.coords import GeoPoint
+from ..platform.cluster import Platform
+from ..platform.entities import Server, VM
+from ..platform.migration import MigrationCost, migrate
+from ..platform.scheduling import RequestScheduler, SchedulingDecision
+from .schedule import FaultSchedule, ServerCrash
+
+#: How many nearest sites the evacuator scans after the crash site's own
+#: servers are exhausted (keeps evacuation O(sites-nearby), not O(fleet)).
+EVACUATION_SITE_SCAN = 8
+
+
+class HealthAwareScheduler(RequestScheduler):
+    """Retry wrapper: falls back to a healthy VM when the pick is dead.
+
+    ``at_minute`` is the request time against the fault schedule; callers
+    sweeping a horizon update it between requests.  ``fallbacks`` counts
+    how often the inner scheduler's pick had to be overridden.
+    """
+
+    name = "health-aware"
+
+    def __init__(self, inner: RequestScheduler, schedule: FaultSchedule,
+                 at_minute: float = 0.0) -> None:
+        self._inner = inner
+        self._schedule = schedule
+        self.at_minute = at_minute
+        self.decisions = 0
+        self.fallbacks = 0
+
+    def _vm_healthy(self, vm: VM) -> bool:
+        if vm.server_id is None or vm.site_id is None:
+            return False
+        return not (self._schedule.server_down(vm.server_id, self.at_minute)
+                    or self._schedule.site_down(vm.site_id, self.at_minute))
+
+    def schedule(self, platform: Platform, app_id: str,
+                 user_location: GeoPoint) -> SchedulingDecision:
+        self.decisions += 1
+        decision = self._inner.schedule(platform, app_id, user_location)
+        if self._vm_healthy(platform.vms[decision.vm_id]):
+            return decision
+        self.fallbacks += 1
+        healthy = [vm for vm in self._placed_vms(platform, app_id)
+                   if self._vm_healthy(vm)]
+        if not healthy:
+            raise SchedulingError(
+                f"app {app_id!r} has no healthy VMs at minute "
+                f"{self.at_minute:.0f}"
+            )
+        best = min(
+            healthy,
+            key=lambda vm: (platform.site(vm.site_id).location
+                            .distance_km(user_location), vm.vm_id),
+        )
+        site = platform.site(best.site_id)
+        return SchedulingDecision(
+            vm_id=best.vm_id,
+            site_id=best.site_id,
+            distance_km=site.location.distance_km(user_location),
+        )
+
+
+@dataclass(frozen=True)
+class EvacuationRecord:
+    """What happened to one VM when its server crashed."""
+
+    vm_id: str
+    from_server: str
+    to_server: str | None       # None when stranded
+    stranded: bool
+    downtime_seconds: float
+    cost: MigrationCost | None = None
+
+
+@dataclass
+class FailoverReport:
+    """Aggregate outcome of replaying every server crash."""
+
+    crashes: int = 0
+    crashes_with_vms: int = 0
+    evacuated_vms: int = 0
+    stranded_vms: int = 0
+    total_data_moved_gb: float = 0.0
+    total_migration_seconds: float = 0.0
+    records: list[EvacuationRecord] = field(default_factory=list)
+
+    @property
+    def affected_vms(self) -> int:
+        return self.evacuated_vms + self.stranded_vms
+
+    @property
+    def mean_vm_downtime_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.downtime_seconds for r in self.records) / len(self.records)
+
+
+def _evacuation_target(platform: Platform, schedule: FaultSchedule,
+                       crash: ServerCrash, vm: VM) -> Server | None:
+    """The best healthy server that can host ``vm``, or None (stranded).
+
+    Same-site servers are preferred (no cross-site traffic shift); then
+    the :data:`EVACUATION_SITE_SCAN` geographically nearest sites.  Ties
+    break on most free CPU, then server id, so the walk is deterministic.
+    """
+    def healthy(server: Server) -> bool:
+        return (server.server_id != crash.server_id
+                and not schedule.server_down(server.server_id, crash.crash_min)
+                and not schedule.site_down(server.site_id, crash.crash_min)
+                and server.can_host(vm.spec))
+
+    def pick(servers: list[Server]) -> Server | None:
+        candidates = [s for s in servers if healthy(s)]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda s: (-s.free.cpu_cores, s.server_id))
+
+    crash_site = platform.site(crash.site_id)
+    target = pick(crash_site.servers)
+    if target is not None:
+        return target
+    for site in platform.nearest_sites(crash_site.location,
+                                       EVACUATION_SITE_SCAN + 1):
+        if site.site_id == crash.site_id:
+            continue
+        target = pick(site.servers)
+        if target is not None:
+            return target
+    return None
+
+
+def simulate_failover(platform: Platform,
+                      schedule: FaultSchedule) -> FailoverReport:
+    """Replay all server crashes against a copy of ``platform``.
+
+    The input platform is never mutated: evacuation runs on a deep copy
+    so the shared study platform stays valid for every other phase.  The
+    copy is validated at the end — a failed evacuation must never leave
+    the inventory ledgers inconsistent.
+    """
+    plat = copy.deepcopy(platform)
+    report = FailoverReport(crashes=len(schedule.server_crashes))
+    ordered = sorted(schedule.server_crashes,
+                     key=lambda c: (c.crash_min, c.server_id))
+    for crash in ordered:
+        server = plat.server(crash.server_id)
+        vm_ids = list(server.vm_ids)
+        if vm_ids:
+            report.crashes_with_vms += 1
+        for vm_id in vm_ids:
+            vm = plat.vms[vm_id]
+            target = _evacuation_target(plat, schedule, crash, vm)
+            if target is None:
+                report.stranded_vms += 1
+                report.records.append(EvacuationRecord(
+                    vm_id=vm_id,
+                    from_server=crash.server_id,
+                    to_server=None,
+                    stranded=True,
+                    downtime_seconds=crash.duration_min * 60.0,
+                ))
+                continue
+            cost = migrate(plat, vm, target.server_id)
+            report.evacuated_vms += 1
+            report.total_data_moved_gb += cost.data_moved_gb
+            report.total_migration_seconds += cost.total_seconds
+            report.records.append(EvacuationRecord(
+                vm_id=vm_id,
+                from_server=crash.server_id,
+                to_server=target.server_id,
+                stranded=False,
+                downtime_seconds=cost.downtime_seconds,
+                cost=cost,
+            ))
+    plat.validate()
+    return report

@@ -1,0 +1,113 @@
+"""Probe-side fault policy: retries, backoff, and loss accounting.
+
+The real 158-user campaign lost probes — apps crashed, sites were down,
+links dropped packets — and the paper's availability story lives in that
+accounting.  This module holds the pure-policy pieces the campaign
+threads through its probe loops:
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff, in
+  trace minutes (a timed-out probe is retried later, when the outage or
+  degradation episode may have passed);
+* :class:`ProbeStats` — the campaign-wide loss/timeout/recovery ledger;
+* :class:`FailedProbe` — one permanently-failed (participant, target)
+  probe, kept next to the successful observations;
+* :func:`degraded_throughput_factor` — the crude TCP-under-loss
+  multiplier applied to iperf tests run inside a degradation episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, measured in trace minutes."""
+
+    max_retries: int = 4
+    backoff_base_minutes: float = 15.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_minutes <= 0:
+            raise FaultError("backoff_base_minutes must be positive")
+        if self.backoff_factor < 1.0:
+            raise FaultError("backoff_factor must be >= 1")
+
+    def delay_minutes(self, attempt: int) -> float:
+        """Cumulative delay before ``attempt`` (attempt 0 has none)."""
+        if attempt < 0:
+            raise FaultError(f"attempt must be >= 0, got {attempt}")
+        total, step = 0.0, self.backoff_base_minutes
+        for _ in range(attempt):
+            total += step
+            step *= self.backoff_factor
+        return total
+
+
+#: Default campaign policy: up to 4 retries at 15/30/60/120-minute
+#: backoff — the cumulative 225-minute window outlasts the mean outage.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FailedProbe:
+    """A probe that exhausted its retries without a usable result."""
+
+    participant_id: str
+    target_id: str
+    target_kind: str        # "edge" or "cloud"
+    probe: str              # "ping" or "iperf"
+    attempts: int
+    reason: str
+
+
+@dataclass
+class ProbeStats:
+    """Campaign-wide probe accounting under fault injection."""
+
+    probes: int = 0         # (participant, target) probe tasks
+    attempts: int = 0       # attempts issued, including retries
+    retries: int = 0        # attempts beyond each probe's first
+    timed_out: int = 0      # probes whose first attempt timed out
+    recovered: int = 0      # timed-out probes that later succeeded
+    unreachable: int = 0    # probes that never succeeded
+    pings_sent: int = 0
+    pings_lost: int = 0
+
+    @property
+    def timeout_rate(self) -> float:
+        return self.timed_out / self.probes if self.probes else 0.0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of timed-out probes rescued by the retry policy."""
+        return self.recovered / self.timed_out if self.timed_out else 0.0
+
+    @property
+    def unreachable_rate(self) -> float:
+        return self.unreachable / self.probes if self.probes else 0.0
+
+    @property
+    def ping_loss_rate(self) -> float:
+        return self.pings_lost / self.pings_sent if self.pings_sent else 0.0
+
+
+def degraded_throughput_factor(loss_probability: float) -> float:
+    """Throughput multiplier for a TCP test inside a degradation episode.
+
+    A coarse stand-in for TCP loss response: quadratic in the delivery
+    rate with a 5% floor (a badly-degraded link still moves some bytes).
+
+    Raises:
+        FaultError: if ``loss_probability`` is outside [0, 1].
+    """
+    if not 0.0 <= loss_probability <= 1.0:
+        raise FaultError(
+            f"loss probability must be in [0, 1], got {loss_probability}")
+    return max(0.05, (1.0 - loss_probability) ** 2)

@@ -1,0 +1,358 @@
+"""The deterministic fault weather of one study run.
+
+A :class:`FaultSchedule` is generated once per scenario from the
+``"fault-schedule"`` random stream and then queried read-only by every
+layer: the measurement campaign asks whether a target site is down (or a
+participant's city degraded) at a probe time, the failover simulator
+walks the server crashes chronologically, and the availability analysis
+integrates downtime windows into per-site availability.
+
+Three kinds of events are generated over the trace horizon:
+
+* **site outages** — whole-site unreachability windows.  Edge sites fail
+  far more often than cloud regions (the paper's churn observation);
+* **server crashes** — individual machines dying and recovering, the
+  input to the evacuation/failover path;
+* **degradation episodes** — noisy last-mile windows per city, carrying
+  a packet-loss probability and an extra-latency term.
+
+Event counts are Poisson in the horizon length, starts are uniform, and
+durations are exponential; every draw comes from one generator in a
+fixed iteration order (edge sites, cloud sites, servers, cities), so the
+schedule is a pure function of (seed, profile, topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import FAULT_PROFILES, Scenario
+from ..errors import FaultError
+from ..platform.cluster import Platform
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One site-wide unreachability window, in trace minutes."""
+
+    site_id: str
+    start_min: float
+    end_min: float
+
+    @property
+    def duration_min(self) -> float:
+        return self.end_min - self.start_min
+
+    def covers(self, minute: float) -> bool:
+        return self.start_min <= minute < self.end_min
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """One server dying at ``crash_min`` and recovering at ``recovery_min``."""
+
+    server_id: str
+    site_id: str
+    crash_min: float
+    recovery_min: float
+
+    @property
+    def duration_min(self) -> float:
+        return self.recovery_min - self.crash_min
+
+    def covers(self, minute: float) -> bool:
+        return self.crash_min <= minute < self.recovery_min
+
+
+@dataclass(frozen=True)
+class DegradationEpisode:
+    """A noisy last-mile window for one city: loss plus extra latency."""
+
+    city: str
+    start_min: float
+    end_min: float
+    loss_probability: float
+    extra_latency_ms: float
+
+    @property
+    def duration_min(self) -> float:
+        return self.end_min - self.start_min
+
+    def covers(self, minute: float) -> bool:
+        return self.start_min <= minute < self.end_min
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Calibration of how hostile the simulated weather is.
+
+    All rates are expected event counts per entity per 30 days, so the
+    same profile scales with the scenario's trace horizon.
+    """
+
+    name: str
+    edge_outages_per_site_30d: float
+    cloud_outages_per_region_30d: float
+    edge_outage_mean_minutes: float
+    cloud_outage_mean_minutes: float
+    server_crashes_per_server_30d: float
+    crash_recovery_mean_minutes: float
+    degradation_episodes_per_city_30d: float
+    degradation_mean_minutes: float
+    degradation_loss_min: float
+    degradation_loss_max: float
+    degradation_extra_ms_min: float
+    degradation_extra_ms_max: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degradation_loss_min <= self.degradation_loss_max <= 1.0:
+            raise FaultError(
+                f"profile {self.name!r}: loss range must satisfy "
+                f"0 <= min <= max <= 1"
+            )
+        for field_name in ("edge_outages_per_site_30d",
+                           "cloud_outages_per_region_30d",
+                           "server_crashes_per_server_30d",
+                           "degradation_episodes_per_city_30d"):
+            if getattr(self, field_name) < 0:
+                raise FaultError(
+                    f"profile {self.name!r}: {field_name} must be >= 0"
+                )
+
+
+#: The two shipped non-trivial profiles.  ``paper`` is calibrated so the
+#: edge-vs-cloud availability gap is clearly visible even on a 7-day
+#: smoke horizon; ``harsh`` roughly quadruples every rate.
+_PROFILES: dict[str, FaultProfile] = {
+    "paper": FaultProfile(
+        name="paper",
+        edge_outages_per_site_30d=4.0,
+        cloud_outages_per_region_30d=0.05,
+        edge_outage_mean_minutes=180.0,
+        cloud_outage_mean_minutes=30.0,
+        server_crashes_per_server_30d=0.08,
+        crash_recovery_mean_minutes=240.0,
+        degradation_episodes_per_city_30d=12.0,
+        degradation_mean_minutes=60.0,
+        degradation_loss_min=0.10,
+        degradation_loss_max=0.85,
+        degradation_extra_ms_min=5.0,
+        degradation_extra_ms_max=60.0,
+    ),
+    "harsh": FaultProfile(
+        name="harsh",
+        edge_outages_per_site_30d=16.0,
+        cloud_outages_per_region_30d=0.4,
+        edge_outage_mean_minutes=240.0,
+        cloud_outage_mean_minutes=45.0,
+        server_crashes_per_server_30d=0.35,
+        crash_recovery_mean_minutes=360.0,
+        degradation_episodes_per_city_30d=40.0,
+        degradation_mean_minutes=90.0,
+        degradation_loss_min=0.25,
+        degradation_loss_max=0.95,
+        degradation_extra_ms_min=15.0,
+        degradation_extra_ms_max=120.0,
+    ),
+}
+
+
+def fault_profile(name: str) -> FaultProfile | None:
+    """The shipped profile for ``name``; ``None`` for ``"off"``.
+
+    Raises:
+        FaultError: for a name outside :data:`repro.config.FAULT_PROFILES`.
+    """
+    if name == "off":
+        return None
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault profile {name!r}, expected one of {FAULT_PROFILES}"
+        ) from None
+
+
+def _merged_downtime(windows: list[tuple[float, float]],
+                     horizon: float) -> float:
+    """Total covered minutes of possibly-overlapping windows, clipped."""
+    if not windows:
+        return 0.0
+    total = 0.0
+    current_start, current_end = None, None
+    for start, end in sorted(windows):
+        start, end = max(0.0, start), min(horizon, end)
+        if end <= start:
+            continue
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        total += current_end - current_start
+    return total
+
+
+class FaultSchedule:
+    """All fault events of one run, with point-in-time query methods."""
+
+    def __init__(self, profile_name: str, horizon_minutes: float,
+                 outages: list[OutageWindow], crashes: list[ServerCrash],
+                 episodes: list[DegradationEpisode],
+                 edge_site_ids: tuple[str, ...],
+                 cloud_site_ids: tuple[str, ...]) -> None:
+        if horizon_minutes <= 0:
+            raise FaultError(
+                f"horizon must be positive, got {horizon_minutes}")
+        self.profile_name = profile_name
+        self.horizon_minutes = float(horizon_minutes)
+        self.outages = list(outages)
+        self.server_crashes = list(crashes)
+        self.episodes = list(episodes)
+        self.edge_site_ids = tuple(edge_site_ids)
+        self.cloud_site_ids = tuple(cloud_site_ids)
+        self._outages_by_site: dict[str, list[OutageWindow]] = {}
+        for outage in self.outages:
+            self._outages_by_site.setdefault(outage.site_id, []).append(outage)
+        self._crashes_by_server: dict[str, list[ServerCrash]] = {}
+        for crash in self.server_crashes:
+            self._crashes_by_server.setdefault(crash.server_id,
+                                               []).append(crash)
+        self._episodes_by_city: dict[str, list[DegradationEpisode]] = {}
+        for episode in self.episodes:
+            self._episodes_by_city.setdefault(episode.city, []).append(episode)
+
+    # ---- point-in-time queries ------------------------------------------
+
+    def site_down(self, site_id: str, minute: float) -> bool:
+        """True when ``site_id`` is inside an outage window at ``minute``."""
+        return any(w.covers(minute)
+                   for w in self._outages_by_site.get(site_id, ()))
+
+    def server_down(self, server_id: str, minute: float) -> bool:
+        """True when ``server_id`` is crashed and not yet recovered."""
+        return any(c.covers(minute)
+                   for c in self._crashes_by_server.get(server_id, ()))
+
+    def degradation_at(self, city: str,
+                       minute: float) -> DegradationEpisode | None:
+        """The degradation episode covering ``minute`` in ``city``, if any."""
+        for episode in self._episodes_by_city.get(city, ()):
+            if episode.covers(minute):
+                return episode
+        return None
+
+    # ---- availability integration ---------------------------------------
+
+    def site_downtime_minutes(self, site_id: str) -> float:
+        """Merged (overlap-safe) outage minutes of one site."""
+        windows = [(w.start_min, w.end_min)
+                   for w in self._outages_by_site.get(site_id, ())]
+        return _merged_downtime(windows, self.horizon_minutes)
+
+    def site_availability(self, site_id: str) -> float:
+        """Fraction of the horizon the site was up, in [0, 1]."""
+        return 1.0 - self.site_downtime_minutes(site_id) / self.horizon_minutes
+
+    def availabilities(self, site_ids: tuple[str, ...]) -> np.ndarray:
+        return np.array([self.site_availability(s) for s in site_ids])
+
+    def mttr_minutes(self) -> float:
+        """Mean time-to-recovery over all outages and server crashes."""
+        durations = ([w.duration_min for w in self.outages]
+                     + [c.duration_min for c in self.server_crashes])
+        if not durations:
+            return 0.0
+        return float(np.mean(durations))
+
+    def mean_degradation_loss(self) -> float:
+        if not self.episodes:
+            return 0.0
+        return float(np.mean([e.loss_probability for e in self.episodes]))
+
+    def mean_degradation_extra_ms(self) -> float:
+        if not self.episodes:
+            return 0.0
+        return float(np.mean([e.extra_latency_ms for e in self.episodes]))
+
+
+def _draw_windows(rng: np.random.Generator, rate_30d: float,
+                  mean_minutes: float, horizon: float,
+                  days: float) -> list[tuple[float, float]]:
+    """Poisson event count, uniform starts, exponential durations."""
+    count = int(rng.poisson(rate_30d * days / 30.0))
+    windows = []
+    for _ in range(count):
+        start = float(rng.uniform(0.0, horizon))
+        duration = float(rng.exponential(mean_minutes))
+        windows.append((start, min(start + duration, horizon)))
+    return windows
+
+
+def build_fault_schedule(scenario: Scenario, edge_platform: Platform,
+                         cloud_platform: Platform,
+                         profile: FaultProfile | None = None,
+                         ) -> FaultSchedule | None:
+    """Generate the schedule for a scenario; ``None`` when faults are off.
+
+    The generator iterates entities in platform order (edge sites, cloud
+    sites, edge servers, then the sorted union of city names), drawing
+    from the scenario's ``"fault-schedule"`` stream, so the result is a
+    deterministic function of (seed, profile, topology).
+    """
+    if profile is None:
+        profile = fault_profile(scenario.fault_profile)
+    if profile is None:
+        return None
+    rng = scenario.random.stream("fault-schedule")
+    horizon = float(scenario.trace_minutes)
+    days = float(scenario.trace_days)
+
+    outages: list[OutageWindow] = []
+    for site in edge_platform.sites:
+        for start, end in _draw_windows(rng,
+                                        profile.edge_outages_per_site_30d,
+                                        profile.edge_outage_mean_minutes,
+                                        horizon, days):
+            outages.append(OutageWindow(site.site_id, start, end))
+    for site in cloud_platform.sites:
+        for start, end in _draw_windows(
+                rng, profile.cloud_outages_per_region_30d,
+                profile.cloud_outage_mean_minutes, horizon, days):
+            outages.append(OutageWindow(site.site_id, start, end))
+
+    crashes: list[ServerCrash] = []
+    for server in edge_platform.iter_servers():
+        for start, end in _draw_windows(
+                rng, profile.server_crashes_per_server_30d,
+                profile.crash_recovery_mean_minutes, horizon, days):
+            crashes.append(ServerCrash(server.server_id, server.site_id,
+                                       start, end))
+
+    cities = sorted({site.city for site in edge_platform.sites}
+                    | {site.city for site in cloud_platform.sites})
+    episodes: list[DegradationEpisode] = []
+    for city_name in cities:
+        for start, end in _draw_windows(
+                rng, profile.degradation_episodes_per_city_30d,
+                profile.degradation_mean_minutes, horizon, days):
+            loss = float(rng.uniform(profile.degradation_loss_min,
+                                     profile.degradation_loss_max))
+            extra = float(rng.uniform(profile.degradation_extra_ms_min,
+                                      profile.degradation_extra_ms_max))
+            episodes.append(DegradationEpisode(city_name, start, end,
+                                               loss, extra))
+
+    return FaultSchedule(
+        profile_name=profile.name,
+        horizon_minutes=horizon,
+        outages=outages,
+        crashes=crashes,
+        episodes=episodes,
+        edge_site_ids=tuple(s.site_id for s in edge_platform.sites),
+        cloud_site_ids=tuple(s.site_id for s in cloud_platform.sites),
+    )

@@ -23,15 +23,25 @@ from typing import NamedTuple
 
 import numpy as np
 
+import dataclasses
+
 from ..config import Scenario
 from ..errors import MeasurementError
+from ..faults.injection import (
+    DEFAULT_RETRY_POLICY,
+    FailedProbe,
+    ProbeStats,
+    RetryPolicy,
+    degraded_throughput_factor,
+)
+from ..faults.schedule import FaultSchedule
 from ..geo.coords import GeoPoint
 from ..geo.regions import CHINA_CITIES, City, city
 from ..netsim.access import AccessType, access_profile
 from ..netsim.routing import TargetSiteSpec, UESpec, build_route
 from ..platform.cluster import Platform
 from .iperf import IperfResult, run_iperf_test
-from .ping import run_ping_tests
+from .ping import PingResult, run_ping_tests
 
 #: Access-technology shares of the paper's 385 test sessions.
 ACCESS_SHARES = {
@@ -86,14 +96,24 @@ class ThroughputObservation:
     participant_id: str
     access: AccessType
     result: IperfResult
+    #: True when the test ran inside an access-degradation episode.
+    degraded: bool = False
 
 
 @dataclass
 class CampaignResults:
-    """Everything the §3.1/§3.2 analyses consume."""
+    """Everything the §3.1/§3.2 analyses consume.
+
+    Under fault injection the campaign also keeps the probes that never
+    produced a usable observation (``failures``) and the campaign-wide
+    loss/retry ledger (``probe_stats``); both stay empty/None on the
+    fault-free path.
+    """
 
     latency: list[LatencyObservation] = field(default_factory=list)
     throughput: list[ThroughputObservation] = field(default_factory=list)
+    failures: list[FailedProbe] = field(default_factory=list)
+    probe_stats: ProbeStats | None = None
 
     def participants(self) -> set[str]:
         return ({obs.participant_id for obs in self.latency}
@@ -106,6 +126,8 @@ class CrowdCampaign:
     def __init__(self, scenario: Scenario, edge_platform: Platform,
                  cloud_platform: Platform,
                  edge_targets_per_user: int = DEFAULT_EDGE_TARGETS_PER_USER,
+                 faults: FaultSchedule | None = None,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
                  ) -> None:
         if not edge_platform.sites:
             raise MeasurementError("edge platform has no sites")
@@ -115,6 +137,8 @@ class CrowdCampaign:
         self._edge = edge_platform
         self._cloud = cloud_platform
         self._edge_targets_per_user = edge_targets_per_user
+        self._faults = faults
+        self._retry = retry_policy
         self._random = scenario.random.child("campaign")
 
     # ---- recruitment ----------------------------------------------------
@@ -166,12 +190,21 @@ class CrowdCampaign:
         first, then a single vectorised
         :func:`~repro.measurement.ping.run_ping_tests` pass draws all
         pings and traceroutes at once.
+
+        With a :class:`~repro.faults.schedule.FaultSchedule` attached,
+        each probe gets a scheduled time on the trace horizon: a probe
+        whose target site is down (or whose every ping is lost to a
+        degradation episode) times out and is retried with exponential
+        backoff; probes that exhaust their retries are recorded in
+        ``results.failures`` instead of producing an observation.
         """
         if participants is None:
             participants = self.recruit()
         rng = self._random.stream("latency")
         probe_sets = [(p, *self._participant_routes(p, rng))
                       for p in participants]
+        if self._faults is not None:
+            return self._run_latency_with_faults(probe_sets, rng)
         all_routes = [route for _, _, routes in probe_sets
                       for route in routes]
         pings = run_ping_tests(all_routes, self._scenario.pings_per_target,
@@ -183,6 +216,97 @@ class CrowdCampaign:
             cursor += len(routes)
             results.latency.extend(
                 self._observations(participant, targets, routes, chunk))
+        return results
+
+    def _probe_loss_and_extra(self, faults: FaultSchedule,
+                              participant: Participant, target_id: str,
+                              minute: float) -> tuple[float, float]:
+        """Per-attempt (loss probability, extra latency) for one probe."""
+        if faults.site_down(target_id, minute):
+            return 1.0, 0.0
+        episode = faults.degradation_at(participant.city, minute)
+        if episode is not None:
+            return episode.loss_probability, episode.extra_latency_ms
+        return 0.0, 0.0
+
+    def _run_latency_with_faults(self, probe_sets: list, rng) -> CampaignResults:
+        """The latency campaign under fault weather, with bounded retries.
+
+        Attempt 0 probes every route in one vectorised pass; each later
+        round re-probes only the timed-out routes at their backed-off
+        times.  All fault-related randomness (probe times, ping loss)
+        comes from the ``"fault-injection"`` stream so the route/latency
+        draws stay on the same stream as the fault-free engine.
+        """
+        faults, policy = self._faults, self._retry
+        routes, meta = [], []
+        for participant, targets, proutes in probe_sets:
+            for (target_id, kind, _), route in zip(targets, proutes):
+                routes.append(route)
+                meta.append((participant, target_id, kind))
+        repetitions = self._scenario.pings_per_target
+        frng = self._random.stream("fault-injection")
+        base_times = frng.uniform(0.0, faults.horizon_minutes,
+                                  size=len(routes))
+        stats = ProbeStats(probes=len(routes))
+        final: list[PingResult | None] = [None] * len(routes)
+        first_failed = [False] * len(routes)
+        results = CampaignResults(probe_stats=stats)
+        pending = list(range(len(routes)))
+        attempt = 0
+        while pending and attempt <= policy.max_retries:
+            delay = policy.delay_minutes(attempt)
+            loss = np.empty(len(pending))
+            extra = np.empty(len(pending))
+            for j, i in enumerate(pending):
+                participant, target_id, _ = meta[i]
+                loss[j], extra[j] = self._probe_loss_and_extra(
+                    faults, participant, target_id, base_times[i] + delay)
+            stats.attempts += len(pending)
+            if attempt:
+                stats.retries += len(pending)
+            chunk = run_ping_tests([routes[i] for i in pending], repetitions,
+                                   rng, loss_probability=loss,
+                                   extra_latency_ms=extra, loss_rng=frng)
+            still_pending = []
+            for i, result in zip(pending, chunk):
+                stats.pings_sent += result.sent
+                stats.pings_lost += result.lost
+                if result.failed:
+                    if attempt == 0:
+                        first_failed[i] = True
+                        stats.timed_out += 1
+                    still_pending.append(i)
+                else:
+                    final[i] = result
+                    if first_failed[i]:
+                        stats.recovered += 1
+            pending = still_pending
+            attempt += 1
+        for i in pending:
+            participant, target_id, kind = meta[i]
+            stats.unreachable += 1
+            results.failures.append(FailedProbe(
+                participant_id=participant.participant_id,
+                target_id=target_id,
+                target_kind=kind,
+                probe="ping",
+                attempts=policy.max_retries + 1,
+                reason="all pings lost after retries",
+            ))
+        cursor = 0
+        for participant, targets, proutes in probe_sets:
+            chunk = final[cursor:cursor + len(proutes)]
+            cursor += len(proutes)
+            reachable = [(target, route, ping)
+                         for target, route, ping in zip(targets, proutes,
+                                                        chunk)
+                         if ping is not None]
+            if reachable:
+                kept_targets, kept_routes, kept_pings = zip(*reachable)
+                results.latency.extend(self._observations(
+                    participant, list(kept_targets), list(kept_routes),
+                    list(kept_pings)))
         return results
 
     def _participant_routes(self, participant: Participant,
@@ -248,6 +372,9 @@ class CrowdCampaign:
         # Spread the 20 test VMs across distinct cities, as the paper did.
         vm_sites = self._spread_sites(self._scenario.throughput_edge_vms, rng)
 
+        faults, policy = self._faults, self._retry
+        frng = (self._random.stream("fault-injection-iperf")
+                if faults is not None else None)
         results = CampaignResults()
         for index, participant in enumerate(testers):
             access = participant.access
@@ -263,14 +390,47 @@ class CrowdCampaign:
                                    location=site.location, is_edge=True),
                     rng,
                 )
+                degraded = False
+                if faults is not None:
+                    # Find the first backed-off attempt when the target
+                    # site is up; a site that never comes back within the
+                    # retry budget aborts the iperf test.
+                    test_minute = float(frng.uniform(0.0,
+                                                     faults.horizon_minutes))
+                    for attempt in range(policy.max_retries + 1):
+                        minute = test_minute + policy.delay_minutes(attempt)
+                        if not faults.site_down(site.site_id, minute):
+                            break
+                    else:
+                        results.failures.append(FailedProbe(
+                            participant_id=participant.participant_id,
+                            target_id=site.site_id,
+                            target_kind="edge",
+                            probe="iperf",
+                            attempts=policy.max_retries + 1,
+                            reason="target site down through every retry",
+                        ))
+                        continue
+                    episode = faults.degradation_at(participant.city, minute)
+                    degraded = episode is not None
                 result = run_iperf_test(
                     route, profile,
                     self._scenario.iperf_duration_seconds, rng,
                 )
+                if degraded:
+                    factor = degraded_throughput_factor(
+                        episode.loss_probability)
+                    result = dataclasses.replace(
+                        result,
+                        downlink_mbps=result.downlink_mbps * factor,
+                        uplink_mbps=result.uplink_mbps * factor,
+                        rtt_ms=result.rtt_ms + episode.extra_latency_ms,
+                    )
                 results.throughput.append(ThroughputObservation(
                     participant_id=participant.participant_id,
                     access=access,
                     result=result,
+                    degraded=degraded,
                 ))
         return results
 
@@ -316,4 +476,5 @@ class CrowdCampaign:
         results = self.run_latency(participants)
         throughput = self.run_throughput(participants)
         results.throughput = throughput.throughput
+        results.failures.extend(throughput.failures)
         return results

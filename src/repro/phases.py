@@ -1,0 +1,80 @@
+"""Phase bookkeeping: which study phases ran, failed, or were skipped.
+
+The study facade computes many expensive phases lazily; before this
+ledger existed, one failing phase took the whole run down with a raw
+traceback.  :class:`PhaseLedger` records the outcome of every tracked
+phase so callers (the CLI, notebooks, CI) can degrade gracefully: a
+failed phase is reported with its error while every other phase still
+runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class PhaseStatus:
+    """Outcome of one tracked phase run."""
+
+    name: str
+    state: str              # "ok" or "failed"
+    wall_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "ok"
+
+
+class PhaseLedger:
+    """Ordered record of phase outcomes for one study instance."""
+
+    def __init__(self) -> None:
+        self._statuses: dict[str, PhaseStatus] = {}
+
+    @contextmanager
+    def track(self, name: str) -> Iterator[None]:
+        """Record the wrapped block as ``ok`` or ``failed`` (re-raising)."""
+        start = time.perf_counter()
+        try:
+            yield
+        except Exception as exc:
+            self._statuses[name] = PhaseStatus(
+                name=name, state="failed",
+                wall_s=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        else:
+            self._statuses[name] = PhaseStatus(
+                name=name, state="ok",
+                wall_s=time.perf_counter() - start,
+            )
+
+    def status(self, name: str) -> PhaseStatus | None:
+        return self._statuses.get(name)
+
+    def statuses(self) -> list[PhaseStatus]:
+        return list(self._statuses.values())
+
+    def failed(self) -> list[PhaseStatus]:
+        return [s for s in self._statuses.values() if not s.ok]
+
+    def __len__(self) -> int:
+        return len(self._statuses)
+
+    def report(self) -> str:
+        """One line per tracked phase, in execution order."""
+        if not self._statuses:
+            return "no phases tracked"
+        lines = []
+        for status in self._statuses.values():
+            line = f"{status.name:<22} {status.state:<7} {status.wall_s:8.3f}s"
+            if status.error:
+                line += f"  {status.error}"
+            lines.append(line)
+        return "\n".join(lines)

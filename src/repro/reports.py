@@ -410,6 +410,15 @@ def findings(study: EdgeStudy) -> str:
     return "\n".join(lines)
 
 
+def availability(study: EdgeStudy) -> str:
+    """Availability/MTTR study; needs fault injection to be enabled."""
+    if study.faults is None:
+        return ("Availability study skipped: fault injection is off.\n"
+                "Rerun with --faults paper (or harsh) to generate the "
+                "fault schedule and availability report.")
+    return study.availability.format()
+
+
 #: CLI registry: experiment id -> report function.
 REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "table1": table1,
@@ -433,4 +442,5 @@ REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "sales": sales,
     "categories": categories,
     "findings": findings,
+    "availability": availability,
 }

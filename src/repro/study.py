@@ -5,6 +5,13 @@ authors did — build NEP and the clouds, recruit the panel, run the
 campaigns, generate the workload traces — and caches each piece so
 examples and benchmarks can share one simulation instead of regenerating
 it per figure.
+
+Every expensive phase is tracked twice: a :class:`~repro.perf.PerfRegistry`
+span for timings and a :class:`~repro.phases.PhaseLedger` entry for the
+outcome.  A phase that raises is recorded as failed in the ledger and the
+exception propagates; :meth:`EdgeStudy.try_phase` gives callers the
+graceful-degradation variant (``None`` on failure, other phases still
+runnable).
 """
 
 from __future__ import annotations
@@ -13,13 +20,20 @@ from functools import cached_property, lru_cache
 
 from .billing.cloud import alicloud_billing, huawei_billing
 from .billing.nep import CityPriceBook, NepBilling
-from .config import DEFAULT_SCENARIO, Scenario
+from .config import DEFAULT_SCENARIO, FAULT_PROFILES, Scenario
+from .core.availability_analysis import (
+    AvailabilityReport,
+    run_availability_study,
+)
 from .core.cost_analysis import cloud_regions_from_platform
 from .core.latency_analysis import PerUserLatency, per_user_latency
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ReproError
+from .faults.failover import FailoverReport, simulate_failover
+from .faults.schedule import FaultSchedule, build_fault_schedule
 from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
 from .measurement.qoe.testbed import QoETestbed
 from .perf import PerfRegistry
+from .phases import PhaseLedger
 from .platform.cloud import build_cloud_platform
 from .platform.cluster import Platform
 from .workload.azure import generate_azure_workload
@@ -31,19 +45,34 @@ class EdgeStudy:
 
     Each expensive phase runs inside a :class:`~repro.perf.PerfRegistry`
     span, so ``study.perf.report()`` (or the CLI's ``--perf`` flag) shows
-    where a run spent its time.
+    where a run spent its time; ``study.phases.report()`` shows which
+    phases ran and whether they failed.
     """
 
     def __init__(self, scenario: Scenario = DEFAULT_SCENARIO) -> None:
         self.scenario = scenario
         self.perf = PerfRegistry()
+        self.phases = PhaseLedger()
+
+    def try_phase(self, name: str):
+        """Compute phase ``name``, degrading gracefully on failure.
+
+        Returns the phase value, or ``None`` when it raised a
+        :class:`~repro.errors.ReproError` — in which case the failure
+        (type and message) is recorded in :attr:`phases` and every other
+        phase remains computable.
+        """
+        try:
+            return getattr(self, name)
+        except ReproError:
+            return None
 
     # ---- platforms and workloads -----------------------------------------
 
     @cached_property
     def nep(self) -> GeneratedWorkload:
         """The NEP platform with placed VMs and its 3-month-style trace."""
-        with self.perf.span("workload_nep"):
+        with self.perf.span("workload_nep"), self.phases.track("workload_nep"):
             workload = generate_nep_workload(self.scenario)
         self.perf.count("nep_vms", len(workload.platform.vms))
         return workload
@@ -51,7 +80,8 @@ class EdgeStudy:
     @cached_property
     def azure(self) -> GeneratedWorkload:
         """The Azure-like cloud comparison dataset."""
-        with self.perf.span("workload_azure"):
+        with self.perf.span("workload_azure"), \
+                self.phases.track("workload_azure"):
             workload = generate_azure_workload(self.scenario)
         self.perf.count("azure_vms", len(workload.platform.vms))
         return workload
@@ -63,15 +93,61 @@ class EdgeStudy:
         Only its region locations matter for the campaign, so the server
         fleet is kept minimal.
         """
-        with self.perf.span("platform_alicloud"):
+        with self.perf.span("platform_alicloud"), \
+                self.phases.track("platform_alicloud"):
             return build_cloud_platform(self.scenario, name="AliCloud",
                                         servers_per_region=4)
+
+    # ---- fault injection ---------------------------------------------------
+
+    @cached_property
+    def faults(self) -> FaultSchedule | None:
+        """The run's deterministic fault weather; ``None`` when off."""
+        if self.scenario.fault_profile == "off":
+            return None
+        with self.perf.span("fault_schedule"), \
+                self.phases.track("fault_schedule"):
+            return build_fault_schedule(self.scenario, self.nep.platform,
+                                        self.alicloud)
+
+    @cached_property
+    def failover(self) -> FailoverReport:
+        """Server crashes replayed through evacuation/live migration.
+
+        Raises:
+            ConfigurationError: when fault injection is off.
+        """
+        with self.perf.span("failover"), self.phases.track("failover"):
+            if self.faults is None:
+                raise ConfigurationError(
+                    "fault injection is off; rerun with --faults paper or "
+                    "harsh (Scenario.fault_profile)"
+                )
+            return simulate_failover(self.nep.platform, self.faults)
+
+    @cached_property
+    def availability(self) -> AvailabilityReport:
+        """The availability/SLO analysis of this run's fault weather.
+
+        Raises:
+            ConfigurationError: when fault injection is off.
+        """
+        with self.perf.span("availability"), self.phases.track("availability"):
+            if self.faults is None:
+                raise ConfigurationError(
+                    "fault injection is off; rerun with --faults paper or "
+                    "harsh (Scenario.fault_profile)"
+                )
+            return run_availability_study(
+                self.faults, self.latency_results, self.throughput_results,
+                self.failover)
 
     # ---- campaigns ---------------------------------------------------------
 
     @cached_property
     def campaign(self) -> CrowdCampaign:
-        return CrowdCampaign(self.scenario, self.nep.platform, self.alicloud)
+        return CrowdCampaign(self.scenario, self.nep.platform, self.alicloud,
+                             faults=self.faults)
 
     @cached_property
     def participants(self) -> list[Participant]:
@@ -80,7 +156,8 @@ class EdgeStudy:
     @cached_property
     def latency_results(self) -> CampaignResults:
         campaign, participants = self.campaign, self.participants
-        with self.perf.span("campaign_latency"):
+        with self.perf.span("campaign_latency"), \
+                self.phases.track("campaign_latency"):
             results = campaign.run_latency(participants)
         self.perf.count("latency_observations", len(results.latency))
         return results
@@ -88,7 +165,8 @@ class EdgeStudy:
     @cached_property
     def throughput_results(self) -> CampaignResults:
         campaign, participants = self.campaign, self.participants
-        with self.perf.span("campaign_throughput"):
+        with self.perf.span("campaign_throughput"), \
+                self.phases.track("campaign_throughput"):
             results = campaign.run_throughput(participants)
         self.perf.count("throughput_observations", len(results.throughput))
         return results
@@ -131,32 +209,48 @@ class EdgeStudy:
 SCALES = ("smoke", "default", "paper")
 
 
-def scenario_for(scale: str, seed: int | None = None) -> Scenario:
-    """The scenario behind a named scale (see :data:`SCALES`)."""
+def scenario_for(scale: str, seed: int | None = None,
+                 faults: str | None = None) -> Scenario:
+    """The scenario behind a named scale (see :data:`SCALES`).
+
+    ``faults`` overrides the fault-injection profile (``"off"``,
+    ``"paper"``, ``"harsh"``); ``None`` keeps the scale's default.
+    """
     if seed is None:
         seed = DEFAULT_SCENARIO.seed
     if scale == "default":
-        return Scenario(seed=seed)
-    if scale == "smoke":
-        return Scenario.smoke_scale().with_overrides(seed=seed)
-    if scale == "paper":
-        return Scenario.paper_scale().with_overrides(seed=seed)
-    raise ConfigurationError(
-        f"unknown scale {scale!r}, expected one of {SCALES}")
+        scenario = Scenario(seed=seed)
+    elif scale == "smoke":
+        scenario = Scenario.smoke_scale().with_overrides(seed=seed)
+    elif scale == "paper":
+        scenario = Scenario.paper_scale().with_overrides(seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}, expected one of {SCALES}")
+    if faults is not None:
+        scenario = scenario.with_overrides(fault_profile=faults)
+    return scenario
 
 
 @lru_cache(maxsize=4)
-def _study_for(scale: str, seed: int) -> EdgeStudy:
-    return EdgeStudy(scenario_for(scale, seed))
+def _study_for(scale: str, seed: int, faults: str) -> EdgeStudy:
+    return EdgeStudy(scenario_for(scale, seed, faults))
 
 
-def study_for(scale: str, seed: int | None = None) -> EdgeStudy:
-    """The shared study for a named scale (cached per (scale, seed))."""
+def study_for(scale: str, seed: int | None = None,
+              faults: str | None = None) -> EdgeStudy:
+    """The shared study for a named scale, cached per (scale, seed, faults)."""
     if scale not in SCALES:
         raise ConfigurationError(
             f"unknown scale {scale!r}, expected one of {SCALES}")
-    return _study_for(scale, seed if seed is not None
-                      else DEFAULT_SCENARIO.seed)
+    resolved_faults = "off" if faults is None else faults
+    if resolved_faults not in FAULT_PROFILES:
+        raise ConfigurationError(
+            f"unknown fault profile {resolved_faults!r}, expected one of "
+            f"{FAULT_PROFILES}")
+    return _study_for(scale,
+                      seed if seed is not None else DEFAULT_SCENARIO.seed,
+                      resolved_faults)
 
 
 def default_study(seed: int | None = None) -> EdgeStudy:

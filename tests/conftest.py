@@ -10,13 +10,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Scenario, smoke_study
+from repro import Scenario, smoke_study, study_for
 
 
 @pytest.fixture(scope="session")
 def study():
     """The shared reduced-scale study."""
     return smoke_study()
+
+
+@pytest.fixture(scope="session")
+def faulty_study():
+    """The shared reduced-scale study with the paper fault profile on."""
+    return study_for("smoke", faults="paper")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,76 @@
+"""Tests for the availability analysis and its paper-facing claims."""
+
+import pytest
+
+from repro import EdgeStudy
+from repro.core.availability_analysis import run_availability_study
+from repro.errors import FaultError
+
+
+@pytest.fixture(scope="module")
+def report(faulty_study):
+    return faulty_study.availability
+
+
+class TestAvailabilityReport:
+    def test_edge_availability_strictly_below_cloud(self, report):
+        # The PR's headline acceptance criterion: individual edge sites
+        # churn more than cloud regions under the paper profile.
+        assert report.edge_mean_availability < report.cloud_mean_availability
+        assert report.availability_gap > 0.0
+
+    def test_availabilities_are_probabilities(self, report):
+        for value in (report.edge_mean_availability,
+                      report.edge_min_availability,
+                      report.edge_p5_availability,
+                      report.cloud_mean_availability,
+                      report.cloud_min_availability):
+            assert 0.0 <= value <= 1.0
+        assert report.edge_min_availability <= report.edge_p5_availability
+        assert report.edge_p5_availability <= report.edge_mean_availability
+
+    def test_retries_recover_timeouts(self, report):
+        # With the default seed some probes hit outage windows, and the
+        # 225-minute backoff window outlasting the 180-minute mean outage
+        # means a nonzero fraction must come back.
+        assert report.probe_timeout_rate > 0.0
+        assert report.probe_recovery_rate > 0.0
+
+    def test_counts_are_consistent(self, report, faulty_study):
+        schedule = faulty_study.faults
+        assert report.edge_outage_count + report.cloud_outage_count == \
+            len(schedule.outages)
+        assert report.server_crashes == len(schedule.server_crashes)
+        assert report.degradation_episodes == len(schedule.episodes)
+        assert report.probes > 0
+        assert report.ping_loss_rate > 0.0
+
+    def test_format_contains_all_sections(self, report):
+        text = report.format()
+        assert "Site availability" in text
+        assert "Probe outcomes" in text
+        assert "Failover" in text
+        assert "Access degradation" in text
+
+    def test_requires_probe_accounting(self, study, faulty_study):
+        # Baseline latency results carry no probe stats: mixing them with
+        # a fault schedule is a caller error, flagged loudly.
+        with pytest.raises(FaultError):
+            run_availability_study(faulty_study.faults,
+                                   study.latency_results,
+                                   study.throughput_results,
+                                   faulty_study.failover)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self, faulty_study):
+        # A completely fresh study (no shared caches with the session
+        # fixture) must reproduce the formatted report byte for byte.
+        fresh = EdgeStudy(faulty_study.scenario)
+        assert fresh.availability.format() == \
+            faulty_study.availability.format()
+
+    def test_different_seed_differs(self, faulty_study):
+        other = EdgeStudy(faulty_study.scenario.with_overrides(seed=777))
+        assert other.availability.format() != \
+            faulty_study.availability.format()

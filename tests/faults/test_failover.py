@@ -1,0 +1,142 @@
+"""Tests for health-aware scheduling and crash evacuation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.faults.failover import HealthAwareScheduler, simulate_failover
+from repro.faults.schedule import FaultSchedule, OutageWindow, ServerCrash
+from repro.geo.coords import GeoPoint
+from repro.platform.cluster import Platform
+from repro.platform.entities import (
+    App,
+    Customer,
+    PlatformKind,
+    ResourceVector,
+    Server,
+    Site,
+    VM,
+    VMSpec,
+)
+from repro.platform.scheduling import NearestSiteScheduler
+
+
+def _tiny_platform(second_server: bool = True) -> Platform:
+    """One or two servers on one site, with one placed VM on srv-a."""
+    platform = Platform(name="tiny", kind=PlatformKind.EDGE)
+    servers = [Server("srv-a", "site-1",
+                      ResourceVector(16.0, 32.0, 500.0))]
+    if second_server:
+        servers.append(Server("srv-b", "site-1",
+                              ResourceVector(16.0, 32.0, 500.0)))
+    platform.add_site(Site("site-1", "Site 1", "cityville", "prov",
+                           GeoPoint(30.0, 110.0), servers=servers))
+    platform.register_customer(Customer("cust-1", "Cust"))
+    platform.register_app(App("app-1", "cust-1", "video", "img-1"))
+    vm = VM("vm-1", VMSpec(4, 8, disk_gb=40), "cust-1", "app-1", "img-1")
+    platform.register_vm(vm)
+    platform.server("srv-a").attach(vm)
+    return platform
+
+
+def _schedule(outages=(), crashes=()) -> FaultSchedule:
+    return FaultSchedule(
+        profile_name="paper", horizon_minutes=10_000.0,
+        outages=list(outages), crashes=list(crashes), episodes=[],
+        edge_site_ids=("site-1",), cloud_site_ids=())
+
+
+class TestSimulateFailover:
+    def test_evacuates_to_healthy_sibling(self):
+        platform = _tiny_platform()
+        report = simulate_failover(
+            platform,
+            _schedule(crashes=[ServerCrash("srv-a", "site-1",
+                                           100.0, 400.0)]))
+        assert report.crashes == 1
+        assert report.crashes_with_vms == 1
+        assert report.evacuated_vms == 1
+        assert report.stranded_vms == 0
+        record = report.records[0]
+        assert record.to_server == "srv-b"
+        assert not record.stranded
+        assert record.downtime_seconds > 0
+        assert report.total_data_moved_gb > 0
+
+    def test_original_platform_untouched(self):
+        platform = _tiny_platform()
+        simulate_failover(
+            platform,
+            _schedule(crashes=[ServerCrash("srv-a", "site-1",
+                                           100.0, 400.0)]))
+        assert platform.vms["vm-1"].server_id == "srv-a"
+        assert "vm-1" in platform.server("srv-a").vm_ids
+        platform.validate()
+
+    def test_no_feasible_target_strands_vm(self):
+        platform = _tiny_platform(second_server=False)
+        crash = ServerCrash("srv-a", "site-1", 100.0, 400.0)
+        report = simulate_failover(platform, _schedule(crashes=[crash]))
+        assert report.evacuated_vms == 0
+        assert report.stranded_vms == 1
+        record = report.records[0]
+        assert record.stranded and record.to_server is None
+        # A stranded VM eats the full recovery window as downtime.
+        assert record.downtime_seconds == pytest.approx(
+            crash.duration_min * 60.0)
+
+    def test_empty_schedule_is_noop(self):
+        report = simulate_failover(_tiny_platform(), _schedule())
+        assert report.crashes == 0
+        assert report.affected_vms == 0
+        assert report.mean_vm_downtime_seconds == 0.0
+
+    def test_smoke_study_failover_is_consistent(self, faulty_study):
+        report = faulty_study.failover
+        assert report.crashes == len(faulty_study.faults.server_crashes)
+        assert report.affected_vms == len(report.records)
+        # The shared study platform must survive the replay untouched.
+        faulty_study.nep.platform.validate()
+
+
+class TestHealthAwareScheduler:
+    def test_passthrough_when_healthy(self):
+        platform = _tiny_platform()
+        scheduler = HealthAwareScheduler(NearestSiteScheduler(), _schedule())
+        decision = scheduler.schedule(platform, "app-1",
+                                      GeoPoint(30.0, 110.0))
+        assert decision.vm_id == "vm-1"
+        assert scheduler.fallbacks == 0
+
+    def test_falls_back_from_dead_server(self):
+        platform = _tiny_platform()
+        vm2 = VM("vm-2", VMSpec(4, 8, disk_gb=40), "cust-1", "app-1",
+                 "img-1")
+        platform.register_vm(vm2)
+        platform.server("srv-b").attach(vm2)
+        schedule = _schedule(crashes=[ServerCrash("srv-a", "site-1",
+                                                  0.0, 500.0)])
+        scheduler = HealthAwareScheduler(NearestSiteScheduler(), schedule,
+                                         at_minute=100.0)
+        decision = scheduler.schedule(platform, "app-1",
+                                      GeoPoint(30.0, 110.0))
+        assert decision.vm_id == "vm-2"
+        assert scheduler.fallbacks == 1
+
+    def test_no_healthy_vm_raises(self):
+        platform = _tiny_platform()
+        schedule = _schedule(outages=[OutageWindow("site-1", 0.0, 500.0)])
+        scheduler = HealthAwareScheduler(NearestSiteScheduler(), schedule,
+                                         at_minute=100.0)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(platform, "app-1", GeoPoint(30.0, 110.0))
+
+    def test_healthy_again_after_recovery(self):
+        platform = _tiny_platform()
+        schedule = _schedule(crashes=[ServerCrash("srv-a", "site-1",
+                                                  0.0, 500.0)])
+        scheduler = HealthAwareScheduler(NearestSiteScheduler(), schedule,
+                                         at_minute=600.0)
+        decision = scheduler.schedule(platform, "app-1",
+                                      GeoPoint(30.0, 110.0))
+        assert decision.vm_id == "vm-1"
+        assert scheduler.fallbacks == 0

@@ -1,0 +1,107 @@
+"""Tests for retry policy, probe accounting, and campaign fault wiring."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.injection import (
+    DEFAULT_RETRY_POLICY,
+    ProbeStats,
+    RetryPolicy,
+    degraded_throughput_factor,
+)
+
+
+class TestRetryPolicy:
+    def test_cumulative_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=4, backoff_base_minutes=15.0,
+                             backoff_factor=2.0)
+        assert policy.delay_minutes(0) == 0.0
+        assert policy.delay_minutes(1) == 15.0
+        assert policy.delay_minutes(2) == 45.0
+        assert policy.delay_minutes(3) == 105.0
+        assert policy.delay_minutes(4) == 225.0
+
+    def test_default_window_outlasts_mean_outage(self):
+        from repro.faults.schedule import fault_profile
+        total = DEFAULT_RETRY_POLICY.delay_minutes(
+            DEFAULT_RETRY_POLICY.max_retries)
+        assert total > fault_profile("paper").edge_outage_mean_minutes
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff_base_minutes=0.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultError):
+            DEFAULT_RETRY_POLICY.delay_minutes(-1)
+
+
+class TestProbeStats:
+    def test_zero_denominators_are_safe(self):
+        stats = ProbeStats()
+        assert stats.timeout_rate == 0.0
+        assert stats.recovery_rate == 0.0
+        assert stats.unreachable_rate == 0.0
+        assert stats.ping_loss_rate == 0.0
+
+    def test_rates(self):
+        stats = ProbeStats(probes=100, attempts=110, retries=10,
+                           timed_out=8, recovered=6, unreachable=2,
+                           pings_sent=3000, pings_lost=30)
+        assert stats.timeout_rate == pytest.approx(0.08)
+        assert stats.recovery_rate == pytest.approx(0.75)
+        assert stats.unreachable_rate == pytest.approx(0.02)
+        assert stats.ping_loss_rate == pytest.approx(0.01)
+
+
+class TestDegradedThroughputFactor:
+    def test_no_loss_full_throughput(self):
+        assert degraded_throughput_factor(0.0) == 1.0
+
+    def test_quadratic_in_delivery_rate(self):
+        assert degraded_throughput_factor(0.5) == pytest.approx(0.25)
+
+    def test_floor_at_five_percent(self):
+        assert degraded_throughput_factor(1.0) == pytest.approx(0.05)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FaultError):
+            degraded_throughput_factor(1.5)
+        with pytest.raises(FaultError):
+            degraded_throughput_factor(-0.1)
+
+
+class TestCampaignWiring:
+    def test_baseline_campaign_has_no_fault_accounting(self, study):
+        assert study.faults is None
+        assert study.latency_results.probe_stats is None
+        assert study.latency_results.failures == []
+        assert study.throughput_results.failures == []
+        assert not any(o.degraded
+                       for o in study.throughput_results.throughput)
+
+    def test_faulty_campaign_accounts_probes(self, faulty_study):
+        stats = faulty_study.latency_results.probe_stats
+        assert stats is not None
+        assert stats.probes > 0
+        assert stats.pings_sent > 0
+        # Every timed-out probe either recovered or ended unreachable,
+        # and every retry is an attempt beyond a probe's first.
+        assert stats.recovered + stats.unreachable == stats.timed_out
+        assert stats.attempts == stats.probes + stats.retries
+        assert stats.retries >= stats.timed_out
+
+    def test_faulty_campaign_loses_pings(self, faulty_study):
+        stats = faulty_study.latency_results.probe_stats
+        assert stats.pings_lost > 0
+        assert 0.0 < stats.ping_loss_rate < 1.0
+
+    def test_failed_probes_match_unreachable_count(self, faulty_study):
+        results = faulty_study.latency_results
+        ping_failures = [f for f in results.failures if f.probe == "ping"]
+        assert len(ping_failures) == results.probe_stats.unreachable
+        for failure in ping_failures:
+            assert failure.target_kind in ("edge", "cloud")
+            assert failure.attempts > 1

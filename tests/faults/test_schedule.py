@@ -1,0 +1,150 @@
+"""Tests for the deterministic fault schedule."""
+
+import dataclasses
+
+import pytest
+
+from repro import Scenario
+from repro.errors import FaultError
+from repro.faults.schedule import (
+    FaultProfile,
+    FaultSchedule,
+    OutageWindow,
+    ServerCrash,
+    build_fault_schedule,
+    fault_profile,
+)
+
+
+def _zero_rate_profile() -> FaultProfile:
+    return dataclasses.replace(
+        fault_profile("paper"),
+        name="calm",
+        edge_outages_per_site_30d=0.0,
+        cloud_outages_per_region_30d=0.0,
+        server_crashes_per_server_30d=0.0,
+        degradation_episodes_per_city_30d=0.0,
+    )
+
+
+class TestProfiles:
+    def test_off_is_none(self):
+        assert fault_profile("off") is None
+
+    def test_paper_and_harsh_exist(self):
+        assert fault_profile("paper").name == "paper"
+        assert fault_profile("harsh").name == "harsh"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(FaultError):
+            fault_profile("storm")
+
+    def test_harsh_is_harsher_than_paper(self):
+        paper, harsh = fault_profile("paper"), fault_profile("harsh")
+        assert harsh.edge_outages_per_site_30d > \
+            paper.edge_outages_per_site_30d
+        assert harsh.server_crashes_per_server_30d > \
+            paper.server_crashes_per_server_30d
+
+    def test_invalid_loss_range_rejected(self):
+        with pytest.raises(FaultError):
+            dataclasses.replace(fault_profile("paper"),
+                                degradation_loss_min=0.9,
+                                degradation_loss_max=0.1)
+
+
+class TestBuild:
+    def test_off_scenario_yields_none(self, study):
+        schedule = build_fault_schedule(
+            study.scenario, study.nep.platform, study.alicloud)
+        assert schedule is None
+
+    def test_same_seed_bit_identical(self, study):
+        scenario = study.scenario.with_overrides(fault_profile="paper")
+        one = build_fault_schedule(scenario, study.nep.platform,
+                                   study.alicloud)
+        two = build_fault_schedule(scenario, study.nep.platform,
+                                   study.alicloud)
+        assert one.outages == two.outages
+        assert one.server_crashes == two.server_crashes
+        assert one.episodes == two.episodes
+
+    def test_different_seed_differs(self, study):
+        base = study.scenario.with_overrides(fault_profile="paper")
+        one = build_fault_schedule(base, study.nep.platform, study.alicloud)
+        other = build_fault_schedule(base.with_overrides(seed=99),
+                                     study.nep.platform, study.alicloud)
+        assert one.outages != other.outages
+
+    def test_zero_rates_yield_empty_schedule(self, study):
+        scenario = study.scenario.with_overrides(fault_profile="paper")
+        schedule = build_fault_schedule(scenario, study.nep.platform,
+                                        study.alicloud,
+                                        profile=_zero_rate_profile())
+        assert schedule.outages == []
+        assert schedule.server_crashes == []
+        assert schedule.episodes == []
+        assert schedule.mttr_minutes() == 0.0
+        assert schedule.mean_degradation_loss() == 0.0
+        site = schedule.edge_site_ids[0]
+        assert schedule.site_availability(site) == 1.0
+
+    def test_events_lie_inside_horizon(self, faulty_study):
+        schedule = faulty_study.faults
+        horizon = schedule.horizon_minutes
+        for window in schedule.outages:
+            assert 0.0 <= window.start_min < window.end_min <= horizon
+
+
+class TestQueries:
+    def _schedule(self, **kwargs) -> FaultSchedule:
+        defaults = dict(profile_name="paper", horizon_minutes=1000.0,
+                        outages=[], crashes=[], episodes=[],
+                        edge_site_ids=("s1",), cloud_site_ids=("c1",))
+        defaults.update(kwargs)
+        return FaultSchedule(**defaults)
+
+    def test_site_down_boundaries(self):
+        schedule = self._schedule(
+            outages=[OutageWindow("s1", 100.0, 200.0)])
+        assert schedule.site_down("s1", 100.0)       # inclusive start
+        assert schedule.site_down("s1", 199.9)
+        assert not schedule.site_down("s1", 200.0)   # exclusive end
+        assert not schedule.site_down("s1", 99.9)
+        assert not schedule.site_down("other", 150.0)
+
+    def test_server_down(self):
+        schedule = self._schedule(
+            crashes=[ServerCrash("srv", "s1", 10.0, 20.0)])
+        assert schedule.server_down("srv", 15.0)
+        assert not schedule.server_down("srv", 25.0)
+
+    def test_full_horizon_outage_gives_zero_availability(self):
+        schedule = self._schedule(
+            outages=[OutageWindow("s1", 0.0, 1000.0)])
+        assert schedule.site_availability("s1") == 0.0
+
+    def test_overlapping_outages_merge(self):
+        schedule = self._schedule(outages=[
+            OutageWindow("s1", 100.0, 300.0),
+            OutageWindow("s1", 200.0, 400.0),
+        ])
+        assert schedule.site_downtime_minutes("s1") == pytest.approx(300.0)
+        assert schedule.site_availability("s1") == pytest.approx(0.7)
+
+    def test_mttr_averages_outages_and_crashes(self):
+        schedule = self._schedule(
+            outages=[OutageWindow("s1", 0.0, 100.0)],
+            crashes=[ServerCrash("srv", "s1", 0.0, 300.0)])
+        assert schedule.mttr_minutes() == pytest.approx(200.0)
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(FaultError):
+            self._schedule(horizon_minutes=0.0)
+
+
+class TestScenarioKnob:
+    def test_unknown_profile_rejected_by_scenario(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            Scenario(fault_profile="storm")

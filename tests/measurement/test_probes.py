@@ -6,7 +6,8 @@ import pytest
 from repro.errors import MeasurementError
 from repro.geo.coords import GeoPoint
 from repro.measurement.iperf import EDGE_VM_PORT_MBPS, run_iperf_test
-from repro.measurement.ping import run_ping_test
+from repro.measurement.ping import PingResult, run_ping_test, run_ping_tests
+from repro.netsim.traceroute import TracerouteResult
 from repro.netsim.access import AccessType, access_profile
 from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
 
@@ -47,6 +48,73 @@ class TestPing:
     def test_zero_repetitions_rejected(self, route, rng):
         with pytest.raises(MeasurementError):
             run_ping_test(route, 0, rng)
+
+
+class TestPingLoss:
+    """Regression guard: lost probes must never produce NaN statistics."""
+
+    def test_all_pings_lost_yields_failed_result(self, route, rng):
+        result, = run_ping_tests([route], 10, rng,
+                                 loss_probability=[1.0])
+        assert result.failed
+        assert result.sent == 10 and result.lost == 10
+        assert result.loss_rate == 1.0
+        assert result.mean_ms == 0.0
+        assert result.std_ms == 0.0
+        assert result.cv == 0.0
+        assert not np.isnan(result.mean_ms)
+
+    def test_all_lost_with_samples_kept_is_empty(self, route, rng):
+        result, = run_ping_tests([route], 10, rng, keep_samples=True,
+                                 loss_probability=[1.0])
+        assert result.samples_ms == ()
+
+    def test_no_loss_params_means_no_loss(self, route, rng):
+        result, = run_ping_tests([route], 10, rng)
+        assert result.sent == 10 and result.lost == 0
+        assert not result.failed
+        assert result.loss_rate == 0.0
+
+    def test_partial_loss_uses_surviving_pings(self, route, rng):
+        result, = run_ping_tests([route], 30, rng, keep_samples=True,
+                                 loss_probability=[0.5])
+        assert 0 < result.lost < result.sent
+        assert len(result.samples_ms) == result.sent - result.lost
+        assert result.mean_ms == pytest.approx(
+            np.mean(result.samples_ms))
+
+    def test_zero_loss_matches_fault_free_path(self, route):
+        baseline, = run_ping_tests([route], 20,
+                                   np.random.default_rng(7))
+        guarded, = run_ping_tests([route], 20, np.random.default_rng(7),
+                                  loss_probability=[0.0],
+                                  loss_rng=np.random.default_rng(99))
+        assert guarded.mean_ms == baseline.mean_ms
+        assert guarded.std_ms == baseline.std_ms
+
+    def test_extra_latency_shifts_mean(self, route):
+        baseline, = run_ping_tests([route], 20,
+                                   np.random.default_rng(7))
+        slowed, = run_ping_tests([route], 20, np.random.default_rng(7),
+                                 extra_latency_ms=[50.0])
+        assert slowed.mean_ms == pytest.approx(baseline.mean_ms + 50.0)
+
+    def test_bad_fault_vectors_rejected(self, route, rng):
+        with pytest.raises(MeasurementError):
+            run_ping_tests([route], 10, rng, loss_probability=[0.5, 0.5])
+        with pytest.raises(MeasurementError):
+            run_ping_tests([route], 10, rng, loss_probability=[1.5])
+        with pytest.raises(MeasurementError):
+            run_ping_tests([route], 10, rng, extra_latency_ms=[-1.0])
+
+    def test_synthetic_all_lost_result_properties(self):
+        trace = TracerouteResult("t", 0.0, (), (), ())
+        result = PingResult(target_label="t", mean_ms=0.0, std_ms=0.0,
+                            traceroute=trace, sent=30, lost=30)
+        assert result.failed and result.loss_rate == 1.0
+        unsent = PingResult(target_label="t", mean_ms=0.0, std_ms=0.0,
+                            traceroute=trace)
+        assert not unsent.failed and unsent.loss_rate == 0.0
 
 
 class TestIperf:

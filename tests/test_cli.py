@@ -12,7 +12,7 @@ class TestRegistry:
 
     def test_covers_all_paper_experiments(self):
         expected = {"table1", "table2", "table3", "table6", "sales",
-                    "findings", "categories"} | {
+                    "findings", "categories", "availability"} | {
             f"fig{i}" for i in range(3, 15)
         } | {"fig2a", "fig2b"}
         assert set(REPORTS) == expected
@@ -35,6 +35,19 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_faults_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.faults == "off"
+
+    def test_faults_profile_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "availability", "--faults", "paper"])
+        assert args.faults == "paper"
+
+    def test_unknown_faults_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--faults", "storm"])
 
 
 class TestMain:
@@ -60,6 +73,19 @@ class TestMain:
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "built NEP" in out
+
+    def test_availability_without_faults_prints_note(self, capsys):
+        assert main(["run", "availability"]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection is off" in out
+
+    def test_repro_error_exits_2_with_clean_message(self, capsys):
+        # A negative seed passes argparse but fails scenario validation —
+        # main() must catch the ReproError, not traceback.
+        assert main(["info", "--seed", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
 
     def test_export(self, capsys, tmp_path):
         assert main(["export", str(tmp_path / "ds")]) == 0

@@ -1,7 +1,9 @@
 """Tests for the EdgeStudy facade and its caching behaviour."""
 
-from repro import EdgeStudy, Scenario, smoke_study
-from repro.errors import ReproError
+import pytest
+
+from repro import EdgeStudy, Scenario, smoke_study, study_for
+from repro.errors import ConfigurationError, ReproError
 
 
 class TestFacade:
@@ -36,6 +38,60 @@ class TestFacade:
         assert "campaign" not in study.__dict__
 
 
+class TestFaultWiring:
+    def test_faults_off_by_default(self, study):
+        assert study.scenario.fault_profile == "off"
+        assert study.faults is None
+
+    def test_fault_phases_refuse_when_off(self, study):
+        with pytest.raises(ConfigurationError):
+            study.failover
+        with pytest.raises(ConfigurationError):
+            study.availability
+
+    def test_faulty_study_builds_schedule(self, faulty_study):
+        schedule = faulty_study.faults
+        assert schedule is not None
+        assert schedule.profile_name == "paper"
+        assert faulty_study.faults is schedule  # cached
+
+    def test_fault_profile_is_part_of_cache_key(self):
+        assert study_for("smoke") is not study_for("smoke", faults="paper")
+        assert study_for("smoke", faults="paper") is \
+            study_for("smoke", faults="paper")
+        assert study_for("smoke", faults="off") is study_for("smoke")
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            study_for("smoke", faults="storm")
+
+
+class TestPhaseLedger:
+    def test_ok_phase_recorded(self, study):
+        study.nep  # force the phase
+        status = study.phases.status("workload_nep")
+        assert status is not None and status.ok
+        assert status.wall_s >= 0.0
+
+    def test_failed_phase_recorded_with_error(self, study):
+        with pytest.raises(ConfigurationError):
+            study.availability
+        status = study.phases.status("availability")
+        assert status is not None and not status.ok
+        assert "ConfigurationError" in status.error
+        assert "availability" in study.phases.report()
+
+    def test_try_phase_degrades_gracefully(self, study):
+        # A failing phase returns None; a working one still computes.
+        assert study.try_phase("failover") is None
+        assert study.try_phase("nep") is study.nep
+
+    def test_ledger_report_lists_phases(self, study):
+        study.nep
+        report = study.phases.report()
+        assert "workload_nep" in report and "ok" in report
+
+
 class TestErrorHierarchy:
     def test_all_library_errors_share_a_base(self):
         from repro import errors
@@ -46,6 +102,7 @@ class TestErrorHierarchy:
             errors.PlacementError, errors.SchedulingError,
             errors.TraceError, errors.MeasurementError,
             errors.PredictionError, errors.BillingError,
+            errors.FaultError,
         ]
         for cls in subclasses:
             assert issubclass(cls, ReproError)
