@@ -16,6 +16,12 @@ Usage::
 ``--check`` compares the fresh run against the committed ledger and exits
 non-zero if the latency-campaign phase regressed by more than
 ``--max-regression``x — the CI guard for the vectorized batch engine.
+
+``--cache-dir`` additionally measures the persistent artifact cache: one
+cold run populating it and one warm run served from it, both recorded in
+the ledger entry.  ``--assert-warm`` turns the warm run into a CI gate:
+the process exits non-zero unless every tracked phase was served from
+the cache (generation skipped entirely).
 """
 
 from __future__ import annotations
@@ -36,11 +42,19 @@ PHASES = ("workload_nep", "workload_azure", "campaign_latency",
           "campaign_throughput")
 
 
-def run_once(scale: str, seed: int | None) -> dict[str, object]:
-    """One cold study run; returns its perf registry as a dict."""
+def effective_seed(seed: int | None) -> int:
+    """The seed a run actually uses (the scenario default when unset)."""
+    from repro.config import DEFAULT_SCENARIO
+
+    return seed if seed is not None else DEFAULT_SCENARIO.seed
+
+
+def run_once(scale: str, seed: int | None, jobs: int = 1,
+             cache=None) -> dict[str, object]:
+    """One study run; returns its perf registry as a dict."""
     from repro.study import EdgeStudy, scenario_for
 
-    study = EdgeStudy(scenario_for(scale, seed))
+    study = EdgeStudy(scenario_for(scale, seed), jobs=jobs, cache=cache)
     study.nep
     study.azure
     study.latency_results
@@ -48,9 +62,10 @@ def run_once(scale: str, seed: int | None) -> dict[str, object]:
     return study.perf.as_dict()
 
 
-def bench(scale: str, seed: int | None, repeats: int) -> dict[str, object]:
+def bench(scale: str, seed: int | None, repeats: int,
+          jobs: int) -> dict[str, object]:
     """Best-of-``repeats`` phase timings (min is robust to CI noise)."""
-    runs = [run_once(scale, seed) for _ in range(repeats)]
+    runs = [run_once(scale, seed, jobs) for _ in range(repeats)]
     phases: dict[str, dict[str, float]] = {}
     for phase in PHASES:
         samples = [run["spans"][phase] for run in runs
@@ -63,7 +78,9 @@ def bench(scale: str, seed: int | None, repeats: int) -> dict[str, object]:
         }
     total = sum(p["wall_s"] for p in phases.values())
     return {
-        "seed": seed,
+        "seed": effective_seed(seed),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
         "repeats": repeats,
         "phases": phases,
         "total_wall_s": round(total, 6),
@@ -71,6 +88,33 @@ def bench(scale: str, seed: int | None, repeats: int) -> dict[str, object]:
         "python": platform_mod.python_version(),
         "numpy": np.__version__,
         "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+    }
+
+
+def bench_cache(scale: str, seed: int | None, jobs: int,
+                cache_dir: Path) -> dict[str, object]:
+    """One cold run populating ``cache_dir``, one warm run served from it."""
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(cache_dir)
+    timings = {}
+    for label in ("cold", "warm"):
+        start = time.perf_counter()
+        run = run_once(scale, seed, jobs, cache)
+        timings[label] = {
+            "wall_s": round(time.perf_counter() - start, 6),
+            "run": run,
+        }
+    warm = timings["warm"]["run"]
+    cold_s = timings["cold"]["wall_s"]
+    warm_s = timings["warm"]["wall_s"]
+    return {
+        "dir": str(cache_dir),
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "warm_speedup": round(cold_s / max(warm_s, 1e-9), 2),
+        "warm_hits": {phase: bool(warm["counters"].get(f"cache_hit:{phase}"))
+                      for phase in PHASES},
     }
 
 
@@ -130,6 +174,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--repeat", type=int, default=3,
                         help="runs per phase; the minimum is kept")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for workload generation "
+                             "(0 = all CPU cores)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="also measure a cold + warm artifact-cache "
+                             "cycle rooted here")
+    parser.add_argument("--assert-warm", action="store_true",
+                        help="with --cache-dir: exit non-zero unless the "
+                             "warm run hit the cache on every phase")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_study.json",
@@ -144,12 +197,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.scale == "paper" and args.repeat > 1:
         args.repeat = 1  # a paper-scale repeat is minutes, once is plenty
 
-    fresh = bench(args.scale, args.seed, args.repeat)
-    print(f"scale={args.scale}:")
+    if args.assert_warm and args.cache_dir is None:
+        parser.error("--assert-warm requires --cache-dir")
+
+    fresh = bench(args.scale, args.seed, args.repeat, args.jobs)
+    print(f"scale={args.scale} jobs={args.jobs} "
+          f"(host: {fresh['cpu_count']} cores):")
     for phase, stats in fresh["phases"].items():
         print(f"  {phase:<22}{stats['wall_s']:>9.3f}s wall "
               f"{stats['cpu_s']:>9.3f}s cpu")
     print(f"  {'total':<22}{fresh['total_wall_s']:>9.3f}s wall")
+
+    if args.cache_dir is not None:
+        cache_stats = bench_cache(args.scale, args.seed, args.jobs,
+                                  args.cache_dir)
+        fresh["cache"] = cache_stats
+        print(f"  cache: cold {cache_stats['cold_wall_s']:.3f}s, warm "
+              f"{cache_stats['warm_wall_s']:.3f}s "
+              f"({cache_stats['warm_speedup']}x)")
+        if args.assert_warm:
+            missed = [phase for phase, hit
+                      in cache_stats["warm_hits"].items() if not hit]
+            if missed:
+                print(f"assert-warm: FAILED, regenerated: "
+                      f"{', '.join(missed)}")
+                return 1
+            print("assert-warm: OK, every phase served from the cache")
 
     if args.check is not None:
         return check_regression(load_ledger(args.check), args.scale, fresh,

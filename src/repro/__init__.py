@@ -18,6 +18,7 @@ See DESIGN.md for the experiment index and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
+from .cache import ArtifactCache, default_cache_dir
 from .config import DEFAULT_SCENARIO, FAULT_PROFILES, RandomState, Scenario
 from .errors import (
     BillingError,
@@ -34,6 +35,7 @@ from .errors import (
     TraceError,
 )
 from .faults import FaultSchedule, build_fault_schedule
+from .parallel import resolve_jobs
 from .perf import PerfRegistry
 from .phases import PhaseLedger, PhaseStatus
 from .study import EdgeStudy, default_study, smoke_study, study_for
@@ -41,6 +43,7 @@ from .study import EdgeStudy, default_study, smoke_study, study_for
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "BillingError",
     "CapacityError",
     "ConfigurationError",
@@ -63,7 +66,9 @@ __all__ = [
     "TopologyError",
     "TraceError",
     "build_fault_schedule",
+    "default_cache_dir",
     "default_study",
+    "resolve_jobs",
     "smoke_study",
     "study_for",
     "__version__",

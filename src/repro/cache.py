@@ -1,0 +1,318 @@
+"""Content-addressed on-disk cache of expensive study artifacts.
+
+Paper-scale workload generation takes minutes even parallelised; the
+artifacts it produces are pure functions of the scenario and the code.
+:class:`ArtifactCache` memoises them across *process invocations*: a
+second ``repro run`` / benchmark with the same scenario loads the
+generated workloads and campaign results from disk instead of
+regenerating them.
+
+Keys and invalidation
+---------------------
+
+An entry's key is ``sha256(format | code_version | artifact name |
+scenario token)`` where the scenario token canonicalises every
+:class:`~repro.config.Scenario` knob (seed and fault profile included)
+and ``code_version`` digests every ``*.py`` file of the installed
+``repro`` package.  Any source change therefore invalidates the whole
+cache — deliberately conservative: a stale artifact can silently skew
+every downstream figure, an unnecessary regeneration only costs time.
+
+Layout and atomicity
+--------------------
+
+Each entry is a directory ``<root>/<key[:2]>/<key>/`` holding
+``meta.json`` plus its payload files.  Writers fill a ``.tmp-*``
+staging directory and ``os.rename`` it into place — the rename is
+atomic, so readers only ever see complete entries; a run killed
+mid-write leaves at most an ignored staging directory that the next
+``clear`` sweeps.  Corrupt entries (truncated payloads, unpicklable
+bytes) are treated as misses and removed.
+
+Workload series are stored as stacked ``.npy`` matrices and loaded
+memory-mapped, so a warm hit on a multi-gigabyte paper-scale trace
+returns in milliseconds and pages series in on demand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import time
+import uuid
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from .config import Scenario
+from .errors import ConfigurationError
+from .trace.dataset import TraceDataset
+from .workload.generator import GeneratedWorkload
+
+#: Bump when the on-disk entry layout changes.
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The conventional cache root: ``$REPRO_CACHE_DIR`` or XDG."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the installed ``repro`` sources (the cache's code key)."""
+    root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One materialised artifact, as listed by ``repro cache ls``."""
+
+    key: str
+    artifact: str
+    kind: str
+    created_at: str
+    bytes: int
+    path: Path
+
+
+class ArtifactCache:
+    """A content-addressed store of study artifacts under one root."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ---- keys ------------------------------------------------------------
+
+    def key(self, artifact: str, scenario: Scenario) -> str:
+        if not artifact:
+            raise ConfigurationError("artifact name must be non-empty")
+        payload = "|".join((str(CACHE_FORMAT), code_version(), artifact,
+                            scenario.cache_token()))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # ---- generic pickled artifacts ---------------------------------------
+
+    def get_object(self, artifact: str, scenario: Scenario) -> object | None:
+        """Load a pickled artifact, or ``None`` on miss/corruption."""
+        entry = self._entry_dir(self.key(artifact, scenario))
+        if not (entry / "meta.json").exists():
+            return None
+        try:
+            with (entry / "object.pkl").open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            self._discard(entry)
+            return None
+
+    def put_object(self, artifact: str, scenario: Scenario,
+                   value: object) -> None:
+        """Store a pickled artifact (no-op if already present)."""
+        key = self.key(artifact, scenario)
+
+        def write(staging: Path) -> None:
+            with (staging / "object.pkl").open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+        self._write_entry(key, artifact, "object", scenario, write)
+
+    # ---- workload artifacts (mmap-backed series) -------------------------
+
+    def get_workload(self, artifact: str,
+                     scenario: Scenario) -> GeneratedWorkload | None:
+        """Load a generated workload, series memory-mapped, or ``None``."""
+        entry = self._entry_dir(self.key(artifact, scenario))
+        if not (entry / "meta.json").exists():
+            return None
+        try:
+            return self._load_workload(entry)
+        except Exception:
+            self._discard(entry)
+            return None
+
+    def put_workload(self, artifact: str, scenario: Scenario,
+                     workload: GeneratedWorkload) -> None:
+        key = self.key(artifact, scenario)
+
+        def write(staging: Path) -> None:
+            self._save_workload(staging, workload)
+
+        self._write_entry(key, artifact, "workload", scenario, write)
+
+    def _save_workload(self, staging: Path,
+                       workload: GeneratedWorkload) -> None:
+        ds = workload.dataset
+        order = list(ds.vms)
+        tables = {
+            "platform_name": ds.platform_name,
+            "trace_days": ds.trace_days,
+            "cpu_interval_minutes": ds.cpu_interval_minutes,
+            "bw_interval_minutes": ds.bw_interval_minutes,
+            "vms": ds.vms,
+            "apps": ds.apps,
+            "sites": ds.sites,
+            "servers": ds.servers,
+            "order": order,
+            "private_ids": list(ds.bw_private_series),
+        }
+        with (staging / "platform.pkl").open("wb") as handle:
+            pickle.dump(workload.platform, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        with (staging / "tables.pkl").open("wb") as handle:
+            pickle.dump(tables, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._save_series(staging / "cpu.npy", ds.cpu_series, order,
+                          ds.cpu_points)
+        self._save_series(staging / "bw.npy", ds.bw_series, order,
+                          ds.bw_points)
+        if ds.bw_private_series:
+            self._save_series(staging / "private.npy", ds.bw_private_series,
+                              list(ds.bw_private_series), ds.bw_points)
+
+    @staticmethod
+    def _save_series(path: Path, series: dict[str, np.ndarray],
+                     order: list[str], points: int) -> None:
+        """Stack rows into one ``.npy``, row-by-row to bound the copy."""
+        out = np.lib.format.open_memmap(path, mode="w+", dtype=np.float32,
+                                        shape=(len(order), points))
+        for i, vm_id in enumerate(order):
+            out[i] = series[vm_id]
+        out.flush()
+        del out
+
+    def _load_workload(self, entry: Path) -> GeneratedWorkload:
+        with (entry / "platform.pkl").open("rb") as handle:
+            platform = pickle.load(handle)
+        with (entry / "tables.pkl").open("rb") as handle:
+            tables = pickle.load(handle)
+        dataset = TraceDataset(
+            platform_name=tables["platform_name"],
+            trace_days=tables["trace_days"],
+            cpu_interval_minutes=tables["cpu_interval_minutes"],
+            bw_interval_minutes=tables["bw_interval_minutes"],
+            vms=tables["vms"], apps=tables["apps"],
+            sites=tables["sites"], servers=tables["servers"],
+        )
+        order = tables["order"]
+        cpu = np.load(entry / "cpu.npy", mmap_mode="r")
+        bw = np.load(entry / "bw.npy", mmap_mode="r")
+        if cpu.shape != (len(order), dataset.cpu_points):
+            raise ConfigurationError("cpu series shape mismatch")
+        if bw.shape != (len(order), dataset.bw_points):
+            raise ConfigurationError("bw series shape mismatch")
+        dataset.cpu_series = {vm_id: cpu[i] for i, vm_id in enumerate(order)}
+        dataset.bw_series = {vm_id: bw[i] for i, vm_id in enumerate(order)}
+        private_ids = tables["private_ids"]
+        if private_ids:
+            private = np.load(entry / "private.npy", mmap_mode="r")
+            if private.shape != (len(private_ids), dataset.bw_points):
+                raise ConfigurationError("private series shape mismatch")
+            dataset.bw_private_series = {
+                vm_id: private[i] for i, vm_id in enumerate(private_ids)}
+        return GeneratedWorkload(platform=platform, dataset=dataset)
+
+    # ---- entry lifecycle --------------------------------------------------
+
+    def _write_entry(self, key: str, artifact: str, kind: str,
+                     scenario: Scenario, writer) -> None:
+        final = self._entry_dir(key)
+        if (final / "meta.json").exists():
+            return
+        staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        staging.mkdir(parents=True)
+        try:
+            writer(staging)
+            meta = {
+                "format": CACHE_FORMAT,
+                "key": key,
+                "artifact": artifact,
+                "kind": kind,
+                "code_version": code_version(),
+                "scenario": json.loads(scenario.cache_token()),
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                            time.gmtime()),
+            }
+            # meta.json lands last inside the staging dir, and the rename
+            # below is atomic: a reader can never observe a partial entry.
+            with (staging / "meta.json").open("w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(staging, final)
+            except OSError:
+                if not (final / "meta.json").exists():
+                    raise
+                # Another process materialised the same entry first.
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+
+    @staticmethod
+    def _discard(entry: Path) -> None:
+        shutil.rmtree(entry, ignore_errors=True)
+
+    # ---- maintenance (the `repro cache` subcommand) ----------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """All complete entries, newest first."""
+        found = []
+        for meta_path in sorted(self.root.glob("??/*/meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except Exception:
+                continue
+            entry_dir = meta_path.parent
+            size = sum(p.stat().st_size
+                       for p in entry_dir.iterdir() if p.is_file())
+            found.append(CacheEntry(
+                key=meta.get("key", entry_dir.name),
+                artifact=meta.get("artifact", "?"),
+                kind=meta.get("kind", "?"),
+                created_at=meta.get("created_at", "?"),
+                bytes=size,
+                path=entry_dir,
+            ))
+        found.sort(key=lambda e: e.created_at, reverse=True)
+        return found
+
+    def clear(self) -> int:
+        """Remove every entry and stale staging dir; returns entries removed."""
+        removed = 0
+        for entry in self.entries():
+            shutil.rmtree(entry.path, ignore_errors=True)
+            removed += 1
+        for staging in self.root.glob(".tmp-*"):
+            shutil.rmtree(staging, ignore_errors=True)
+        return removed
+
+    def info(self) -> dict[str, object]:
+        """Summary stats for ``repro cache info``."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(e.bytes for e in entries),
+            "code_version": code_version(),
+        }

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from .cache import ArtifactCache, default_cache_dir
 from .config import FAULT_PROFILES
 from .errors import ReproError
 from .reports import REPORTS
@@ -70,6 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the performance + workload datasets to a directory")
     export.add_argument("directory", help="output directory")
     _add_scenario_args(export)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache")
+    cache.add_argument("action", choices=("ls", "info", "clear"),
+                       help="ls: list entries; info: totals; clear: "
+                            "remove everything")
+    cache.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache root (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
     return parser
 
 
@@ -85,11 +96,30 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "'paper' calibrates to reported edge churn)")
     parser.add_argument("--perf", action="store_true",
                         help="print per-phase wall/CPU timings afterwards")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for workload generation "
+                             "(default: 1; 0 = all CPU cores)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache root (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always regenerate; do not read or write the "
+                             "artifact cache")
+
+
+def _cache_dir_for(args: argparse.Namespace) -> str | None:
+    """The artifact-cache root selected by the args (None = disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    return str(explicit if explicit is not None else default_cache_dir())
 
 
 def _study(args: argparse.Namespace) -> EdgeStudy:
     """The study for the CLI args, sharing the module-level cache."""
-    return study_for(args.scale, args.seed, getattr(args, "faults", None))
+    return study_for(args.scale, args.seed, getattr(args, "faults", None),
+                     jobs=getattr(args, "jobs", 1),
+                     cache_dir=_cache_dir_for(args))
 
 
 def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
@@ -149,9 +179,43 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_export(args: argparse.Namespace) -> int:
-    from pathlib import Path
+def _human_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"
 
+
+def _command_cache(args: argparse.Namespace) -> int:
+    root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    cache = ArtifactCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.action == "info":
+        info = cache.info()
+        print(f"root:         {info['root']}")
+        print(f"entries:      {info['entries']}")
+        print(f"total size:   {_human_bytes(int(info['bytes']))}")
+        print(f"code version: {info['code_version']}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    print(f"{'created (UTC)':<21}{'artifact':<22}{'kind':<10}"
+          f"{'size':>10}  key")
+    for entry in entries:
+        print(f"{entry.created_at:<21}{entry.artifact:<22}{entry.kind:<10}"
+              f"{_human_bytes(entry.bytes):>10}  {entry.key[:16]}")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
     from .measurement.campaign import CampaignResults
     from .measurement.io import save_campaign
     from .trace.io import save_dataset
@@ -183,6 +247,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_info(args)
         if args.command == "export":
             return _command_export(args)
+        if args.command == "cache":
+            return _command_cache(args)
         return _command_run(args)
     except ReproError as exc:
         # A library-level failure (bad config, infeasible scenario, ...)

@@ -16,6 +16,7 @@ settings for users with the patience for them.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -159,6 +160,16 @@ class Scenario:
     def with_overrides(self, **changes: object) -> "Scenario":
         """Return a copy of this scenario with the given fields replaced."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def cache_token(self) -> str:
+        """Canonical JSON of every knob, for artifact-cache keys.
+
+        Two scenarios with equal fields produce the same token; any
+        field difference (seed, scale, fault profile, ...) changes it,
+        so cached artifacts can never be served across configurations.
+        """
+        return json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          separators=(",", ":"))
 
     @classmethod
     def paper_scale(cls) -> "Scenario":

@@ -14,6 +14,14 @@ the analyses of §3.1 are unchanged while the campaign stays laptop-sized.
 The paper also notes almost all 5G tests came from Beijing (limited 5G
 coverage in 2020) — the recruiter reproduces that bias because it is what
 makes Figure 2(a)'s 5G nearest-cloud gap small.
+
+Unlike workload generation, the campaign is *not* dispatched to the
+process pool (:mod:`repro.parallel`): the batch engine already probes a
+full paper-scale campaign in well under a second, so per-city route
+blocks would pay more in worker start-up and result pickling than they
+save.  Repeat invocations skip the campaign entirely instead — its
+:class:`CampaignResults` are memoised by the persistent artifact cache
+(:mod:`repro.cache`) alongside the generated workloads.
 """
 
 from __future__ import annotations

@@ -1,0 +1,155 @@
+"""Process-pool execution of per-app workload series jobs.
+
+At paper scale (20k VMs, 92 days at 1-minute resolution) the study
+spends most of its wall time rendering CPU/bandwidth series.  Placement
+is inherently sequential (it consumes shared RNG streams and mutates the
+platform), but every app's series block draws from its own named
+substream — see :mod:`repro.workload.series` — so the blocks are
+mutually independent.  :func:`run_series_jobs` fans them out over a
+``multiprocessing`` pool and yields rendered blocks **in submission
+order**, so the parent inserts results deterministically regardless of
+worker count or completion order.
+
+Each worker is told only (seed, recipe, scenario time knobs) once at
+pool start; a dispatched job ships an app id, a profile, and a VM count.
+The worker recreates the app's RNG substream locally, renders the block
+(its ``SERIES_CHUNK_VMS`` chunks in order), and sends the float32 rows
+back.  Worker-side spans are recorded into a private
+:class:`~repro.perf.PerfRegistry` that the parent merges, so no timing
+is lost to process boundaries (merged ``cpu_s`` sums across processes
+and can legitimately exceed the parent's wall time).
+
+``--jobs 1`` (the default) renders in-process through the *same*
+per-app function, which is what makes serial and parallel output
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .config import Scenario
+from .errors import ConfigurationError
+from .perf import PerfRegistry
+from .workload.patterns import time_axis_minutes
+from .workload.series import (
+    SeasonCache,
+    SeriesBlock,
+    SeriesJob,
+    SeriesRecipe,
+    job_rng,
+    render_series_job,
+)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPU cores.
+
+    Raises:
+        ConfigurationError: on negative values.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(
+            f"jobs must be >= 0 (0 = all CPU cores), got {jobs}")
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class _WorkerSetup:
+    """Everything a worker process needs besides the jobs themselves."""
+
+    seed: int
+    recipe: SeriesRecipe
+    trace_days: int
+    cpu_interval_minutes: int
+    bw_interval_minutes: int
+
+
+#: Per-worker-process state installed by :func:`_init_worker`.
+_WORKER: dict | None = None
+
+
+def _init_worker(setup: _WorkerSetup) -> None:
+    """Pool initializer: precompute the time axes and season cache once."""
+    global _WORKER
+    _WORKER = {
+        "setup": setup,
+        "cpu_minutes": time_axis_minutes(setup.trace_days,
+                                         setup.cpu_interval_minutes),
+        "bw_minutes": time_axis_minutes(setup.trace_days,
+                                        setup.bw_interval_minutes),
+        "seasons": SeasonCache(),
+    }
+
+
+def _render_in_worker(job: SeriesJob) -> SeriesBlock:
+    """Render one job inside a worker, with a private perf registry."""
+    state = _WORKER
+    if state is None:  # pragma: no cover - pool misconfiguration guard
+        raise RuntimeError("series worker used before initialisation")
+    setup: _WorkerSetup = state["setup"]
+    perf = PerfRegistry()
+    rng = job_rng(setup.seed, setup.recipe, job.app_id)
+    block = render_series_job(job, setup.recipe, state["cpu_minutes"],
+                              state["bw_minutes"], rng,
+                              seasons=state["seasons"], perf=perf)
+    block.perf = perf
+    return block
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, no re-import) where available, else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
+                    recipe: SeriesRecipe, n_jobs: int = 1,
+                    perf: PerfRegistry | None = None,
+                    ) -> Iterator[SeriesBlock]:
+    """Render series jobs, yielding blocks in submission order.
+
+    ``n_jobs == 1`` (or a single job) renders inline; otherwise a pool of
+    ``min(n_jobs, len(jobs_list))`` worker processes renders concurrently
+    while ``imap`` preserves ordering.  Either way the caller sees the
+    same sequence of bit-identical blocks.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    setup = _WorkerSetup(
+        seed=scenario.seed, recipe=recipe,
+        trace_days=scenario.trace_days,
+        cpu_interval_minutes=scenario.cpu_interval_minutes,
+        bw_interval_minutes=scenario.bw_interval_minutes,
+    )
+    if n_jobs == 1 or len(jobs_list) <= 1:
+        yield from _run_serial(jobs_list, setup, perf)
+        return
+    processes = min(n_jobs, len(jobs_list))
+    with _pool_context().Pool(processes=processes, initializer=_init_worker,
+                              initargs=(setup,)) as pool:
+        for block in pool.imap(_render_in_worker, jobs_list, chunksize=1):
+            if perf is not None and block.perf is not None:
+                perf.merge(block.perf)
+            block.perf = None
+            yield block
+
+
+def _run_serial(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
+                perf: PerfRegistry | None) -> Iterator[SeriesBlock]:
+    """The in-process path: same per-app renderer, no pool overhead."""
+    cpu_minutes = time_axis_minutes(setup.trace_days,
+                                    setup.cpu_interval_minutes)
+    bw_minutes = time_axis_minutes(setup.trace_days,
+                                   setup.bw_interval_minutes)
+    seasons = SeasonCache()
+    for job in jobs_list:
+        rng = job_rng(setup.seed, setup.recipe, job.app_id)
+        yield render_series_job(job, setup.recipe, cpu_minutes, bw_minutes,
+                                rng, seasons=seasons, perf=perf)

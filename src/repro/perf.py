@@ -29,11 +29,22 @@ from typing import Iterator
 
 @dataclass
 class SpanStats:
-    """Accumulated timings of one named phase."""
+    """Accumulated timings of one named phase.
+
+    A plain picklable dataclass: worker processes ship their stats back
+    to the parent, which folds them in via :meth:`merge` /
+    :meth:`PerfRegistry.merge`.
+    """
 
     wall_s: float = 0.0
     cpu_s: float = 0.0
     calls: int = 0
+
+    def merge(self, other: "SpanStats") -> None:
+        """Add another span's accumulated timings to this one."""
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+        self.calls += other.calls
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -68,6 +79,20 @@ class PerfRegistry:
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a named counter (e.g. observations produced)."""
         self._counters[name] = self._counters.get(name, 0) + amount
+
+    def merge(self, other: "PerfRegistry") -> None:
+        """Fold another registry into this one (summing spans/counters).
+
+        This is how worker-process telemetry survives the process
+        boundary: each worker records into its own registry, pickles it
+        back with the result, and the parent merges.  Merged ``cpu_s``
+        sums across processes, so it can legitimately exceed the
+        parent's wall time for the same phase on a multi-core run.
+        """
+        for name, stats in other._spans.items():
+            self._spans.setdefault(name, SpanStats()).merge(stats)
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def reset(self) -> None:
         self._spans.clear()

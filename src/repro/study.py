@@ -20,6 +20,7 @@ from functools import cached_property, lru_cache
 
 from .billing.cloud import alicloud_billing, huawei_billing
 from .billing.nep import CityPriceBook, NepBilling
+from .cache import ArtifactCache
 from .config import DEFAULT_SCENARIO, FAULT_PROFILES, Scenario
 from .core.availability_analysis import (
     AvailabilityReport,
@@ -32,6 +33,7 @@ from .faults.failover import FailoverReport, simulate_failover
 from .faults.schedule import FaultSchedule, build_fault_schedule
 from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
 from .measurement.qoe.testbed import QoETestbed
+from .parallel import resolve_jobs
 from .perf import PerfRegistry
 from .phases import PhaseLedger
 from .platform.cloud import build_cloud_platform
@@ -49,10 +51,55 @@ class EdgeStudy:
     phases ran and whether they failed.
     """
 
-    def __init__(self, scenario: Scenario = DEFAULT_SCENARIO) -> None:
+    def __init__(self, scenario: Scenario = DEFAULT_SCENARIO,
+                 jobs: int = 1, cache: ArtifactCache | None = None) -> None:
         self.scenario = scenario
+        #: Worker processes for workload generation (0 was "all cores").
+        self.jobs = resolve_jobs(jobs)
+        #: Optional persistent artifact cache; ``None`` = always generate.
+        self.cache = cache
         self.perf = PerfRegistry()
         self.phases = PhaseLedger()
+
+    # ---- artifact cache plumbing ----------------------------------------
+
+    def _cached_workload(self, name: str, builder):
+        """Load a generated workload from the cache, or build and store it.
+
+        A hit bumps the ``cache_hit:<name>`` counter and skips
+        generation entirely (the returned series are memory-mapped from
+        the cache entry); a miss builds with this study's ``jobs``
+        setting and stores the result for the next invocation.
+        """
+        if self.cache is not None:
+            cached = self.cache.get_workload(name, self.scenario)
+            if cached is not None:
+                self.perf.count(f"cache_hit:{name}")
+                return cached
+        workload = builder(self.scenario, jobs=self.jobs, perf=self.perf)
+        if self.cache is not None:
+            with self.perf.span(f"cache_store:{name}"):
+                self.cache.put_workload(name, self.scenario, workload)
+        return workload
+
+    def _campaign_cache_peek(self, name: str) -> CampaignResults | None:
+        """A cached campaign result, or ``None``.
+
+        Peeked *before* touching :attr:`campaign` so a warm run never
+        builds the platforms just to replay recorded observations.
+        """
+        if self.cache is None:
+            return None
+        cached = self.cache.get_object(name, self.scenario)
+        if cached is not None:
+            self.perf.count(f"cache_hit:{name}")
+        return cached
+
+    def _campaign_cache_store(self, name: str,
+                              results: CampaignResults) -> None:
+        if self.cache is not None:
+            with self.perf.span(f"cache_store:{name}"):
+                self.cache.put_object(name, self.scenario, results)
 
     def try_phase(self, name: str):
         """Compute phase ``name``, degrading gracefully on failure.
@@ -73,7 +120,8 @@ class EdgeStudy:
     def nep(self) -> GeneratedWorkload:
         """The NEP platform with placed VMs and its 3-month-style trace."""
         with self.perf.span("workload_nep"), self.phases.track("workload_nep"):
-            workload = generate_nep_workload(self.scenario)
+            workload = self._cached_workload("workload_nep",
+                                             generate_nep_workload)
         self.perf.count("nep_vms", len(workload.platform.vms))
         return workload
 
@@ -82,7 +130,8 @@ class EdgeStudy:
         """The Azure-like cloud comparison dataset."""
         with self.perf.span("workload_azure"), \
                 self.phases.track("workload_azure"):
-            workload = generate_azure_workload(self.scenario)
+            workload = self._cached_workload("workload_azure",
+                                             generate_azure_workload)
         self.perf.count("azure_vms", len(workload.platform.vms))
         return workload
 
@@ -155,19 +204,31 @@ class EdgeStudy:
 
     @cached_property
     def latency_results(self) -> CampaignResults:
-        campaign, participants = self.campaign, self.participants
+        cached = self._campaign_cache_peek("campaign_latency")
+        if cached is None:
+            campaign, participants = self.campaign, self.participants
         with self.perf.span("campaign_latency"), \
                 self.phases.track("campaign_latency"):
-            results = campaign.run_latency(participants)
+            if cached is not None:
+                results = cached
+            else:
+                results = campaign.run_latency(participants)
+                self._campaign_cache_store("campaign_latency", results)
         self.perf.count("latency_observations", len(results.latency))
         return results
 
     @cached_property
     def throughput_results(self) -> CampaignResults:
-        campaign, participants = self.campaign, self.participants
+        cached = self._campaign_cache_peek("campaign_throughput")
+        if cached is None:
+            campaign, participants = self.campaign, self.participants
         with self.perf.span("campaign_throughput"), \
                 self.phases.track("campaign_throughput"):
-            results = campaign.run_throughput(participants)
+            if cached is not None:
+                results = cached
+            else:
+                results = campaign.run_throughput(participants)
+                self._campaign_cache_store("campaign_throughput", results)
         self.perf.count("throughput_observations", len(results.throughput))
         return results
 
@@ -232,14 +293,24 @@ def scenario_for(scale: str, seed: int | None = None,
     return scenario
 
 
-@lru_cache(maxsize=4)
-def _study_for(scale: str, seed: int, faults: str) -> EdgeStudy:
-    return EdgeStudy(scenario_for(scale, seed, faults))
+@lru_cache(maxsize=8)
+def _study_for(scale: str, seed: int, faults: str, jobs: int,
+               cache_dir: str | None) -> EdgeStudy:
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    return EdgeStudy(scenario_for(scale, seed, faults), jobs=jobs,
+                     cache=cache)
 
 
 def study_for(scale: str, seed: int | None = None,
-              faults: str | None = None) -> EdgeStudy:
-    """The shared study for a named scale, cached per (scale, seed, faults)."""
+              faults: str | None = None, jobs: int = 1,
+              cache_dir: str | None = None) -> EdgeStudy:
+    """The shared study for a named scale, cached per argument tuple.
+
+    ``jobs`` is the worker-process count for workload generation and
+    ``cache_dir`` the root of the persistent artifact cache (``None``
+    disables caching) — both are execution knobs, so two calls differing
+    only there still share scenario *results* bit-for-bit.
+    """
     if scale not in SCALES:
         raise ConfigurationError(
             f"unknown scale {scale!r}, expected one of {SCALES}")
@@ -250,7 +321,7 @@ def study_for(scale: str, seed: int | None = None,
             f"{FAULT_PROFILES}")
     return _study_for(scale,
                       seed if seed is not None else DEFAULT_SCENARIO.seed,
-                      resolved_faults)
+                      resolved_faults, resolve_jobs(jobs), cache_dir)
 
 
 def default_study(seed: int | None = None) -> EdgeStudy:

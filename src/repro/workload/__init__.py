@@ -17,7 +17,16 @@ from .bandwidth import (
     peak_to_mean_ratio,
 )
 from .cpu import generate_cpu_series, generate_cpu_series_batch
-from .generator import GeneratedWorkload, SeasonCache, generate_nep_workload
+from .generator import GeneratedWorkload, generate_nep_workload
+from .series import (
+    AZURE_RECIPE,
+    NEP_RECIPE,
+    SERIES_CHUNK_VMS,
+    SeasonCache,
+    SeriesJob,
+    SeriesRecipe,
+    render_series_job,
+)
 from .patterns import (
     PATTERNS,
     ar1_noise,
@@ -37,15 +46,21 @@ from .subscription import (
 
 __all__ = [
     "AZURE_PROFILES",
+    "AZURE_RECIPE",
     "AZURE_SIZE_OPTIONS",
     "AppProfile",
     "CpuLevelMixture",
     "GeneratedWorkload",
     "NEP_PROFILES",
+    "NEP_RECIPE",
     "NEP_SIZE_OPTIONS",
     "PATTERNS",
+    "SERIES_CHUNK_VMS",
     "SizeOption",
     "SeasonCache",
+    "SeriesJob",
+    "SeriesRecipe",
+    "render_series_job",
     "ar1_noise",
     "ar1_noise_batch",
     "derive_private_series",

@@ -5,6 +5,10 @@ version, the entire VM population).  The real dataset is ~2.7M VMs of CPU
 readings; this generator reproduces its *distributional shape* at scenario
 scale: small VM sizes, higher and steadier utilisation, small per-app VM
 counts, and near-balanced within-app usage.
+
+Like the NEP generator, it runs placement sequentially and renders the
+per-app series blocks through :func:`repro.parallel.run_series_jobs`, so
+``jobs > 1`` parallelises generation with bit-identical output.
 """
 
 from __future__ import annotations
@@ -12,17 +16,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import Scenario
+from ..perf import PerfRegistry
 from ..platform.cloud import build_cloud_platform
-from ..platform.cluster import Platform
 from ..platform.entities import App, Customer
 from ..platform.placement import RandomPolicy, SubscriptionRequest
 from ..trace.dataset import TraceDataset
-from ..trace.schema import AppRecord, ServerRecord, SiteRecord, VMRecord
+from ..trace.schema import AppRecord, VMRecord
 from .apps import AZURE_PROFILES, sample_profile
-from .bandwidth import generate_bw_series_batch
-from .cpu import generate_cpu_series_batch
-from .generator import GeneratedWorkload, SERIES_CHUNK_VMS, SeasonCache
-from .patterns import time_axis_minutes
+from .generator import GeneratedWorkload, register_inventory
+from .series import AZURE_RECIPE, SeriesJob
 from .subscription import sample_azure_spec
 
 #: Azure serves individuals too (researchers, educators — §4.1); they run
@@ -30,15 +32,22 @@ from .subscription import sample_azure_spec
 INDIVIDUAL_FRACTION = 0.35
 
 
-def generate_azure_workload(scenario: Scenario,
-                            name: str = "Azure") -> GeneratedWorkload:
-    """Generate the Azure-like comparison dataset for a scenario."""
+def generate_azure_workload(scenario: Scenario, name: str = "Azure",
+                            jobs: int = 1,
+                            perf: PerfRegistry | None = None,
+                            ) -> GeneratedWorkload:
+    """Generate the Azure-like comparison dataset for a scenario.
+
+    ``jobs``/``perf`` behave as in
+    :func:`repro.workload.generator.generate_nep_workload`.
+    """
+    from ..parallel import run_series_jobs
+
     random = scenario.random
     platform = build_cloud_platform(scenario, name=name, region_count=8,
                                     servers_per_region=300)
     policy = RandomPolicy(random.stream("azure-placement"))
     app_rng = random.stream("azure-apps")
-    series_rng_root = random.child("azure-series")
 
     dataset = TraceDataset(
         platform_name=name,
@@ -46,27 +55,10 @@ def generate_azure_workload(scenario: Scenario,
         cpu_interval_minutes=scenario.cpu_interval_minutes,
         bw_interval_minutes=scenario.bw_interval_minutes,
     )
-    for site in platform.sites:
-        dataset.sites[site.site_id] = SiteRecord(
-            site_id=site.site_id, name=site.name, city=site.city,
-            province=site.province, lat=site.location.lat,
-            lon=site.location.lon,
-            gateway_bandwidth_mbps=site.gateway_bandwidth_mbps,
-        )
-        for server in site.servers:
-            dataset.servers[server.server_id] = ServerRecord(
-                server_id=server.server_id, site_id=site.site_id,
-                cpu_cores=int(server.capacity.cpu_cores),
-                memory_gb=int(server.capacity.memory_gb),
-                disk_gb=int(server.capacity.disk_gb),
-            )
+    register_inventory(platform, dataset)
 
-    cpu_minutes = time_axis_minutes(scenario.trace_days,
-                                    scenario.cpu_interval_minutes)
-    bw_minutes = time_axis_minutes(scenario.trace_days,
-                                   scenario.bw_interval_minutes)
-    seasons = SeasonCache()
-
+    # ---- placement stage (sequential) --------------------------------
+    pending: list[tuple[SeriesJob, list, object]] = []
     vm_budget = scenario.azure_vm_count
     app_index = 0
     while vm_budget > 0:
@@ -102,43 +94,31 @@ def generate_azure_workload(scenario: Scenario,
         )
         placed_vms = policy.place(platform, request)
 
-        rng = series_rng_root.stream(app_id)
-        base_level = profile.cpu_levels.sample(rng)
-        base_bw = float(rng.lognormal(np.log(profile.bw_median_mbps),
-                                      profile.bw_sigma))
-        app_sigma = profile.within_app_sigma * float(rng.uniform(0.6, 1.4))
-        multipliers = rng.lognormal(-app_sigma ** 2 / 2, app_sigma,
-                                    size=len(placed_vms))
-        mean_cpus = np.clip(base_level * multipliers, 0.005, 0.95)
-        mean_bws = np.maximum(base_bw * multipliers, 0.01)
-        erratic = rng.random(len(placed_vms)) < profile.erratic_probability
-        cpu_season = seasons.get(profile.pattern_name, cpu_minutes)
-        bw_season = seasons.get(profile.pattern_name, bw_minutes)
-        for start in range(0, len(placed_vms), SERIES_CHUNK_VMS):
-            stop = min(start + SERIES_CHUNK_VMS, len(placed_vms))
-            cpu_rows = generate_cpu_series_batch(
-                profile, mean_cpus[start:stop], cpu_minutes, rng,
-                season=cpu_season)
-            bw_rows = generate_bw_series_batch(
-                profile, mean_bws[start:stop], bw_minutes, rng,
-                erratic=erratic[start:stop], season=bw_season)
-            for offset, vm in enumerate(placed_vms[start:stop]):
-                site = platform.site(vm.site_id)
-                record = VMRecord(
-                    vm_id=vm.vm_id, app_id=app_id,
-                    customer_id=vm.customer_id,
-                    site_id=vm.site_id, server_id=vm.server_id,
-                    city=site.city, province=site.province,
-                    category=profile.category, image_id=vm.image_id,
-                    os_type=vm.os_type,
-                    cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
-                    disk_gb=spec.disk_gb,
-                    bandwidth_mbps=float(
-                        np.ceil(mean_bws[start + offset] * 3.0)),
-                )
-                dataset.add_vm(record, cpu_rows[offset], bw_rows[offset])
+        pending.append((SeriesJob(app_id=app_id, profile=profile,
+                                  vm_count=len(placed_vms)),
+                        placed_vms, spec))
         vm_budget -= len(placed_vms)
         app_index += 1
+
+    # ---- series stage (parallel across apps) -------------------------
+    blocks = run_series_jobs([job for job, _, _ in pending], scenario,
+                             AZURE_RECIPE, n_jobs=jobs, perf=perf)
+    for (job, placed_vms, spec), block in zip(pending, blocks):
+        for offset, vm in enumerate(placed_vms):
+            site = platform.site(vm.site_id)
+            record = VMRecord(
+                vm_id=vm.vm_id, app_id=job.app_id,
+                customer_id=vm.customer_id,
+                site_id=vm.site_id, server_id=vm.server_id,
+                city=site.city, province=site.province,
+                category=job.profile.category, image_id=vm.image_id,
+                os_type=vm.os_type,
+                cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
+                disk_gb=spec.disk_gb,
+                bandwidth_mbps=float(np.ceil(block.mean_bws[offset] * 3.0)),
+            )
+            dataset.add_vm(record, block.cpu_rows[offset],
+                           block.bw_rows[offset])
 
     dataset.validate()
     platform.validate()

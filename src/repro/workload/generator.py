@@ -6,6 +6,14 @@ with NEP's production policy, and synthesises per-VM CPU and bandwidth
 series.  The result bundles the live :class:`~repro.platform.Platform`
 (for placement/scheduling experiments) with the immutable
 :class:`~repro.trace.TraceDataset` (for the workload analyses).
+
+Generation runs in two stages.  The *placement* stage is sequential: it
+samples the app population and places VMs (both consume shared RNG
+streams and mutate the platform).  The *series* stage renders each
+app's CPU/bandwidth rows from the app's own RNG substream and is
+embarrassingly parallel — ``jobs > 1`` fans the per-app jobs out over
+worker processes via :func:`repro.parallel.run_series_jobs` with
+bit-identical output.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import numpy as np
 from ..config import Scenario
 from ..errors import PlacementError
 from ..geo.regions import CHINA_CITIES, provinces
+from ..perf import PerfRegistry
 from ..platform.cluster import Platform
 from ..platform.entities import App, Customer, VMSpec
 from ..platform.nep import build_nep_platform
@@ -24,36 +33,13 @@ from ..platform.placement import NepPlacementPolicy, SubscriptionRequest
 from ..trace.dataset import TraceDataset
 from ..trace.schema import AppRecord, ServerRecord, SiteRecord, VMRecord
 from .apps import AppProfile, NEP_PROFILES, sample_profile
-from .bandwidth import derive_private_series_batch, generate_bw_series_batch
-from .cpu import generate_cpu_series_batch
-from .patterns import pattern, time_axis_minutes
+from .series import (  # noqa: F401  (re-exported: historical home)
+    NEP_RECIPE,
+    SERIES_CHUNK_VMS,
+    SeasonCache,
+    SeriesJob,
+)
 from .subscription import sample_nep_disk_gb, sample_nep_spec
-
-#: VMs per batched series-generation chunk.  Bounds the transient float64
-#: working set (a chunk is ~CHUNK x points x 8 bytes per component) so
-#: paper-scale runs stay well inside memory while small apps still
-#: vectorise as a single chunk.
-SERIES_CHUNK_VMS = 256
-
-
-class SeasonCache:
-    """Memoises ``pattern(name)(minutes)`` per (pattern, axis).
-
-    Every VM of every app with the same category recomputed the same
-    seasonal curve; at paper scale that alone was minutes of work.  The
-    cache holds one row per pattern per time axis (cpu and bw).
-    """
-
-    def __init__(self) -> None:
-        self._cache: dict[tuple[str, int], np.ndarray] = {}
-
-    def get(self, pattern_name: str, minutes: np.ndarray) -> np.ndarray:
-        key = (pattern_name, id(minutes))
-        curve = self._cache.get(key)
-        if curve is None:
-            curve = pattern(pattern_name)(minutes)
-            self._cache[key] = curve
-        return curve
 
 
 @dataclass
@@ -103,20 +89,8 @@ def _split_counts(total: int, parts: int, rng: np.random.Generator) -> list[int]
     return counts.tolist()
 
 
-def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
-    """Generate the full NEP platform + 3-month-style trace for a scenario."""
-    random = scenario.random
-    platform = build_nep_platform(scenario)
-    policy = NepPlacementPolicy()
-    app_rng = random.stream("nep-apps")
-    series_rng_root = random.child("nep-series")
-
-    dataset = TraceDataset(
-        platform_name=platform.name,
-        trace_days=scenario.trace_days,
-        cpu_interval_minutes=scenario.cpu_interval_minutes,
-        bw_interval_minutes=scenario.bw_interval_minutes,
-    )
+def register_inventory(platform: Platform, dataset: TraceDataset) -> None:
+    """Copy a platform's site/server inventory into the trace tables."""
     for site in platform.sites:
         dataset.sites[site.site_id] = SiteRecord(
             site_id=site.site_id, name=site.name, city=site.city,
@@ -132,12 +106,34 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
                 disk_gb=int(server.capacity.disk_gb),
             )
 
-    cpu_minutes = time_axis_minutes(scenario.trace_days,
-                                    scenario.cpu_interval_minutes)
-    bw_minutes = time_axis_minutes(scenario.trace_days,
-                                   scenario.bw_interval_minutes)
-    seasons = SeasonCache()
 
+def generate_nep_workload(scenario: Scenario, jobs: int = 1,
+                          perf: PerfRegistry | None = None,
+                          ) -> GeneratedWorkload:
+    """Generate the full NEP platform + 3-month-style trace for a scenario.
+
+    ``jobs`` is the worker-process count for the series stage (``1`` =
+    in-process, ``0`` = all CPU cores); output is bit-identical for any
+    value.  ``perf`` receives the series-stage spans (including, merged,
+    those recorded inside worker processes).
+    """
+    from ..parallel import run_series_jobs
+
+    random = scenario.random
+    platform = build_nep_platform(scenario)
+    policy = NepPlacementPolicy()
+    app_rng = random.stream("nep-apps")
+
+    dataset = TraceDataset(
+        platform_name=platform.name,
+        trace_days=scenario.trace_days,
+        cpu_interval_minutes=scenario.cpu_interval_minutes,
+        bw_interval_minutes=scenario.bw_interval_minutes,
+    )
+    register_inventory(platform, dataset)
+
+    # ---- placement stage (sequential) --------------------------------
+    pending: list[tuple[SeriesJob, list]] = []
     vm_budget = scenario.nep_vm_count
     app_index = 0
     while vm_budget > 0:
@@ -191,70 +187,31 @@ def generate_nep_workload(scenario: Scenario) -> GeneratedWorkload:
             app_index += 1
             continue
 
-        _generate_app_series(
-            profile=profile, app_id=app_id, placed_vms=placed_vms,
-            platform=platform, dataset=dataset,
-            cpu_minutes=cpu_minutes, bw_minutes=bw_minutes,
-            rng=series_rng_root.stream(app_id), spec=spec,
-            seasons=seasons,
-        )
+        pending.append((SeriesJob(app_id=app_id, profile=profile,
+                                  vm_count=len(placed_vms)), placed_vms))
         vm_budget -= len(placed_vms)
         app_index += 1
+
+    # ---- series stage (parallel across apps) -------------------------
+    blocks = run_series_jobs([job for job, _ in pending], scenario,
+                             NEP_RECIPE, n_jobs=jobs, perf=perf)
+    for (job, placed_vms), block in zip(pending, blocks):
+        for offset, vm in enumerate(placed_vms):
+            site = platform.site(vm.site_id)
+            record = VMRecord(
+                vm_id=vm.vm_id, app_id=job.app_id,
+                customer_id=vm.customer_id,
+                site_id=vm.site_id, server_id=vm.server_id,
+                city=site.city, province=site.province,
+                category=job.profile.category, image_id=vm.image_id,
+                os_type=vm.os_type,
+                cpu_cores=vm.spec.cpu_cores, memory_gb=vm.spec.memory_gb,
+                disk_gb=vm.spec.disk_gb,
+                bandwidth_mbps=float(np.ceil(block.mean_bws[offset] * 3.0)),
+            )
+            dataset.add_vm(record, block.cpu_rows[offset],
+                           block.bw_rows[offset], block.private_rows[offset])
 
     dataset.validate()
     platform.validate()
     return GeneratedWorkload(platform=platform, dataset=dataset)
-
-
-def _generate_app_series(profile: AppProfile, app_id: str, placed_vms: list,
-                         platform: Platform, dataset: TraceDataset,
-                         cpu_minutes: np.ndarray, bw_minutes: np.ndarray,
-                         rng: np.random.Generator, spec: VMSpec,
-                         seasons: SeasonCache | None = None) -> None:
-    """Create the per-VM series and trace records for one placed app.
-
-    The whole fleet's CPU, bandwidth, and private-traffic series come from
-    the batch generators — one RNG/filter pass per component per chunk
-    rather than per VM.
-    """
-    if seasons is None:
-        seasons = SeasonCache()
-    base_level = profile.cpu_levels.sample(rng)
-    base_bw = float(rng.lognormal(np.log(profile.bw_median_mbps),
-                                  profile.bw_sigma))
-    # The app's own heterogeneity: some apps balance their VMs well,
-    # others (Figure 13) leave one VM hot and the rest idle.
-    app_sigma = profile.within_app_sigma * float(rng.uniform(0.5, 1.6))
-    # mean=-sigma^2/2 keeps the app-level mean at base_level while the
-    # spread controls the Figure 13 cross-VM gap.
-    multipliers = rng.lognormal(mean=-app_sigma ** 2 / 2, sigma=app_sigma,
-                                size=len(placed_vms))
-    mean_cpus = np.clip(base_level * multipliers, 0.003, 0.92)
-    mean_bws = np.maximum(base_bw * multipliers, 0.05)
-    erratic = rng.random(len(placed_vms)) < profile.erratic_probability
-    cpu_season = seasons.get(profile.pattern_name, cpu_minutes)
-    bw_season = seasons.get(profile.pattern_name, bw_minutes)
-
-    for start in range(0, len(placed_vms), SERIES_CHUNK_VMS):
-        stop = min(start + SERIES_CHUNK_VMS, len(placed_vms))
-        cpu_rows = generate_cpu_series_batch(
-            profile, mean_cpus[start:stop], cpu_minutes, rng,
-            season=cpu_season)
-        bw_rows = generate_bw_series_batch(
-            profile, mean_bws[start:stop], bw_minutes, rng,
-            erratic=erratic[start:stop], season=bw_season)
-        private_rows = derive_private_series_batch(bw_rows, rng)
-        for offset, vm in enumerate(placed_vms[start:stop]):
-            site = platform.site(vm.site_id)
-            record = VMRecord(
-                vm_id=vm.vm_id, app_id=app_id, customer_id=vm.customer_id,
-                site_id=vm.site_id, server_id=vm.server_id,
-                city=site.city, province=site.province,
-                category=profile.category, image_id=vm.image_id,
-                os_type=vm.os_type,
-                cpu_cores=vm.spec.cpu_cores, memory_gb=vm.spec.memory_gb,
-                disk_gb=vm.spec.disk_gb,
-                bandwidth_mbps=float(np.ceil(mean_bws[start + offset] * 3.0)),
-            )
-            dataset.add_vm(record, cpu_rows[offset], bw_rows[offset],
-                           private_rows[offset])

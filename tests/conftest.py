@@ -7,10 +7,25 @@ session-scoped and computed lazily through the EdgeStudy facade.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import Scenario, smoke_study, study_for
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Keep the suite hermetic: never touch the user's ~/.cache/repro."""
+    root = tmp_path_factory.mktemp("artifact-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -49,6 +49,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig3", "--faults", "storm"])
 
+    def test_jobs_defaults_to_one(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_jobs_and_cache_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--no-cache"])
+        assert args.jobs == 4
+        assert str(args.cache_dir) == "/tmp/c"
+        assert args.no_cache is True
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "ls"])
+        assert args.command == "cache"
+        assert args.action == "ls"
+
+    def test_cache_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "shrink"])
+
 
 class TestMain:
     def test_list_exit_code(self, capsys):
@@ -92,6 +117,33 @@ class TestMain:
         assert (tmp_path / "ds" / "campaign" / "latency.csv").exists()
         assert (tmp_path / "ds" / "nep-trace" / "vms.csv").exists()
         assert (tmp_path / "ds" / "azure-trace" / "meta.json").exists()
+
+
+class TestCacheCommand:
+    def test_ls_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_run_populates_then_ls_and_clear(self, capsys, tmp_path):
+        assert main(["run", "fig8", "--jobs", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "workload_nep" in out and "workload_azure" in out
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:      2" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_no_cache_leaves_cache_untouched(self, capsys, tmp_path):
+        assert main(["run", "table1", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
 
 
 class TestReportFunctions:

@@ -1,0 +1,72 @@
+"""Tests for the process-pool series executor (repro.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Scenario
+from repro.errors import ConfigurationError
+from repro.parallel import resolve_jobs, run_series_jobs
+from repro.perf import PerfRegistry
+from repro.workload.apps import NEP_PROFILES
+from repro.workload.series import NEP_RECIPE, SeriesJob
+
+SCENARIO = Scenario.smoke_scale()
+
+
+def _jobs(count: int) -> list[SeriesJob]:
+    return [SeriesJob(app_id=f"app-{i:03d}",
+                      profile=NEP_PROFILES[i % len(NEP_PROFILES)],
+                      vm_count=2 + i % 3)
+            for i in range(count)]
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        import os
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs(None) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+
+class TestRunSeriesJobs:
+    def test_blocks_arrive_in_submission_order(self):
+        jobs = _jobs(6)
+        blocks = list(run_series_jobs(jobs, SCENARIO, NEP_RECIPE, n_jobs=3))
+        assert [b.app_id for b in blocks] == [j.app_id for j in jobs]
+
+    def test_parallel_rows_match_serial(self):
+        jobs = _jobs(5)
+        serial = list(run_series_jobs(jobs, SCENARIO, NEP_RECIPE, n_jobs=1))
+        parallel = list(run_series_jobs(jobs, SCENARIO, NEP_RECIPE, n_jobs=4))
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.mean_bws, b.mean_bws)
+            assert np.array_equal(a.cpu_rows, b.cpu_rows)
+            assert np.array_equal(a.bw_rows, b.bw_rows)
+            if a.private_rows is not None:
+                assert np.array_equal(a.private_rows, b.private_rows)
+
+    def test_worker_perf_merged_into_parent(self):
+        jobs = _jobs(4)
+        perf = PerfRegistry()
+        blocks = list(run_series_jobs(jobs, SCENARIO, NEP_RECIPE, n_jobs=2,
+                                      perf=perf))
+        assert all(block.perf is None for block in blocks)
+        assert perf.counters["series_vms"] == sum(j.vm_count for j in jobs)
+        assert perf.spans["series_render"].calls == len(jobs)
+
+    def test_single_job_stays_inline(self):
+        jobs = _jobs(1)
+        perf = PerfRegistry()
+        blocks = list(run_series_jobs(jobs, SCENARIO, NEP_RECIPE, n_jobs=8,
+                                      perf=perf))
+        assert len(blocks) == 1
+        assert perf.spans["series_render"].calls == 1

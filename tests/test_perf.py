@@ -1,8 +1,9 @@
 """Tests for the perf telemetry registry."""
 
+import pickle
 import time
 
-from repro.perf import PerfRegistry
+from repro.perf import PerfRegistry, SpanStats
 
 
 class TestSpans:
@@ -71,6 +72,50 @@ class TestCountersAndViews:
         perf.reset()
         assert perf.spans == {}
         assert perf.counters == {}
+
+
+class TestMerge:
+    def test_span_stats_merge_sums(self):
+        a = SpanStats(wall_s=1.0, cpu_s=0.5, calls=2)
+        a.merge(SpanStats(wall_s=0.25, cpu_s=0.25, calls=1))
+        assert (a.wall_s, a.cpu_s, a.calls) == (1.25, 0.75, 3)
+
+    def test_registry_merge_sums_spans_and_counters(self):
+        parent, worker = PerfRegistry(), PerfRegistry()
+        with parent.span("shared"):
+            pass
+        with worker.span("shared"):
+            pass
+        with worker.span("worker-only"):
+            pass
+        parent.count("vms", 3)
+        worker.count("vms", 4)
+        worker.count("chunks", 1)
+        parent.merge(worker)
+        assert parent.spans["shared"].calls == 2
+        assert parent.spans["worker-only"].calls == 1
+        assert parent.counters == {"vms": 7, "chunks": 1}
+
+    def test_merge_empty_is_noop(self):
+        parent = PerfRegistry()
+        with parent.span("a"):
+            pass
+        before = parent.as_dict()
+        parent.merge(PerfRegistry())
+        assert parent.as_dict() == before
+
+    def test_registry_survives_pickle_round_trip(self):
+        # Worker processes ship their registries back through pickle.
+        worker = PerfRegistry()
+        with worker.span("series_render"):
+            pass
+        worker.count("series_vms", 256)
+        clone = pickle.loads(pickle.dumps(worker))
+        assert clone.spans["series_render"].calls == 1
+        assert clone.counters == {"series_vms": 256}
+        parent = PerfRegistry()
+        parent.merge(clone)
+        assert parent.counters["series_vms"] == 256
 
 
 class TestStudyIntegration:

@@ -37,6 +37,27 @@ class TestFacade:
         assert "nep" not in study.__dict__
         assert "campaign" not in study.__dict__
 
+    def test_jobs_and_cache_dir_are_part_of_study_key(self, tmp_path):
+        assert study_for("smoke") is not study_for("smoke", jobs=2)
+        assert study_for("smoke", jobs=2) is study_for("smoke", jobs=2)
+        assert study_for("smoke") is not study_for(
+            "smoke", cache_dir=str(tmp_path))
+
+    def test_warm_study_serves_phases_from_cache(self, tmp_path):
+        from repro import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        scenario = Scenario.smoke_scale().with_overrides(seed=505)
+        cold = EdgeStudy(scenario, cache=cache)
+        cold.nep, cold.latency_results
+        assert "cache_hit:workload_nep" not in cold.perf.counters
+        warm = EdgeStudy(scenario, cache=cache)
+        warm.nep, warm.latency_results
+        assert warm.perf.counters["cache_hit:workload_nep"] == 1
+        assert warm.perf.counters["cache_hit:campaign_latency"] == 1
+        # Served from cache: the warm run renders no series at all.
+        assert "series_render" not in warm.perf.spans
+
 
 class TestFaultWiring:
     def test_faults_off_by_default(self, study):

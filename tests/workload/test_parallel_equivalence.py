@@ -1,0 +1,97 @@
+"""Serial/parallel equivalence: ``jobs=N`` must be bit-identical.
+
+The parallel executor dispatches per-app series jobs to worker
+processes; because every app's RNG substream is a pure function of
+(seed, stream name, app id), the rendered series must not depend on the
+worker count or on completion order.  These tests pin that contract two
+ways: golden SHA-256 digests captured from the pre-parallel serial
+engine, and direct byte-comparison of ``jobs=1`` vs ``jobs=4`` output —
+workloads and the campaign statistics computed from them, with and
+without fault injection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.study import EdgeStudy, scenario_for
+from repro.workload.azure import generate_azure_workload
+from repro.workload.generator import generate_nep_workload
+
+#: Digests of the serial engine's output before the parallel executor
+#: existed.  A change here means the generated datasets changed for
+#: every downstream figure — never update casually.
+GOLDEN = {
+    ("smoke", "nep"):
+        "fef31dec1a783375b81d0969c684359d2c6024ae946568d186265c4d76458ab3",
+    ("smoke", "azure"):
+        "98e8763441602aa2efba24ea8c9991906c58c114ac83f1252a26282774b83ba8",
+    ("default", "nep"):
+        "2a7ff7df744326108b000a2932d138f3e4088478a6810a032f6cc7b16d6ea673",
+    ("default", "azure"):
+        "9e25ffa1d1aaea2416ab7afce72acfcb7f5b4259e75e31bc29ce958df0ae5253",
+}
+
+
+def workload_digest(workload) -> str:
+    """SHA-256 over every VM record and raw series byte, in trace order."""
+    h = hashlib.sha256()
+    ds = workload.dataset
+    for vm_id in ds.vms:
+        h.update(vm_id.encode())
+        h.update(repr(ds.vms[vm_id]).encode())
+        h.update(np.asarray(ds.cpu_series[vm_id]).tobytes())
+        h.update(np.asarray(ds.bw_series[vm_id]).tobytes())
+        if vm_id in ds.bw_private_series:
+            h.update(np.asarray(ds.bw_private_series[vm_id]).tobytes())
+    return h.hexdigest()
+
+
+class TestGoldenDigests:
+    """The refactored serial path still emits the pre-refactor bytes."""
+
+    def test_smoke_nep_matches_golden(self, nep_workload):
+        assert workload_digest(nep_workload) == GOLDEN[("smoke", "nep")]
+
+    def test_smoke_azure_matches_golden(self, azure_workload):
+        assert workload_digest(azure_workload) == GOLDEN[("smoke", "azure")]
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("scale", ["smoke", "default"])
+    def test_jobs4_matches_golden(self, scale):
+        scenario = scenario_for(scale)
+        nep = generate_nep_workload(scenario, jobs=4)
+        azure = generate_azure_workload(scenario, jobs=4)
+        assert workload_digest(nep) == GOLDEN[(scale, "nep")]
+        assert workload_digest(azure) == GOLDEN[(scale, "azure")]
+
+    def test_jobs1_equals_jobs4_bytes(self):
+        scenario = scenario_for("smoke", seed=777)
+        serial = generate_nep_workload(scenario, jobs=1)
+        parallel = generate_nep_workload(scenario, jobs=4)
+        assert list(serial.dataset.vms) == list(parallel.dataset.vms)
+        for vm_id in serial.dataset.vms:
+            assert np.array_equal(serial.dataset.cpu_series[vm_id],
+                                  parallel.dataset.cpu_series[vm_id])
+            assert np.array_equal(serial.dataset.bw_series[vm_id],
+                                  parallel.dataset.bw_series[vm_id])
+        assert (set(serial.dataset.bw_private_series)
+                == set(parallel.dataset.bw_private_series))
+        for vm_id in serial.dataset.bw_private_series:
+            assert np.array_equal(
+                serial.dataset.bw_private_series[vm_id],
+                parallel.dataset.bw_private_series[vm_id])
+
+    @pytest.mark.parametrize("faults", ["off", "paper"])
+    def test_campaign_stats_invariant_under_jobs(self, faults):
+        scenario = scenario_for("smoke", faults=faults)
+        serial = EdgeStudy(scenario, jobs=1)
+        parallel = EdgeStudy(scenario, jobs=4)
+        assert ([repr(o) for o in serial.latency_results.latency]
+                == [repr(o) for o in parallel.latency_results.latency])
+        assert ([repr(o) for o in serial.throughput_results.throughput]
+                == [repr(o) for o in parallel.throughput_results.throughput])
