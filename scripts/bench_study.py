@@ -51,15 +51,27 @@ def effective_seed(seed: int | None) -> int:
 
 def run_once(scale: str, seed: int | None, jobs: int = 1,
              cache=None) -> dict[str, object]:
-    """One study run; returns its perf registry as a dict."""
+    """One study run; returns its perf registry as a dict.
+
+    The run carries an in-memory :class:`repro.obs.RunJournal`, so the
+    result also has a ``"journal_phases"`` breakdown (wall/cpu/memory and
+    an explicit ``cached`` flag per phase) — the journal is what lets the
+    ledger distinguish a phase that *ran* from one served by the cache.
+    """
+    from repro.obs import RunJournal, phase_breakdown
     from repro.study import EdgeStudy, scenario_for
 
-    study = EdgeStudy(scenario_for(scale, seed), jobs=jobs, cache=cache)
-    study.nep
-    study.azure
-    study.latency_results
-    study.throughput_results
-    return study.perf.as_dict()
+    with RunJournal(None) as journal:
+        study = EdgeStudy(scenario_for(scale, seed), jobs=jobs, cache=cache,
+                          journal=journal)
+        study.nep
+        study.azure
+        study.latency_results
+        study.throughput_results
+        journal.close(counters=study.perf.counters or None)
+    result = study.perf.as_dict()
+    result["journal_phases"] = phase_breakdown(journal.events)
+    return result
 
 
 def bench(scale: str, seed: int | None, repeats: int,
@@ -76,6 +88,10 @@ def bench(scale: str, seed: int | None, repeats: int,
             "wall_s": min(s["wall_s"] for s in samples),
             "cpu_s": min(s["cpu_s"] for s in samples),
         }
+        peaks = [run["journal_phases"][phase]["peak_rss_mb"] for run in runs
+                 if "peak_rss_mb" in run["journal_phases"].get(phase, {})]
+        if peaks:
+            phases[phase]["peak_rss_mb"] = max(peaks)
     total = sum(p["wall_s"] for p in phases.values())
     return {
         "seed": effective_seed(seed),
@@ -93,17 +109,33 @@ def bench(scale: str, seed: int | None, repeats: int,
 
 def bench_cache(scale: str, seed: int | None, jobs: int,
                 cache_dir: Path) -> dict[str, object]:
-    """One cold run populating ``cache_dir``, one warm run served from it."""
+    """One cold run populating ``cache_dir``, one warm run served from it.
+
+    Both runs record *per-phase* timings, with an explicit ``cached``
+    flag per phase.  A warm phase served from the cache still gets an
+    entry (its load time, ``cached: true``) instead of being dropped, so
+    cold/warm rows in the ledger stay phase-aligned and comparable.
+    """
     from repro.cache import ArtifactCache
 
     cache = ArtifactCache(cache_dir)
     timings = {}
+    phase_rows: dict[str, dict[str, dict]] = {}
     for label in ("cold", "warm"):
         start = time.perf_counter()
         run = run_once(scale, seed, jobs, cache)
         timings[label] = {
             "wall_s": round(time.perf_counter() - start, 6),
             "run": run,
+        }
+        phase_rows[label] = {
+            phase: {
+                "wall_s": entry.get("wall_s"),
+                "cpu_s": entry.get("cpu_s"),
+                "cached": bool(entry.get("cached")),
+            }
+            for phase, entry in run["journal_phases"].items()
+            if phase in PHASES
         }
     warm = timings["warm"]["run"]
     cold_s = timings["cold"]["wall_s"]
@@ -115,6 +147,7 @@ def bench_cache(scale: str, seed: int | None, jobs: int,
         "warm_speedup": round(cold_s / max(warm_s, 1e-9), 2),
         "warm_hits": {phase: bool(warm["counters"].get(f"cache_hit:{phase}"))
                       for phase in PHASES},
+        "phases": phase_rows,
     }
 
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Execute every fenced code snippet in README.md and docs/*.md.
+
+Documentation drifts the moment nobody runs it.  This checker extracts
+each fenced ``python`` and ``bash`` block from the user docs and runs
+it, so a renamed flag, a dropped keyword argument, or a stale import in
+an example fails CI instead of failing the first reader who pastes it.
+
+Rules:
+
+* ``python`` blocks run in-process via ``exec`` in a fresh namespace.
+* ``bash`` blocks run line-by-line under ``bash -e`` with
+  ``PYTHONPATH=src`` and a throwaway ``REPRO_CACHE_DIR``.
+* An HTML comment directly above a fence tweaks handling:
+
+  - ``<!-- docs-check: skip -->`` — don't run it (paper-scale walltime,
+    network access, illustrative pseudo-code).
+  - ``<!-- docs-check: continue -->`` — run a python block in the
+    namespace of the previous python block from the same file, so a
+    document can build one example across several fences.
+
+* Fences with any other language tag (or none) are ignored.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py            # whole doc set
+    PYTHONPATH=src python scripts/check_docs.py docs/api.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RUNNABLE = ("python", "bash")
+
+
+@dataclass
+class Snippet:
+    """One fenced code block lifted out of a markdown file."""
+
+    path: Path
+    line: int          # 1-based line of the opening fence
+    language: str
+    code: str
+    directive: str | None  # "skip" | "continue" | None
+
+    @property
+    def label(self) -> str:
+        return f"{self.path.relative_to(REPO_ROOT)}:{self.line}"
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """All fenced blocks in ``path``, with any docs-check directives."""
+    snippets: list[Snippet] = []
+    lines = path.read_text().splitlines()
+    directive: str | None = None
+    in_block = False
+    language = ""
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped.startswith("<!-- docs-check:"):
+            directive = stripped.removeprefix("<!-- docs-check:") \
+                .removesuffix("-->").strip()
+            continue
+        if stripped.startswith("```"):
+            if in_block:
+                snippets.append(Snippet(path, start, language,
+                                        "\n".join(buffer), directive))
+                directive = None
+                in_block = False
+            else:
+                in_block = True
+                language = stripped.removeprefix("```").strip().lower()
+                start = number
+                buffer = []
+            continue
+        if in_block:
+            buffer.append(line)
+        elif stripped:
+            directive = None  # a directive binds only to the next fence
+    if in_block:
+        raise SystemExit(f"{path}: unterminated code fence at line {start}")
+    return snippets
+
+
+def run_python(snippet: Snippet, namespace: dict | None) -> dict:
+    """Exec a python block; returns the namespace for continuations."""
+    if namespace is None:
+        namespace = {"__name__": "__docs__"}
+    code = compile(snippet.code, str(snippet.label), "exec")
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+    return namespace
+
+
+def run_bash(snippet: Snippet, env: dict[str, str]) -> None:
+    subprocess.run(["bash", "-e", "-c", snippet.code], check=True,
+                   cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.PIPE, text=True, timeout=600)
+
+
+def check_file(path: Path, verbose: bool) -> tuple[int, int, list[str]]:
+    """Run one file's snippets; returns (ran, skipped, failures)."""
+    ran = skipped = 0
+    failures: list[str] = []
+    namespace: dict | None = None
+    with tempfile.TemporaryDirectory(prefix="docs-check-") as cache_dir:
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_CACHE_DIR=cache_dir)
+        for snippet in extract_snippets(path):
+            if snippet.language not in RUNNABLE:
+                continue
+            if snippet.directive == "skip":
+                skipped += 1
+                if verbose:
+                    print(f"  skip {snippet.label}")
+                continue
+            if verbose:
+                print(f"  run  {snippet.label} [{snippet.language}]")
+            try:
+                if snippet.language == "python":
+                    shared = namespace if snippet.directive == "continue" \
+                        else None
+                    namespace = run_python(snippet, shared)
+                else:
+                    run_bash(snippet, env)
+                ran += 1
+            except subprocess.CalledProcessError as exc:
+                failures.append(f"{snippet.label}: bash exited "
+                                f"{exc.returncode}\n{exc.stderr}")
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                failures.append(f"{snippet.label}: {type(exc).__name__}: "
+                                f"{exc}")
+    return ran, skipped, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="markdown files (default: README.md docs/*.md)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print each snippet as it runs")
+    args = parser.parse_args(argv)
+
+    files = [path.resolve() for path in args.files] or \
+        [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+    total_ran = total_skipped = 0
+    all_failures: list[str] = []
+    for path in files:
+        if args.verbose:
+            print(path.relative_to(REPO_ROOT))
+        ran, skipped, failures = check_file(path, args.verbose)
+        total_ran += ran
+        total_skipped += skipped
+        all_failures.extend(failures)
+
+    for failure in all_failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    status = "FAILED" if all_failures else "OK"
+    print(f"docs-check: {status} — {total_ran} snippet(s) ran, "
+          f"{total_skipped} skipped, {len(all_failures)} failed "
+          f"across {len(files)} file(s)")
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from .errors import (
     TraceError,
 )
 from .faults import FaultSchedule, build_fault_schedule
+from .obs import MemorySampler, RunJournal
 from .parallel import resolve_jobs
 from .perf import PerfRegistry
 from .phases import PhaseLedger, PhaseStatus
@@ -54,6 +55,7 @@ __all__ = [
     "FaultSchedule",
     "GeoError",
     "MeasurementError",
+    "MemorySampler",
     "PerfRegistry",
     "PhaseLedger",
     "PhaseStatus",
@@ -61,6 +63,7 @@ __all__ = [
     "PredictionError",
     "RandomState",
     "ReproError",
+    "RunJournal",
     "Scenario",
     "SchedulingError",
     "TopologyError",

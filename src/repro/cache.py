@@ -95,15 +95,30 @@ class CacheEntry:
 
 
 class ArtifactCache:
-    """A content-addressed store of study artifacts under one root."""
+    """A content-addressed store of study artifacts under one root.
 
-    def __init__(self, root: Path | str) -> None:
-        self.root = Path(root)
+    With a :class:`~repro.obs.journal.RunJournal` attached (``journal=``,
+    or assigned later — :class:`~repro.study.EdgeStudy` does this when it
+    is given both), every lookup and store emits a structured event
+    (``cache_hit`` / ``cache_miss`` / ``cache_store`` / ``cache_evict``)
+    carrying the artifact name and content key, so ``repro trace`` can
+    explain exactly why a run regenerated what it did.
+    """
+
+    def __init__(self, root: Path | str, journal=None) -> None:
+        self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Optional :class:`repro.obs.journal.RunJournal` receiving events.
+        self.journal = journal
+
+    def _emit(self, etype: str, **fields: object) -> None:
+        if self.journal is not None:
+            self.journal.emit(etype, **fields)
 
     # ---- keys ------------------------------------------------------------
 
     def key(self, artifact: str, scenario: Scenario) -> str:
+        """The content-addressed entry key for ``artifact`` + scenario."""
         if not artifact:
             raise ConfigurationError("artifact name must be non-empty")
         payload = "|".join((str(CACHE_FORMAT), code_version(), artifact,
@@ -117,15 +132,22 @@ class ArtifactCache:
 
     def get_object(self, artifact: str, scenario: Scenario) -> object | None:
         """Load a pickled artifact, or ``None`` on miss/corruption."""
-        entry = self._entry_dir(self.key(artifact, scenario))
+        key = self.key(artifact, scenario)
+        entry = self._entry_dir(key)
         if not (entry / "meta.json").exists():
+            self._emit("cache_miss", artifact=artifact, key=key)
             return None
         try:
             with (entry / "object.pkl").open("rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except Exception:
             self._discard(entry)
+            self._emit("cache_evict", artifact=artifact, key=key,
+                       reason="corrupt entry")
+            self._emit("cache_miss", artifact=artifact, key=key)
             return None
+        self._emit("cache_hit", artifact=artifact, kind="object", key=key)
+        return value
 
     def put_object(self, artifact: str, scenario: Scenario,
                    value: object) -> None:
@@ -143,17 +165,25 @@ class ArtifactCache:
     def get_workload(self, artifact: str,
                      scenario: Scenario) -> GeneratedWorkload | None:
         """Load a generated workload, series memory-mapped, or ``None``."""
-        entry = self._entry_dir(self.key(artifact, scenario))
+        key = self.key(artifact, scenario)
+        entry = self._entry_dir(key)
         if not (entry / "meta.json").exists():
+            self._emit("cache_miss", artifact=artifact, key=key)
             return None
         try:
-            return self._load_workload(entry)
+            workload = self._load_workload(entry)
         except Exception:
             self._discard(entry)
+            self._emit("cache_evict", artifact=artifact, key=key,
+                       reason="corrupt entry")
+            self._emit("cache_miss", artifact=artifact, key=key)
             return None
+        self._emit("cache_hit", artifact=artifact, kind="workload", key=key)
+        return workload
 
     def put_workload(self, artifact: str, scenario: Scenario,
                      workload: GeneratedWorkload) -> None:
+        """Store a generated workload under ``artifact`` + scenario."""
         key = self.key(artifact, scenario)
 
         def write(staging: Path) -> None:
@@ -265,6 +295,9 @@ class ArtifactCache:
                     raise
                 # Another process materialised the same entry first.
                 shutil.rmtree(staging, ignore_errors=True)
+            self._emit("cache_store", artifact=artifact, kind=kind, key=key,
+                       bytes=sum(p.stat().st_size
+                                 for p in final.iterdir() if p.is_file()))
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise

@@ -6,6 +6,8 @@ Usage::
     python -m repro info [--scale smoke]     # scenario + platform summary
     python -m repro run fig2a table3         # regenerate figures
     python -m repro run all --scale smoke --seed 7
+    python -m repro run all --log-json run.jsonl   # + structured journal
+    python -m repro trace summary run.jsonl  # render a journal
     python -m repro export ./datasets        # the paper's two datasets
 """
 
@@ -19,8 +21,10 @@ from typing import Sequence
 from .cache import ArtifactCache, default_cache_dir
 from .config import FAULT_PROFILES
 from .errors import ReproError
+from .obs import RunJournal, diff_journals, read_journal, render_show, \
+    render_summary
 from .reports import REPORTS
-from .study import SCALES, EdgeStudy, study_for
+from .study import SCALES, EdgeStudy, scenario_for, study_for
 
 #: Human-readable one-liners for `repro list`.
 DESCRIPTIONS = {
@@ -81,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=Path, default=None,
                        help="cache root (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+    trace = sub.add_parser(
+        "trace", help="render or compare run journals (see --log-json)")
+    trace.add_argument("action", choices=("show", "summary", "diff"),
+                       help="show: one line per event; summary: phase/"
+                            "cache/pool rollup; diff: compare two runs")
+    trace.add_argument("journals", nargs="+", metavar="JOURNAL", type=Path,
+                       help="journal.jsonl path(s); diff takes exactly two")
+    trace.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="show at most N events (show action only)")
     return parser
 
 
@@ -105,6 +119,14 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="always regenerate; do not read or write the "
                              "artifact cache")
+    parser.add_argument("--log-json", type=Path, default=None, metavar="PATH",
+                        help="write a structured run journal (JSON-Lines) "
+                             "to PATH; render it with 'repro trace'")
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument("-v", "--verbose", action="store_true",
+                        help="echo journal events to stderr as they happen")
+    volume.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress non-essential stderr output")
 
 
 def _cache_dir_for(args: argparse.Namespace) -> str | None:
@@ -115,15 +137,55 @@ def _cache_dir_for(args: argparse.Namespace) -> str | None:
     return str(explicit if explicit is not None else default_cache_dir())
 
 
-def _study(args: argparse.Namespace) -> EdgeStudy:
-    """The study for the CLI args, sharing the module-level cache."""
-    return study_for(args.scale, args.seed, getattr(args, "faults", None),
-                     jobs=getattr(args, "jobs", 1),
-                     cache_dir=_cache_dir_for(args))
+def _echo_event(event: dict) -> None:
+    """Render one journal event as a terse stderr line (``-v`` mode)."""
+    skip = {"seq", "t", "type", "scenario"}
+    parts = [f"{key}={value}" for key, value in event.items()
+             if key not in skip and not isinstance(value, (dict, list))]
+    print(f"[{event['seq']:>4}] {event['type']} {' '.join(parts)}".rstrip(),
+          file=sys.stderr)
+
+
+def _open_journal(args: argparse.Namespace) -> RunJournal | None:
+    """A journal when ``--log-json``/``-v`` asks for one, else ``None``."""
+    path = getattr(args, "log_json", None)
+    verbose = getattr(args, "verbose", False)
+    if path is None and not verbose:
+        return None
+    return RunJournal(path, echo=_echo_event if verbose else None)
+
+
+def _close_journal(journal: RunJournal | None, study: EdgeStudy,
+                   status: str = "ok", error: str | None = None) -> None:
+    """Seal the journal (if any) with the study's final perf counters."""
+    if journal is not None:
+        journal.close(status=status, error=error,
+                      counters=study.perf.counters or None)
+
+
+def _study(args: argparse.Namespace,
+           journal: RunJournal | None = None) -> EdgeStudy:
+    """The study for the CLI args, sharing the module-level cache.
+
+    A journaled run builds its :class:`EdgeStudy` directly (bypassing the
+    ``study_for`` memo) so the journal observes every phase instead of
+    attaching to a study another command already materialised.
+    """
+    if journal is None:
+        return study_for(args.scale, args.seed, getattr(args, "faults", None),
+                         jobs=getattr(args, "jobs", 1),
+                         cache_dir=_cache_dir_for(args))
+    scenario = scenario_for(args.scale, args.seed, getattr(args, "faults",
+                                                           None))
+    cache_dir = _cache_dir_for(args)
+    cache = (ArtifactCache(cache_dir, journal=journal)
+             if cache_dir is not None else None)
+    return EdgeStudy(scenario, jobs=getattr(args, "jobs", 1), cache=cache,
+                     journal=journal)
 
 
 def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
-    if getattr(args, "perf", False):
+    if getattr(args, "perf", False) and not getattr(args, "quiet", False):
         print(file=sys.stderr)
         print(study.perf.report(), file=sys.stderr)
 
@@ -135,8 +197,9 @@ def _command_list() -> int:
     return 0
 
 
-def _command_info(args: argparse.Namespace) -> int:
-    study = _study(args)
+def _command_info(args: argparse.Namespace,
+                  journal: RunJournal | None = None) -> int:
+    study = _study(args, journal)
     scenario = study.scenario
     print(f"scenario: scale={args.scale} seed={scenario.seed}")
     print(f"  NEP: {scenario.nep_site_count} sites, "
@@ -149,17 +212,22 @@ def _command_info(args: argparse.Namespace) -> int:
           f"{platform.server_count} servers / {len(platform.vms)} VMs, "
           f"{len(platform.apps)} apps")
     _maybe_report_perf(args, study)
+    _close_journal(journal, study)
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _command_run(args: argparse.Namespace,
+                 journal: RunJournal | None = None) -> int:
     names = list(REPORTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in REPORTS]
     if unknown:
+        if journal is not None:
+            journal.close(status="failed",
+                          error=f"unknown experiments: {', '.join(unknown)}")
         print(f"unknown experiments: {', '.join(unknown)} "
               f"(see 'repro list')", file=sys.stderr)
         return 2
-    study = _study(args)
+    study = _study(args, journal)
     failed = []
     for index, name in enumerate(names):
         if index:
@@ -170,12 +238,19 @@ def _command_run(args: argparse.Namespace) -> int:
             print(REPORTS[name](study))
         except ReproError as exc:
             failed.append(name)
+            if journal is not None:
+                journal.warn(f"experiment {name} failed: {exc}",
+                             experiment=name)
             print(f"[failed] {name}: {exc}", file=sys.stderr)
     _maybe_report_perf(args, study)
     if failed:
+        _close_journal(journal, study, status="failed",
+                       error=f"{len(failed)} experiment(s) failed: "
+                             f"{', '.join(failed)}")
         print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
               file=sys.stderr)
         return 1
+    _close_journal(journal, study)
     return 0
 
 
@@ -215,12 +290,13 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_export(args: argparse.Namespace) -> int:
+def _command_export(args: argparse.Namespace,
+                    journal: RunJournal | None = None) -> int:
     from .measurement.campaign import CampaignResults
     from .measurement.io import save_campaign
     from .trace.io import save_dataset
 
-    study = _study(args)
+    study = _study(args, journal)
     root = Path(args.directory)
     # Fresh container: never mutate the study's cached results.
     results = CampaignResults(
@@ -234,25 +310,59 @@ def _command_export(args: argparse.Namespace) -> int:
     print(f"NEP workload trace:  {nep_dir}")
     print(f"cloud workload trace: {azure_dir}")
     _maybe_report_perf(args, study)
+    _close_journal(journal, study)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    expected = 2 if args.action == "diff" else 1
+    if len(args.journals) != expected:
+        print(f"trace {args.action} takes exactly {expected} journal "
+              f"path(s), got {len(args.journals)}", file=sys.stderr)
+        return 2
+    try:
+        loaded = [read_journal(path) for path in args.journals]
+    except OSError as exc:
+        print(f"error: cannot read journal: {exc}", file=sys.stderr)
+        return 2
+    for path, (_, warnings) in zip(args.journals, loaded):
+        for warning in warnings:
+            print(f"warning: {path}: {warning}", file=sys.stderr)
+    if args.action == "diff":
+        (events_a, _), (events_b, _) = loaded
+        print(diff_journals(events_a, events_b,
+                            str(args.journals[0]), str(args.journals[1])))
+        return 0
+    events, warnings = loaded[0]
+    if args.action == "show":
+        print(render_show(events, limit=args.limit))
+    else:
+        print(render_summary(events, warnings))
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    journal = (_open_journal(args)
+               if args.command in ("info", "run", "export") else None)
     try:
         if args.command == "list":
             return _command_list()
         if args.command == "info":
-            return _command_info(args)
+            return _command_info(args, journal)
         if args.command == "export":
-            return _command_export(args)
+            return _command_export(args, journal)
         if args.command == "cache":
             return _command_cache(args)
-        return _command_run(args)
+        if args.command == "trace":
+            return _command_trace(args)
+        return _command_run(args, journal)
     except ReproError as exc:
         # A library-level failure (bad config, infeasible scenario, ...)
         # is an expected error class: one clean line, no traceback.
+        if journal is not None:
+            journal.close(status="failed", error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

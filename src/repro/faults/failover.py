@@ -59,6 +59,7 @@ class HealthAwareScheduler(RequestScheduler):
 
     def schedule(self, platform: Platform, app_id: str,
                  user_location: GeoPoint) -> SchedulingDecision:
+        """Delegate to the inner scheduler, re-routing unhealthy picks."""
         self.decisions += 1
         decision = self._inner.schedule(platform, app_id, user_location)
         if self._vm_healthy(platform.vms[decision.vm_id]):
@@ -110,10 +111,12 @@ class FailoverReport:
 
     @property
     def affected_vms(self) -> int:
+        """VMs touched by crashes: evacuated plus stranded."""
         return self.evacuated_vms + self.stranded_vms
 
     @property
     def mean_vm_downtime_seconds(self) -> float:
+        """Average downtime across every evacuation record."""
         if not self.records:
             return 0.0
         return sum(r.downtime_seconds for r in self.records) / len(self.records)

@@ -82,6 +82,7 @@ class ProbeStats:
 
     @property
     def timeout_rate(self) -> float:
+        """Fraction of probes whose first attempt timed out."""
         return self.timed_out / self.probes if self.probes else 0.0
 
     @property
@@ -91,10 +92,12 @@ class ProbeStats:
 
     @property
     def unreachable_rate(self) -> float:
+        """Fraction of probes that never succeeded."""
         return self.unreachable / self.probes if self.probes else 0.0
 
     @property
     def ping_loss_rate(self) -> float:
+        """Fraction of individual pings lost to degradation."""
         return self.pings_lost / self.pings_sent if self.pings_sent else 0.0
 
 

@@ -43,9 +43,11 @@ class OutageWindow:
 
     @property
     def duration_min(self) -> float:
+        """Length of the window in minutes."""
         return self.end_min - self.start_min
 
     def covers(self, minute: float) -> bool:
+        """True when ``minute`` falls inside the window."""
         return self.start_min <= minute < self.end_min
 
 
@@ -60,9 +62,11 @@ class ServerCrash:
 
     @property
     def duration_min(self) -> float:
+        """Length of the crash-to-recovery window in minutes."""
         return self.recovery_min - self.crash_min
 
     def covers(self, minute: float) -> bool:
+        """True when ``minute`` falls inside the crash window."""
         return self.crash_min <= minute < self.recovery_min
 
 
@@ -78,9 +82,11 @@ class DegradationEpisode:
 
     @property
     def duration_min(self) -> float:
+        """Length of the window in minutes."""
         return self.end_min - self.start_min
 
     def covers(self, minute: float) -> bool:
+        """True when ``minute`` falls inside the window."""
         return self.start_min <= minute < self.end_min
 
 
@@ -259,6 +265,7 @@ class FaultSchedule:
         return 1.0 - self.site_downtime_minutes(site_id) / self.horizon_minutes
 
     def availabilities(self, site_ids: tuple[str, ...]) -> np.ndarray:
+        """Per-site availability fractions, in ``site_ids`` order."""
         return np.array([self.site_availability(s) for s in site_ids])
 
     def mttr_minutes(self) -> float:
@@ -269,12 +276,29 @@ class FaultSchedule:
             return 0.0
         return float(np.mean(durations))
 
+    def summary(self) -> dict[str, object]:
+        """JSON-ready event counts for the run journal's
+        ``fault_schedule`` event — a deterministic function of
+        (seed, profile, topology), like the schedule itself."""
+        return {
+            "profile": self.profile_name,
+            "horizon_minutes": self.horizon_minutes,
+            "outages": len(self.outages),
+            "server_crashes": len(self.server_crashes),
+            "episodes": len(self.episodes),
+            "edge_sites": len(self.edge_site_ids),
+            "cloud_sites": len(self.cloud_site_ids),
+            "mttr_minutes": round(self.mttr_minutes(), 6),
+        }
+
     def mean_degradation_loss(self) -> float:
+        """Mean packet-loss probability across degradation episodes."""
         if not self.episodes:
             return 0.0
         return float(np.mean([e.loss_probability for e in self.episodes]))
 
     def mean_degradation_extra_ms(self) -> float:
+        """Mean added latency (ms) across degradation episodes."""
         if not self.episodes:
             return 0.0
         return float(np.mean([e.extra_latency_ms for e in self.episodes]))

@@ -136,7 +136,7 @@ class CrowdCampaign:
                  edge_targets_per_user: int = DEFAULT_EDGE_TARGETS_PER_USER,
                  faults: FaultSchedule | None = None,
                  retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
-                 ) -> None:
+                 journal=None) -> None:
         if not edge_platform.sites:
             raise MeasurementError("edge platform has no sites")
         if not cloud_platform.sites:
@@ -148,6 +148,8 @@ class CrowdCampaign:
         self._faults = faults
         self._retry = retry_policy
         self._random = scenario.random.child("campaign")
+        #: Optional :class:`repro.obs.journal.RunJournal` for probe ledgers.
+        self.journal = journal
 
     # ---- recruitment ----------------------------------------------------
 
@@ -179,6 +181,9 @@ class CrowdCampaign:
                 location=location,
                 access=access,
             ))
+        if self.journal is not None:
+            self.journal.emit("recruited", participants=len(participants),
+                              cities=len({p.city for p in participants}))
         return participants
 
     def _campaign_cities(self, rng: np.random.Generator) -> list[City]:
@@ -302,6 +307,9 @@ class CrowdCampaign:
                 attempts=policy.max_retries + 1,
                 reason="all pings lost after retries",
             ))
+        if self.journal is not None:
+            self.journal.emit("probe_stats", probe="ping",
+                              **dataclasses.asdict(stats))
         cursor = 0
         for participant, targets, proutes in probe_sets:
             chunk = final[cursor:cursor + len(proutes)]
@@ -440,6 +448,14 @@ class CrowdCampaign:
                     result=result,
                     degraded=degraded,
                 ))
+        if self.journal is not None and faults is not None:
+            self.journal.emit(
+                "probe_stats", probe="iperf",
+                probes=len(testers) * len(vm_sites),
+                unreachable=sum(1 for f in results.failures
+                                if f.probe == "iperf"),
+                degraded=sum(1 for obs in results.throughput if obs.degraded),
+            )
         return results
 
     def _select_testers(self, participants: list[Participant],

@@ -1,0 +1,72 @@
+"""Process-memory sampling for journal events.
+
+A :class:`MemorySampler` answers one question cheaply: how much
+resident memory does this process hold *now*, and what was its peak?
+:class:`~repro.obs.journal.RunJournal` calls it at phase and run
+boundaries so a journal shows where a run's memory went without any
+external profiler.
+
+On Linux the sampler parses ``/proc/self/status`` (``VmRSS`` /
+``VmHWM``); elsewhere it falls back to :func:`resource.getrusage`,
+which only reports the peak, and finally to zeros — sampling must never
+be the thing that breaks a run.
+"""
+
+from __future__ import annotations
+
+_PROC_STATUS = "/proc/self/status"
+
+#: ``/proc`` field name -> journal field name.
+_FIELDS = {"VmRSS": "rss_mb", "VmHWM": "peak_rss_mb"}
+
+
+def _read_proc_status() -> dict[str, float] | None:
+    """Parse VmRSS/VmHWM (in MiB) out of ``/proc/self/status``."""
+    try:
+        with open(_PROC_STATUS) as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return None
+    sample: dict[str, float] = {}
+    for line in lines:
+        key, _, rest = line.partition(":")
+        if key in _FIELDS:
+            parts = rest.split()
+            if parts and parts[0].isdigit():  # "<kB> kB"
+                sample[_FIELDS[key]] = round(int(parts[0]) / 1024.0, 3)
+    return sample if len(sample) == len(_FIELDS) else None
+
+
+def _read_rusage() -> dict[str, float]:
+    """Peak RSS via ``getrusage`` (current RSS is not available there)."""
+    try:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return {"rss_mb": 0.0, "peak_rss_mb": 0.0}
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalise heuristically.
+    if peak_kb > 1 << 32:  # pragma: no cover - macOS byte counts
+        peak_kb //= 1024
+    peak_mb = round(peak_kb / 1024.0, 3)
+    return {"rss_mb": peak_mb, "peak_rss_mb": peak_mb}
+
+
+class MemorySampler:
+    """Samples the current process's resident-set size.
+
+    Instances are stateless apart from remembering which backend worked
+    first, so one sampler can annotate every event of a journal.
+    """
+
+    def __init__(self) -> None:
+        self._proc_ok = True
+
+    def sample(self) -> dict[str, float]:
+        """Return ``{"rss_mb": ..., "peak_rss_mb": ...}`` for this process."""
+        if self._proc_ok:
+            sample = _read_proc_status()
+            if sample is not None:
+                return sample
+            self._proc_ok = False
+        return _read_rusage()

@@ -122,28 +122,60 @@ def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
     same sequence of bit-identical blocks.
     """
     n_jobs = resolve_jobs(n_jobs)
+    journal = perf.journal if perf is not None else None
     setup = _WorkerSetup(
         seed=scenario.seed, recipe=recipe,
         trace_days=scenario.trace_days,
         cpu_interval_minutes=scenario.cpu_interval_minutes,
         bw_interval_minutes=scenario.bw_interval_minutes,
     )
-    if n_jobs == 1 or len(jobs_list) <= 1:
-        yield from _run_serial(jobs_list, setup, perf)
+    serial = n_jobs == 1 or len(jobs_list) <= 1
+    if journal is not None:
+        # Dispatch events come first in both modes (imap submits eagerly),
+        # so journals are identical across --jobs settings.
+        for job in jobs_list:
+            journal.emit("job_dispatch", app_id=job.app_id,
+                         vm_count=job.vm_count)
+    if serial:
+        yield from _run_serial(jobs_list, setup, perf, journal)
         return
     processes = min(n_jobs, len(jobs_list))
     with _pool_context().Pool(processes=processes, initializer=_init_worker,
                               initargs=(setup,)) as pool:
-        for block in pool.imap(_render_in_worker, jobs_list, chunksize=1):
-            if perf is not None and block.perf is not None:
-                perf.merge(block.perf)
+        for job, block in zip(jobs_list,
+                              pool.imap(_render_in_worker, jobs_list,
+                                        chunksize=1)):
+            _account_block(job, block.perf, perf, journal)
             block.perf = None
             yield block
 
 
+def _account_block(job: SeriesJob, worker_perf: PerfRegistry | None,
+                   perf: PerfRegistry | None, journal) -> None:
+    """Fold one rendered job's telemetry into the parent's registry.
+
+    Both execution paths route per-job spans through
+    :meth:`PerfRegistry.merge` and emit the same ``job_complete`` event,
+    which is what keeps serial and pooled journals identical.
+    """
+    if perf is not None and worker_perf is not None:
+        perf.merge(worker_perf)
+    if journal is not None:
+        wall = (worker_perf.wall_s("series_render")
+                if worker_perf is not None else 0.0)
+        journal.emit("job_complete", app_id=job.app_id,
+                     vms=job.vm_count, wall_s=round(wall, 6))
+
+
 def _run_serial(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
-                perf: PerfRegistry | None) -> Iterator[SeriesBlock]:
-    """The in-process path: same per-app renderer, no pool overhead."""
+                perf: PerfRegistry | None,
+                journal=None) -> Iterator[SeriesBlock]:
+    """The in-process path: same per-app renderer, no pool overhead.
+
+    Each job records into a private registry that is merged into the
+    parent's — mirroring what the pool does across the process boundary —
+    so telemetry (and any attached journal) cannot tell the paths apart.
+    """
     cpu_minutes = time_axis_minutes(setup.trace_days,
                                     setup.cpu_interval_minutes)
     bw_minutes = time_axis_minutes(setup.trace_days,
@@ -151,5 +183,8 @@ def _run_serial(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
     seasons = SeasonCache()
     for job in jobs_list:
         rng = job_rng(setup.seed, setup.recipe, job.app_id)
-        yield render_series_job(job, setup.recipe, cpu_minutes, bw_minutes,
-                                rng, seasons=seasons, perf=perf)
+        job_perf = PerfRegistry() if perf is not None else None
+        block = render_series_job(job, setup.recipe, cpu_minutes, bw_minutes,
+                                  rng, seasons=seasons, perf=job_perf)
+        _account_block(job, job_perf, perf, journal)
+        yield block

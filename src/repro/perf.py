@@ -47,6 +47,7 @@ class SpanStats:
         self.calls += other.calls
 
     def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready view of the accumulated timings."""
         return {
             "wall_s": round(self.wall_s, 6),
             "cpu_s": round(self.cpu_s, 6),
@@ -55,26 +56,43 @@ class SpanStats:
 
 
 class PerfRegistry:
-    """Accumulates span timings and counters for one study/run."""
+    """Accumulates span timings and counters for one study/run.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.obs.journal.RunJournal` is attached
+    (``journal=``), every span additionally emits ``span_begin`` /
+    ``span_end`` journal events — the timing bridge of the structured
+    observability layer.  Worker-process registries are created *without*
+    a journal and folded in via :meth:`merge`, which emits nothing, so
+    journals stay identical across ``--jobs`` settings.
+    """
+
+    def __init__(self, journal=None) -> None:
         self._spans: dict[str, SpanStats] = {}
         self._counters: dict[str, int] = {}
+        #: Optional :class:`repro.obs.journal.RunJournal` bridged by spans.
+        self.journal = journal
 
     # ---- recording -------------------------------------------------------
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Time a phase; wall and CPU elapsed are added to ``name``."""
+        if self.journal is not None:
+            self.journal.emit("span_begin", span=name)
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
             yield
         finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
             stats = self._spans.setdefault(name, SpanStats())
-            stats.wall_s += time.perf_counter() - wall0
-            stats.cpu_s += time.process_time() - cpu0
+            stats.wall_s += wall
+            stats.cpu_s += cpu
             stats.calls += 1
+            if self.journal is not None:
+                self.journal.emit("span_end", span=name,
+                                  wall_s=round(wall, 6), cpu_s=round(cpu, 6))
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a named counter (e.g. observations produced)."""
@@ -95,6 +113,7 @@ class PerfRegistry:
             self._counters[name] = self._counters.get(name, 0) + value
 
     def reset(self) -> None:
+        """Drop every recorded span and counter."""
         self._spans.clear()
         self._counters.clear()
 
@@ -102,10 +121,12 @@ class PerfRegistry:
 
     @property
     def spans(self) -> dict[str, SpanStats]:
+        """A copy of the per-span statistics, keyed by span name."""
         return dict(self._spans)
 
     @property
     def counters(self) -> dict[str, int]:
+        """A copy of the named counters."""
         return dict(self._counters)
 
     def wall_s(self, name: str) -> float:

@@ -27,41 +27,64 @@ class PhaseStatus:
 
     @property
     def ok(self) -> bool:
+        """True when the phase completed without error."""
         return self.state == "ok"
 
 
 class PhaseLedger:
-    """Ordered record of phase outcomes for one study instance."""
+    """Ordered record of phase outcomes for one study instance.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.journal.RunJournal` attached
+    (``journal=``), every tracked phase also emits ``phase_begin`` /
+    ``phase_end`` events — the journal annotates the latter with memory
+    samples, which is how per-phase RSS lands in ``repro trace summary``.
+    """
+
+    def __init__(self, journal=None) -> None:
         self._statuses: dict[str, PhaseStatus] = {}
+        #: Optional :class:`repro.obs.journal.RunJournal` to bridge into.
+        self.journal = journal
 
     @contextmanager
     def track(self, name: str) -> Iterator[None]:
         """Record the wrapped block as ``ok`` or ``failed`` (re-raising)."""
+        if self.journal is not None:
+            self.journal.emit("phase_begin", phase=name)
         start = time.perf_counter()
         try:
             yield
         except Exception as exc:
-            self._statuses[name] = PhaseStatus(
+            status = PhaseStatus(
                 name=name, state="failed",
                 wall_s=time.perf_counter() - start,
                 error=f"{type(exc).__name__}: {exc}",
             )
+            self._statuses[name] = status
+            if self.journal is not None:
+                self.journal.emit("phase_end", phase=name, status="failed",
+                                  error=status.error,
+                                  wall_s=round(status.wall_s, 6))
             raise
         else:
-            self._statuses[name] = PhaseStatus(
+            status = PhaseStatus(
                 name=name, state="ok",
                 wall_s=time.perf_counter() - start,
             )
+            self._statuses[name] = status
+            if self.journal is not None:
+                self.journal.emit("phase_end", phase=name, status="ok",
+                                  wall_s=round(status.wall_s, 6))
 
     def status(self, name: str) -> PhaseStatus | None:
+        """The recorded status of phase ``name``, if it ran."""
         return self._statuses.get(name)
 
     def statuses(self) -> list[PhaseStatus]:
+        """Every recorded phase status, in execution order."""
         return list(self._statuses.values())
 
     def failed(self) -> list[PhaseStatus]:
+        """The phases that raised, in execution order."""
         return [s for s in self._statuses.values() if not s.ok]
 
     def __len__(self) -> int:

@@ -33,6 +33,7 @@ from .faults.failover import FailoverReport, simulate_failover
 from .faults.schedule import FaultSchedule, build_fault_schedule
 from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
 from .measurement.qoe.testbed import QoETestbed
+from .obs import RunJournal
 from .parallel import resolve_jobs
 from .perf import PerfRegistry
 from .phases import PhaseLedger
@@ -52,14 +53,22 @@ class EdgeStudy:
     """
 
     def __init__(self, scenario: Scenario = DEFAULT_SCENARIO,
-                 jobs: int = 1, cache: ArtifactCache | None = None) -> None:
+                 jobs: int = 1, cache: ArtifactCache | None = None,
+                 journal: RunJournal | None = None) -> None:
         self.scenario = scenario
         #: Worker processes for workload generation (0 was "all cores").
         self.jobs = resolve_jobs(jobs)
         #: Optional persistent artifact cache; ``None`` = always generate.
         self.cache = cache
-        self.perf = PerfRegistry()
-        self.phases = PhaseLedger()
+        #: Optional run journal; every layer below reports through it.
+        self.journal = journal
+        self.perf = PerfRegistry(journal=journal)
+        self.phases = PhaseLedger(journal=journal)
+        if journal is not None:
+            if cache is not None:
+                cache.journal = journal
+            journal.run_start(scenario, jobs=self.jobs,
+                              cache=cache is not None)
 
     # ---- artifact cache plumbing ----------------------------------------
 
@@ -156,8 +165,11 @@ class EdgeStudy:
             return None
         with self.perf.span("fault_schedule"), \
                 self.phases.track("fault_schedule"):
-            return build_fault_schedule(self.scenario, self.nep.platform,
-                                        self.alicloud)
+            schedule = build_fault_schedule(self.scenario, self.nep.platform,
+                                            self.alicloud)
+        if self.journal is not None and schedule is not None:
+            self.journal.emit("fault_schedule", **schedule.summary())
+        return schedule
 
     @cached_property
     def failover(self) -> FailoverReport:
@@ -196,7 +208,7 @@ class EdgeStudy:
     @cached_property
     def campaign(self) -> CrowdCampaign:
         return CrowdCampaign(self.scenario, self.nep.platform, self.alicloud,
-                             faults=self.faults)
+                             faults=self.faults, journal=self.journal)
 
     @cached_property
     def participants(self) -> list[Participant]:

@@ -1,0 +1,54 @@
+"""The bench harness records journal-derived per-phase data (satellite:
+warm phases keep explicit ``cached: true`` entries instead of being
+dropped from the ledger)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_study.py"
+
+
+@pytest.fixture(scope="module")
+def bench_mod():
+    spec = importlib.util.spec_from_file_location("bench_study", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_study"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunOnce:
+    def test_carries_journal_phase_breakdown(self, bench_mod):
+        run = bench_mod.run_once("smoke", None)
+        assert "journal_phases" in run
+        for phase in bench_mod.PHASES:
+            entry = run["journal_phases"][phase]
+            assert entry["status"] == "ok"
+            assert entry["cached"] is False
+            assert entry["wall_s"] >= 0
+
+
+class TestBench:
+    def test_phases_record_peak_rss(self, bench_mod):
+        fresh = bench_mod.bench("smoke", None, repeats=1, jobs=1)
+        for stats in fresh["phases"].values():
+            assert stats["peak_rss_mb"] > 0
+
+
+class TestBenchCache:
+    def test_warm_phases_kept_with_cached_flag(self, bench_mod, tmp_path):
+        stats = bench_mod.bench_cache("smoke", None, jobs=1,
+                                      cache_dir=tmp_path / "cache")
+        cold, warm = stats["phases"]["cold"], stats["phases"]["warm"]
+        # cold/warm rows stay phase-aligned: same keys, all four phases
+        assert set(cold) == set(warm) == set(bench_mod.PHASES)
+        for phase in bench_mod.PHASES:
+            assert cold[phase]["cached"] is False
+            assert warm[phase]["cached"] is True
+            assert warm[phase]["wall_s"] is not None
+        assert all(stats["warm_hits"].values())

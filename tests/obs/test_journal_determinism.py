@@ -1,0 +1,70 @@
+"""Journal determinism: same scenario+seed => same canonical journal.
+
+The contract (docs/observability.md): strip the volatile fields
+(timestamps, durations, memory, execution knobs) and a journal is a
+pure function of the scenario and cache state — identical across
+repeats, across ``--jobs`` settings, and with fault injection on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.obs import RunJournal, VOLATILE_FIELDS, canonical_events
+from repro.study import EdgeStudy, scenario_for
+
+
+def run_canonical(jobs: int = 1, faults: str | None = None,
+                  cache: ArtifactCache | None = None) -> list[dict]:
+    """Drive the journalled phases of a smoke study; canonical events."""
+    scenario = scenario_for("smoke", faults=faults)
+    with RunJournal(None) as journal:
+        study = EdgeStudy(scenario, jobs=jobs, cache=cache, journal=journal)
+        study.nep
+        study.latency_results
+        journal.close(counters=study.perf.counters)
+    return canonical_events(journal.events)
+
+
+class TestDeterminism:
+    def test_serial_repeat_identical(self):
+        assert run_canonical() == run_canonical()
+
+    def test_serial_vs_two_jobs_identical(self):
+        assert run_canonical(jobs=1) == run_canonical(jobs=2)
+
+    def test_faulted_serial_vs_two_jobs_identical(self):
+        assert (run_canonical(jobs=1, faults="paper")
+                == run_canonical(jobs=2, faults="paper"))
+
+    def test_faults_change_the_journal(self):
+        off = run_canonical()
+        on = run_canonical(faults="paper")
+        assert off != on
+        assert any(e["type"] == "fault_schedule" for e in on)
+        assert not any(e["type"] == "fault_schedule" for e in off)
+
+    def test_warm_runs_identical_across_jobs(self, tmp_path):
+        cold = run_canonical(cache=ArtifactCache(tmp_path / "c"))
+        warm_serial = run_canonical(cache=ArtifactCache(tmp_path / "c"))
+        warm_pool = run_canonical(jobs=2,
+                                  cache=ArtifactCache(tmp_path / "c"))
+        assert warm_serial == warm_pool
+        assert cold != warm_serial  # misses+stores became hits
+        hits = [e for e in warm_serial if e["type"] == "cache_hit"]
+        assert hits
+
+    def test_no_volatile_fields_survive(self):
+        for event in run_canonical(jobs=2):
+            leaked = VOLATILE_FIELDS & set(event)
+            assert not leaked, (event["type"], leaked)
+
+    def test_pool_accounting_matches_serial(self):
+        events = run_canonical(jobs=2)
+        dispatched = [e["app_id"] for e in events
+                      if e["type"] == "job_dispatch"]
+        completed = [e["app_id"] for e in events
+                     if e["type"] == "job_complete"]
+        assert dispatched
+        assert sorted(dispatched) == sorted(completed)
