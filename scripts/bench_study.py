@@ -22,6 +22,15 @@ cold run populating it and one warm run served from it, both recorded in
 the ledger entry.  ``--assert-warm`` turns the warm run into a CI gate:
 the process exits non-zero unless every tracked phase was served from
 the cache (generation skipped entirely).
+
+The out-of-core tier has its own knobs: ``--scale city`` selects the
+~1M-VM scenario, ``--vms``/``--sites`` shrink it to a CI-sized probe,
+``--streaming`` forces the sharded sink on or off, and
+``--assert-peak-rss-mb`` gates the parent process's peak RSS (VmHWM, as
+sampled by the run journal) — the memory contract of the streaming
+path.  ``--handoff-bench`` additionally measures the worker-pool result
+transport (shared-memory ring vs pickle) on synthetic series jobs and
+records the comparison in the ledger.
 """
 
 from __future__ import annotations
@@ -49,21 +58,35 @@ def effective_seed(seed: int | None) -> int:
     return seed if seed is not None else DEFAULT_SCENARIO.seed
 
 
+def build_scenario(scale: str, seed: int | None,
+                   overrides: dict[str, int] | None = None):
+    """The bench scenario: a named scale plus optional size overrides."""
+    from repro.study import scenario_for
+
+    scenario = scenario_for(scale, seed)
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    return scenario
+
+
 def run_once(scale: str, seed: int | None, jobs: int = 1,
-             cache=None) -> dict[str, object]:
+             cache=None, overrides: dict[str, int] | None = None,
+             streaming: str = "auto") -> dict[str, object]:
     """One study run; returns its perf registry as a dict.
 
     The run carries an in-memory :class:`repro.obs.RunJournal`, so the
     result also has a ``"journal_phases"`` breakdown (wall/cpu/memory and
     an explicit ``cached`` flag per phase) — the journal is what lets the
-    ledger distinguish a phase that *ran* from one served by the cache.
+    ledger distinguish a phase that *ran* from one served by the cache,
+    and its per-phase ``peak_rss_mb`` samples are what the
+    ``--assert-peak-rss-mb`` gate reads.
     """
     from repro.obs import RunJournal, phase_breakdown
-    from repro.study import EdgeStudy, scenario_for
+    from repro.study import EdgeStudy
 
     with RunJournal(None) as journal:
-        study = EdgeStudy(scenario_for(scale, seed), jobs=jobs, cache=cache,
-                          journal=journal)
+        study = EdgeStudy(build_scenario(scale, seed, overrides), jobs=jobs,
+                          cache=cache, journal=journal, streaming=streaming)
         study.nep
         study.azure
         study.latency_results
@@ -74,10 +97,13 @@ def run_once(scale: str, seed: int | None, jobs: int = 1,
     return result
 
 
-def bench(scale: str, seed: int | None, repeats: int,
-          jobs: int) -> dict[str, object]:
+def bench(scale: str, seed: int | None, repeats: int, jobs: int,
+          overrides: dict[str, int] | None = None,
+          streaming: str = "auto") -> dict[str, object]:
     """Best-of-``repeats`` phase timings (min is robust to CI noise)."""
-    runs = [run_once(scale, seed, jobs) for _ in range(repeats)]
+    runs = [run_once(scale, seed, jobs, overrides=overrides,
+                     streaming=streaming)
+            for _ in range(repeats)]
     phases: dict[str, dict[str, float]] = {}
     for phase in PHASES:
         samples = [run["spans"][phase] for run in runs
@@ -93,7 +119,7 @@ def bench(scale: str, seed: int | None, repeats: int,
         if peaks:
             phases[phase]["peak_rss_mb"] = max(peaks)
     total = sum(p["wall_s"] for p in phases.values())
-    return {
+    row = {
         "seed": effective_seed(seed),
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
@@ -105,10 +131,68 @@ def bench(scale: str, seed: int | None, repeats: int,
         "numpy": np.__version__,
         "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
     }
+    if overrides:
+        row["overrides"] = dict(sorted(overrides.items()))
+    if streaming != "auto":
+        row["streaming"] = streaming
+    return row
+
+
+def peak_rss_mb(fresh: dict[str, object]) -> float:
+    """The run's peak parent RSS: max over the tracked phases' samples."""
+    peaks = [stats.get("peak_rss_mb", 0.0)
+             for stats in fresh["phases"].values()]
+    return max(peaks, default=0.0)
+
+
+def bench_handoff(scale: str, seed: int | None,
+                  overrides: dict[str, int] | None = None,
+                  app_count: int = 12,
+                  vms_per_app: int = 24) -> dict[str, object]:
+    """Time the pooled series-render transports: shm ring vs pickle.
+
+    Renders one synthetic job set twice through
+    :func:`repro.parallel.run_series_jobs` with two worker processes,
+    differing only in ``handoff``.  Output is bit-identical by contract,
+    so the wall-clock delta is pure transport cost.
+    """
+    from repro.parallel import run_series_jobs
+    from repro.workload.apps import NEP_PROFILES
+    from repro.workload.series import NEP_RECIPE, SeriesJob
+
+    scenario = build_scenario(scale, seed, overrides)
+    jobs_list = [
+        SeriesJob(app_id=f"bench-app{i:03d}",
+                  profile=NEP_PROFILES[i % len(NEP_PROFILES)],
+                  vm_count=vms_per_app)
+        for i in range(app_count)
+    ]
+    result: dict[str, object] = {
+        "apps": app_count,
+        "vms_per_app": vms_per_app,
+        "workers": 2,
+    }
+    walls = {}
+    for handoff in ("pickle", "shm"):
+        moved = 0
+        start = time.perf_counter()
+        for block in run_series_jobs(jobs_list, scenario, NEP_RECIPE,
+                                     n_jobs=2, handoff=handoff):
+            moved += block.cpu_rows.nbytes + block.bw_rows.nbytes
+            if block.private_rows is not None:
+                moved += block.private_rows.nbytes
+        walls[handoff] = time.perf_counter() - start
+        result[f"{handoff}_wall_s"] = round(walls[handoff], 6)
+        result["block_bytes"] = moved
+    result["shm_speedup"] = round(
+        walls["pickle"] / max(walls["shm"], 1e-9), 3)
+    return result
 
 
 def bench_cache(scale: str, seed: int | None, jobs: int,
-                cache_dir: Path) -> dict[str, object]:
+                cache_dir: Path,
+                overrides: dict[str, int] | None = None,
+                streaming: str = "auto") -> dict[str, object]:
     """One cold run populating ``cache_dir``, one warm run served from it.
 
     Both runs record *per-phase* timings, with an explicit ``cached``
@@ -123,7 +207,8 @@ def bench_cache(scale: str, seed: int | None, jobs: int,
     phase_rows: dict[str, dict[str, dict]] = {}
     for label in ("cold", "warm"):
         start = time.perf_counter()
-        run = run_once(scale, seed, jobs, cache)
+        run = run_once(scale, seed, jobs, cache, overrides=overrides,
+                       streaming=streaming)
         timings[label] = {
             "wall_s": round(time.perf_counter() - start, 6),
             "run": run,
@@ -202,7 +287,8 @@ def check_regression(ledger: dict[str, object], scale: str,
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", choices=("smoke", "default", "paper"),
+    parser.add_argument("--scale",
+                        choices=("smoke", "default", "paper", "city"),
                         default="default")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--repeat", type=int, default=3,
@@ -210,6 +296,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for workload generation "
                              "(0 = all CPU cores)")
+    parser.add_argument("--vms", type=int, default=None, metavar="N",
+                        help="override both platforms' VM counts (CI-sized "
+                             "probes of the city tier)")
+    parser.add_argument("--sites", type=int, default=None, metavar="N",
+                        help="override the NEP site count")
+    parser.add_argument("--streaming", choices=("auto", "on", "off"),
+                        default="auto",
+                        help="workload streaming mode (default: auto)")
+    parser.add_argument("--assert-peak-rss-mb", type=float, default=None,
+                        metavar="MB",
+                        help="exit non-zero if the parent's peak RSS over "
+                             "the tracked phases exceeds this")
+    parser.add_argument("--handoff-bench", action="store_true",
+                        help="also time the pooled series transports "
+                             "(shared-memory ring vs pickle)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="also measure a cold + warm artifact-cache "
                              "cycle rooted here")
@@ -227,23 +328,52 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed campaign_latency slowdown for --check")
     args = parser.parse_args(argv)
 
-    if args.scale == "paper" and args.repeat > 1:
+    if args.scale in ("paper", "city") and args.repeat > 1:
         args.repeat = 1  # a paper-scale repeat is minutes, once is plenty
 
     if args.assert_warm and args.cache_dir is None:
         parser.error("--assert-warm requires --cache-dir")
 
-    fresh = bench(args.scale, args.seed, args.repeat, args.jobs)
+    overrides: dict[str, int] = {}
+    if args.vms is not None:
+        overrides["nep_vm_count"] = args.vms
+        overrides["azure_vm_count"] = args.vms
+    if args.sites is not None:
+        overrides["nep_site_count"] = args.sites
+
+    fresh = bench(args.scale, args.seed, args.repeat, args.jobs,
+                  overrides=overrides or None, streaming=args.streaming)
     print(f"scale={args.scale} jobs={args.jobs} "
           f"(host: {fresh['cpu_count']} cores):")
     for phase, stats in fresh["phases"].items():
+        peak = stats.get("peak_rss_mb")
+        peak_note = f"  peak {peak:.0f} MB" if peak is not None else ""
         print(f"  {phase:<22}{stats['wall_s']:>9.3f}s wall "
-              f"{stats['cpu_s']:>9.3f}s cpu")
+              f"{stats['cpu_s']:>9.3f}s cpu{peak_note}")
     print(f"  {'total':<22}{fresh['total_wall_s']:>9.3f}s wall")
+
+    if args.assert_peak_rss_mb is not None:
+        peak = peak_rss_mb(fresh)
+        if peak > args.assert_peak_rss_mb:
+            print(f"assert-peak-rss: FAILED, peak {peak:.1f} MB exceeds "
+                  f"budget {args.assert_peak_rss_mb:.1f} MB")
+            return 1
+        print(f"assert-peak-rss: OK, peak {peak:.1f} MB within "
+              f"{args.assert_peak_rss_mb:.1f} MB")
+
+    if args.handoff_bench:
+        handoff = bench_handoff(args.scale, args.seed,
+                                overrides=overrides or None)
+        fresh["handoff"] = handoff
+        print(f"  handoff: pickle {handoff['pickle_wall_s']:.3f}s, shm "
+              f"{handoff['shm_wall_s']:.3f}s "
+              f"({handoff['shm_speedup']}x)")
 
     if args.cache_dir is not None:
         cache_stats = bench_cache(args.scale, args.seed, args.jobs,
-                                  args.cache_dir)
+                                  args.cache_dir,
+                                  overrides=overrides or None,
+                                  streaming=args.streaming)
         fresh["cache"] = cache_stats
         print(f"  cache: cold {cache_stats['cold_wall_s']:.3f}s, warm "
               f"{cache_stats['warm_wall_s']:.3f}s "

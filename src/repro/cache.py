@@ -32,6 +32,20 @@ bytes) are treated as misses and removed.
 Workload series are stored as stacked ``.npy`` matrices and loaded
 memory-mapped, so a warm hit on a multi-gigabyte paper-scale trace
 returns in milliseconds and pages series in on demand.
+
+Sharded workload entries
+------------------------
+
+Streamed (city-tier) workload generation writes a *sharded* entry
+instead: per-kind shard directories (``cpu/shard-00000.npy``, ...) plus
+a ``shards.json`` index — see :mod:`repro.shards` — produced
+incrementally inside the staging directory via
+:meth:`ArtifactCache.workload_writer`, then sealed with the same
+meta-last + atomic-rename protocol.  ``get_workload`` transparently
+loads either layout; sharded entries come back as lazy windowed
+:class:`~repro.shards.ShardedSeriesMap` views, and any shard whose
+header or size fails verification turns the whole entry into an
+evicted miss.
 """
 
 from __future__ import annotations
@@ -51,6 +65,7 @@ import numpy as np
 
 from .config import Scenario
 from .errors import ConfigurationError
+from .shards import SHARD_INDEX_NAME, load_sharded_series
 from .trace.dataset import TraceDataset
 from .workload.generator import GeneratedWorkload
 
@@ -92,6 +107,35 @@ class CacheEntry:
     created_at: str
     bytes: int
     path: Path
+    #: Shard-file count for sharded workload entries (0 otherwise).
+    shards: int = 0
+
+
+def workload_tables(dataset: TraceDataset) -> dict[str, object]:
+    """The picklable table payload of a workload entry (series excluded)."""
+    return {
+        "platform_name": dataset.platform_name,
+        "trace_days": dataset.trace_days,
+        "cpu_interval_minutes": dataset.cpu_interval_minutes,
+        "bw_interval_minutes": dataset.bw_interval_minutes,
+        "vms": dataset.vms,
+        "apps": dataset.apps,
+        "sites": dataset.sites,
+        "servers": dataset.servers,
+        "order": list(dataset.vms),
+        "private_ids": list(dataset.bw_private_series),
+    }
+
+
+def _dataset_from_tables(tables: dict[str, object]) -> TraceDataset:
+    return TraceDataset(
+        platform_name=tables["platform_name"],
+        trace_days=tables["trace_days"],
+        cpu_interval_minutes=tables["cpu_interval_minutes"],
+        bw_interval_minutes=tables["bw_interval_minutes"],
+        vms=tables["vms"], apps=tables["apps"],
+        sites=tables["sites"], servers=tables["servers"],
+    )
 
 
 class ArtifactCache:
@@ -191,22 +235,26 @@ class ArtifactCache:
 
         self._write_entry(key, artifact, "workload", scenario, write)
 
+    def workload_writer(self, artifact: str,
+                        scenario: Scenario) -> "StreamedEntryWriter":
+        """A staging handle for streaming a *sharded* workload entry.
+
+        The caller (a :class:`~repro.workload.streaming.WorkloadSink`)
+        writes shard files into :attr:`StreamedEntryWriter.staging` as
+        blocks arrive, then calls
+        :meth:`StreamedEntryWriter.commit` to seal the entry with the
+        same meta-last + atomic-rename protocol as every other writer.
+        """
+        key = self.key(artifact, scenario)
+        staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        staging.mkdir(parents=True)
+        return StreamedEntryWriter(self, key, artifact, scenario, staging)
+
     def _save_workload(self, staging: Path,
                        workload: GeneratedWorkload) -> None:
         ds = workload.dataset
         order = list(ds.vms)
-        tables = {
-            "platform_name": ds.platform_name,
-            "trace_days": ds.trace_days,
-            "cpu_interval_minutes": ds.cpu_interval_minutes,
-            "bw_interval_minutes": ds.bw_interval_minutes,
-            "vms": ds.vms,
-            "apps": ds.apps,
-            "sites": ds.sites,
-            "servers": ds.servers,
-            "order": order,
-            "private_ids": list(ds.bw_private_series),
-        }
+        tables = workload_tables(ds)
         with (staging / "platform.pkl").open("wb") as handle:
             pickle.dump(workload.platform, handle,
                         protocol=pickle.HIGHEST_PROTOCOL)
@@ -236,14 +284,10 @@ class ArtifactCache:
             platform = pickle.load(handle)
         with (entry / "tables.pkl").open("rb") as handle:
             tables = pickle.load(handle)
-        dataset = TraceDataset(
-            platform_name=tables["platform_name"],
-            trace_days=tables["trace_days"],
-            cpu_interval_minutes=tables["cpu_interval_minutes"],
-            bw_interval_minutes=tables["bw_interval_minutes"],
-            vms=tables["vms"], apps=tables["apps"],
-            sites=tables["sites"], servers=tables["servers"],
-        )
+        dataset = _dataset_from_tables(tables)
+        if (entry / SHARD_INDEX_NAME).exists():
+            return self._load_sharded_workload(entry, platform, dataset,
+                                               tables)
         order = tables["order"]
         cpu = np.load(entry / "cpu.npy", mmap_mode="r")
         bw = np.load(entry / "bw.npy", mmap_mode="r")
@@ -260,6 +304,25 @@ class ArtifactCache:
                 raise ConfigurationError("private series shape mismatch")
             dataset.bw_private_series = {
                 vm_id: private[i] for i, vm_id in enumerate(private_ids)}
+        return GeneratedWorkload(platform=platform, dataset=dataset)
+
+    @staticmethod
+    def _load_sharded_workload(entry: Path, platform,
+                               dataset: TraceDataset,
+                               tables: dict) -> GeneratedWorkload:
+        """Attach windowed shard maps for a streamed entry.
+
+        Shard verification (headers, sizes, counts) happens inside
+        :func:`repro.shards.load_sharded_series`; a failure propagates
+        to :meth:`get_workload`, which evicts the entry and misses.
+        """
+        order = tables["order"]
+        private_ids = tables["private_ids"]
+        orders = {"cpu": order, "bw": order}
+        if private_ids:
+            orders["private"] = private_ids
+        maps = load_sharded_series(entry, orders)
+        dataset.attach_series(maps["cpu"], maps["bw"], maps.get("private"))
         return GeneratedWorkload(platform=platform, dataset=dataset)
 
     # ---- entry lifecycle --------------------------------------------------
@@ -306,6 +369,12 @@ class ArtifactCache:
     def _discard(entry: Path) -> None:
         shutil.rmtree(entry, ignore_errors=True)
 
+    @staticmethod
+    def _entry_size(entry_dir: Path) -> int:
+        """Total on-disk bytes of an entry, shard subdirectories included."""
+        return sum(p.stat().st_size
+                   for p in entry_dir.rglob("*") if p.is_file())
+
     # ---- maintenance (the `repro cache` subcommand) ----------------------
 
     def entries(self) -> list[CacheEntry]:
@@ -317,15 +386,14 @@ class ArtifactCache:
             except Exception:
                 continue
             entry_dir = meta_path.parent
-            size = sum(p.stat().st_size
-                       for p in entry_dir.iterdir() if p.is_file())
             found.append(CacheEntry(
                 key=meta.get("key", entry_dir.name),
                 artifact=meta.get("artifact", "?"),
                 kind=meta.get("kind", "?"),
                 created_at=meta.get("created_at", "?"),
-                bytes=size,
+                bytes=self._entry_size(entry_dir),
                 path=entry_dir,
+                shards=int(meta.get("shards", 0)),
             ))
         found.sort(key=lambda e: e.created_at, reverse=True)
         return found
@@ -347,5 +415,78 @@ class ArtifactCache:
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(e.bytes for e in entries),
+            "sharded_entries": sum(1 for e in entries if e.shards),
+            "shard_files": sum(e.shards for e in entries),
             "code_version": code_version(),
         }
+
+
+class StreamedEntryWriter:
+    """A live staging directory for one streamed (sharded) cache entry.
+
+    Created by :meth:`ArtifactCache.workload_writer`; shard files are
+    written into :attr:`staging` while generation runs, and
+    :meth:`commit` seals the entry (tables + ``meta.json`` last, then
+    one atomic rename).  :meth:`abort` discards everything.
+    """
+
+    def __init__(self, cache: ArtifactCache, key: str, artifact: str,
+                 scenario: Scenario, staging: Path) -> None:
+        self.cache = cache
+        self.key = key
+        self.artifact = artifact
+        self.scenario = scenario
+        self.staging = staging
+        self.final = cache._entry_dir(key)
+
+    def commit(self, platform, tables: dict, shards: int) -> Path:
+        """Seal the staged entry; returns the directory now holding it.
+
+        If another process materialised the same key first, the staged
+        copy yields to it when the winner is also sharded (same bytes);
+        a monolithic winner keeps *this* run's staged store alive as an
+        anonymous spill directory so the returned path always holds the
+        shards this writer produced.
+        """
+        try:
+            with (self.staging / "platform.pkl").open("wb") as handle:
+                pickle.dump(platform, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            with (self.staging / "tables.pkl").open("wb") as handle:
+                pickle.dump(tables, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            meta = {
+                "format": CACHE_FORMAT,
+                "key": self.key,
+                "artifact": self.artifact,
+                "kind": "workload-shards",
+                "shards": int(shards),
+                "code_version": code_version(),
+                "scenario": json.loads(self.scenario.cache_token()),
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                            time.gmtime()),
+            }
+            with (self.staging / "meta.json").open("w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            self.final.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(self.staging, self.final)
+            except OSError:
+                if not (self.final / "meta.json").exists():
+                    raise
+                if (self.final / SHARD_INDEX_NAME).exists():
+                    shutil.rmtree(self.staging, ignore_errors=True)
+                else:
+                    return self.staging
+            self.cache._emit(
+                "cache_store", artifact=self.artifact,
+                kind="workload-shards", key=self.key, shards=int(shards),
+                bytes=ArtifactCache._entry_size(self.final))
+            return self.final
+        except BaseException:
+            shutil.rmtree(self.staging, ignore_errors=True)
+            raise
+
+    def abort(self) -> None:
+        """Discard the staged entry without publishing anything."""
+        shutil.rmtree(self.staging, ignore_errors=True)

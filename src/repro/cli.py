@@ -25,6 +25,7 @@ from .obs import RunJournal, diff_journals, read_journal, render_show, \
     render_summary
 from .reports import REPORTS
 from .study import SCALES, EdgeStudy, scenario_for, study_for
+from .workload.streaming import STREAMING_MODES
 
 #: Human-readable one-liners for `repro list`.
 DESCRIPTIONS = {
@@ -102,7 +103,8 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=SCALES,
                         default="smoke",
                         help="simulation scale (default: smoke; 'paper' is "
-                             "the full-fidelity 92-day/20k-VM run)")
+                             "the full-fidelity 92-day/20k-VM run, 'city' "
+                             "the out-of-core ~1M-VM tier)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
     parser.add_argument("--faults", choices=FAULT_PROFILES, default="off",
@@ -113,6 +115,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for workload generation "
                              "(default: 1; 0 = all CPU cores)")
+    parser.add_argument("--streaming", choices=STREAMING_MODES,
+                        default="auto",
+                        help="stream workload series to sharded on-disk "
+                             "storage (default: auto = on at city-tier VM "
+                             "counts); results are bit-identical either way")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="artifact cache root (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -174,14 +181,16 @@ def _study(args: argparse.Namespace,
     if journal is None:
         return study_for(args.scale, args.seed, getattr(args, "faults", None),
                          jobs=getattr(args, "jobs", 1),
-                         cache_dir=_cache_dir_for(args))
+                         cache_dir=_cache_dir_for(args),
+                         streaming=getattr(args, "streaming", "auto"))
     scenario = scenario_for(args.scale, args.seed, getattr(args, "faults",
                                                            None))
     cache_dir = _cache_dir_for(args)
     cache = (ArtifactCache(cache_dir, journal=journal)
              if cache_dir is not None else None)
     return EdgeStudy(scenario, jobs=getattr(args, "jobs", 1), cache=cache,
-                     journal=journal)
+                     journal=journal,
+                     streaming=getattr(args, "streaming", "auto"))
 
 
 def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
@@ -276,17 +285,22 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"root:         {info['root']}")
         print(f"entries:      {info['entries']}")
         print(f"total size:   {_human_bytes(int(info['bytes']))}")
+        print(f"sharded:      {info['sharded_entries']} entr"
+              f"{'y' if info['sharded_entries'] == 1 else 'ies'}, "
+              f"{info['shard_files']} shard file"
+              f"{'' if info['shard_files'] == 1 else 's'}")
         print(f"code version: {info['code_version']}")
         return 0
     entries = cache.entries()
     if not entries:
         print(f"cache at {cache.root} is empty")
         return 0
-    print(f"{'created (UTC)':<21}{'artifact':<22}{'kind':<10}"
-          f"{'size':>10}  key")
+    print(f"{'created (UTC)':<21}{'artifact':<22}{'kind':<16}"
+          f"{'shards':>7}{'size':>11}  key")
     for entry in entries:
-        print(f"{entry.created_at:<21}{entry.artifact:<22}{entry.kind:<10}"
-              f"{_human_bytes(entry.bytes):>10}  {entry.key[:16]}")
+        shards = str(entry.shards) if entry.shards else "-"
+        print(f"{entry.created_at:<21}{entry.artifact:<22}{entry.kind:<16}"
+              f"{shards:>7}{_human_bytes(entry.bytes):>11}  {entry.key[:16]}")
     return 0
 
 

@@ -187,6 +187,29 @@ class Scenario:
         )
 
     @classmethod
+    def city_scale(cls) -> "Scenario":
+        """Beyond-paper settings: a ~1M-VM national edge fleet.
+
+        One series kind at this scale is ~0.5 TB of float32 rows
+        (1M VMs x 92 d of 1-minute readings), which no single process
+        can hold — runs at this tier force the streaming workload path
+        (sharded on-disk series, chunked analyses; see
+        ``docs/performance.md``).  The topology grows to 4000 sites
+        with deeper racks, matching the "tens or hundreds of servers"
+        envelope at metro density.
+        """
+        return cls(
+            nep_site_count=4000,
+            nep_servers_per_site_min=24,
+            nep_servers_per_site_max=192,
+            trace_days=92,
+            cpu_interval_minutes=1,
+            nep_vm_count=1_000_000,
+            azure_vm_count=1_000_000,
+            prediction_vm_sample=512,
+        )
+
+    @classmethod
     def smoke_scale(cls) -> "Scenario":
         """Tiny settings for fast tests and CI smoke runs."""
         return cls(

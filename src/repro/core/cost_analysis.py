@@ -20,6 +20,7 @@ from ..billing.usage import AppUsage, HardwareSubscription
 from ..errors import BillingError
 from ..geo.coords import GeoPoint
 from ..trace.dataset import TraceDataset
+from .chunks import per_vm_totals
 
 
 def build_app_usage(dataset: TraceDataset, app_id: str) -> AppUsage:
@@ -49,12 +50,19 @@ def build_app_usage(dataset: TraceDataset, app_id: str) -> AppUsage:
 
 
 def heaviest_apps(dataset: TraceDataset, count: int) -> list[str]:
-    """The ``count`` apps with the most total public traffic (§4.5)."""
+    """The ``count`` apps with the most total public traffic (§4.5).
+
+    Per-VM totals come from one chunked pass over the bandwidth series
+    (disk-order friendly on a sharded trace); the per-app sums then run
+    in the same VM order as the original row-at-a-time loop, so the
+    ranking is bit-identical.
+    """
     if count <= 0:
         raise BillingError(f"count must be positive, got {count}")
+    vm_totals = per_vm_totals(dataset.bw_series)
     totals = []
     for app_id in dataset.app_ids_with_vms():
-        total = sum(float(dataset.bw_series[vm.vm_id].sum())
+        total = sum(vm_totals[vm.vm_id]
                     for vm in dataset.vms_of_app(app_id))
         totals.append((total, app_id))
     totals.sort(reverse=True)

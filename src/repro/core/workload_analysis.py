@@ -14,6 +14,12 @@ import numpy as np
 from ..errors import TraceError
 from ..platform.cluster import Platform
 from ..trace.dataset import TraceDataset
+from .chunks import (
+    StreamingHistogram,
+    cpu_row_stats,
+    iter_series_chunks,
+    per_vm_totals,
+)
 from .stats import ECDF, percentile
 
 #: Figure 8 size buckets: small <= 4, medium 5-16, large > 16 (cores/GB).
@@ -101,13 +107,20 @@ class CpuUtilizationSummary:
 
 
 def cpu_utilization_summary(dataset: TraceDataset) -> CpuUtilizationSummary:
-    """Figure 10: per-VM mean, P95-max, and across-time CV of CPU usage."""
+    """Figure 10: per-VM mean, P95-max, and across-time CV of CPU usage.
+
+    Runs as one chunked pass over the CPU series (the out-of-core bulk
+    path), producing exactly the values the per-VM
+    :meth:`~repro.trace.dataset.TraceDataset.mean_cpu` /
+    ``p95_max_cpu`` / ``cpu_cv`` accessors give.
+    """
     if not dataset.vms:
         raise TraceError("dataset has no VMs")
     vm_ids = dataset.vm_ids()
-    means = np.array([dataset.mean_cpu(v) for v in vm_ids])
-    p95s = np.array([dataset.p95_max_cpu(v) for v in vm_ids])
-    cvs = np.array([dataset.cpu_cv(v) for v in vm_ids])
+    mean_map, p95_map, cv_map = cpu_row_stats(dataset.cpu_series)
+    means = np.array([mean_map[v] for v in vm_ids])
+    p95s = np.array([p95_map[v] for v in vm_ids])
+    cvs = np.array([cv_map[v] for v in vm_ids])
     return CpuUtilizationSummary(
         platform=dataset.platform_name,
         mean_cdf=ECDF.from_samples(means),
@@ -192,11 +205,12 @@ def category_breakdown(dataset: TraceDataset) -> CategoryBreakdown:
     vms_per_category: dict[str, int] = {}
     traffic_per_category: dict[str, float] = {}
     total_traffic = 0.0
+    vm_traffic = per_vm_totals(dataset.bw_series)
     for vm in dataset.vms.values():
         apps_per_category.setdefault(vm.category, set()).add(vm.app_id)
         vms_per_category[vm.category] = \
             vms_per_category.get(vm.category, 0) + 1
-        traffic = float(dataset.bw_series[vm.vm_id].sum())
+        traffic = vm_traffic[vm.vm_id]
         traffic_per_category[vm.category] = \
             traffic_per_category.get(vm.category, 0.0) + traffic
         total_traffic += traffic
@@ -211,3 +225,46 @@ def category_breakdown(dataset: TraceDataset) -> CategoryBreakdown:
     }
     return CategoryBreakdown(platform=dataset.platform_name,
                              categories=categories)
+
+
+@dataclass(frozen=True)
+class CpuTickQuantiles:
+    """Platform-level quantiles over *all* CPU readings of a trace.
+
+    Unlike Figure 10 (per-VM summaries), this pools every
+    ``(vm, interval)`` reading — the platform operator's "how loaded is
+    the fleet at a random tick" view.  Values come from a mergeable
+    fixed-bin sketch, so they are approximate with error bounded by
+    :attr:`max_error` (one histogram bin width) — which is why the exact
+    per-VM statistics above remain the paper-figure source of truth.
+    """
+
+    platform: str
+    quantiles: dict[float, float]
+    readings: int
+    max_error: float
+
+
+def cpu_tick_quantiles(dataset: TraceDataset,
+                       qs: tuple[float, ...] = (0.5, 0.9, 0.99),
+                       bins: int = 4096) -> CpuTickQuantiles:
+    """Pooled CPU-reading quantiles via a streaming histogram sketch.
+
+    One chunked pass, ``O(bins)`` state: works unchanged over an
+    out-of-core sharded trace where the pooled readings could never be
+    sorted in memory.
+
+    Raises:
+        TraceError: if the dataset has no VMs.
+    """
+    if not dataset.vms:
+        raise TraceError("dataset has no VMs")
+    sketch = StreamingHistogram(lo=0.0, hi=1.0, bins=bins)
+    for _, window in iter_series_chunks(dataset.cpu_series):
+        sketch.add(window)
+    return CpuTickQuantiles(
+        platform=dataset.platform_name,
+        quantiles={float(q): sketch.quantile(q) for q in qs},
+        readings=sketch.count,
+        max_error=sketch.bin_width,
+    )

@@ -55,3 +55,7 @@ class PredictionError(ReproError):
 
 class BillingError(ReproError):
     """A billing computation received unusable usage data or prices."""
+
+
+class ParallelError(ReproError):
+    """The worker pool or its shared-memory transport failed to start."""

@@ -33,7 +33,12 @@ Usage::
     print(render_summary(events))
 """
 
-from .journal import VOLATILE_FIELDS, RunJournal, canonical_events
+from .journal import (
+    VOLATILE_EVENT_TYPES,
+    VOLATILE_FIELDS,
+    RunJournal,
+    canonical_events,
+)
 from .memory import MemorySampler
 from .trace import (
     JournalSummary,
@@ -49,6 +54,7 @@ __all__ = [
     "JournalSummary",
     "MemorySampler",
     "RunJournal",
+    "VOLATILE_EVENT_TYPES",
     "VOLATILE_FIELDS",
     "canonical_events",
     "diff_journals",

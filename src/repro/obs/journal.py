@@ -48,10 +48,19 @@ from .memory import MemorySampler
 #: Event fields that may differ between two runs of the same scenario:
 #: wall-clock times, durations, memory samples, and execution knobs
 #: (worker counts, host core counts) that affect speed, not results.
+#: ``events`` (run_end's raw-event tally) counts volatile event types
+#: too, which makes the tally itself transport-dependent.
 VOLATILE_FIELDS = frozenset({
     "t", "wall_s", "cpu_s", "rss_mb", "peak_rss_mb", "bytes",
-    "jobs", "workers", "cpu_count", "pid",
+    "jobs", "workers", "cpu_count", "pid", "events",
 })
+
+#: Event *types* that exist only because of execution knobs — shard
+#: spills (``--streaming``) and shared-memory handoff telemetry
+#: (``--jobs``/transport choice).  They change how bytes move, never
+#: which bytes, so the canonical view drops the whole event rather than
+#: individual fields.
+VOLATILE_EVENT_TYPES = frozenset({"chunk_spill", "shm_handoff"})
 
 #: Default journal file name when a directory is given.
 JOURNAL_NAME = "journal.jsonl"
@@ -65,11 +74,20 @@ def canonical_events(events: list[dict]) -> list[dict]:
 
     Two runs of the same scenario against the same cache state produce
     equal canonical event lists regardless of wall-clock, memory, or
-    ``--jobs`` differences.
+    ``--jobs`` differences.  Volatile event types are dropped entirely
+    and ``seq`` renumbered densely, so the canonical stream is also
+    stable across transport choices that add telemetry events.
     """
-    return [{key: value for key, value in event.items()
-             if key not in VOLATILE_FIELDS}
-            for event in events]
+    canonical = []
+    for event in events:
+        if event.get("type") in VOLATILE_EVENT_TYPES:
+            continue
+        kept = {key: value for key, value in event.items()
+                if key not in VOLATILE_FIELDS}
+        if "seq" in kept:
+            kept["seq"] = len(canonical)
+        canonical.append(kept)
+    return canonical
 
 
 class RunJournal:

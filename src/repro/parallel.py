@@ -13,26 +13,54 @@ worker count or completion order.
 Each worker is told only (seed, recipe, scenario time knobs) once at
 pool start; a dispatched job ships an app id, a profile, and a VM count.
 The worker recreates the app's RNG substream locally, renders the block
-(its ``SERIES_CHUNK_VMS`` chunks in order), and sends the float32 rows
+(its ``SERIES_CHUNK_VMS`` chunks in order), and hands the float32 rows
 back.  Worker-side spans are recorded into a private
 :class:`~repro.perf.PerfRegistry` that the parent merges, so no timing
 is lost to process boundaries (merged ``cpu_s`` sums across processes
 and can legitimately exceed the parent's wall time).
 
+Shared-memory handoff
+---------------------
+
+By default the rows travel through a ring of
+:mod:`multiprocessing.shared_memory` slot buffers instead of being
+pickled over the result pipe: a worker copies its finished block into a
+free slot and returns a tiny :class:`_ShmBlockRef` descriptor; the
+parent copies the rows back out and recycles the slot.  The ring holds
+``workers + 2`` slots and task submission is windowed to the slot
+count, which guarantees the head-of-line job can always obtain a slot
+(no deadlock) while out-of-order completions are bounded.  A block too
+large for a slot transparently falls back to pickling.  Set
+``handoff="pickle"`` (or ``REPRO_NO_SHM=1``) to force the legacy
+transport — ``scripts/bench_study.py --handoff-bench`` measures the
+difference and records it in ``BENCH_study.json``.
+
 ``--jobs 1`` (the default) renders in-process through the *same*
 per-app function, which is what makes serial and parallel output
-bit-identical by construction.
+bit-identical by construction.  Worker pools require the ``fork`` start
+method (the cheap, no-reimport path); where it is unavailable the
+executor falls back to serial rendering with a journal warning, and a
+pool that fails to *start* raises :class:`~repro.errors.ParallelError`
+instead of a cryptic pickling failure.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - non-POSIX minimal builds
+    shared_memory = None
+
 from .config import Scenario
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ParallelError
 from .perf import PerfRegistry
 from .workload.patterns import time_axis_minutes
 from .workload.series import (
@@ -43,6 +71,17 @@ from .workload.series import (
     job_rng,
     render_series_job,
 )
+
+#: Hard cap on one shared-memory slot; blocks larger than the resolved
+#: slot size fall back to pickle transport.  Override (in MiB) with
+#: ``REPRO_SHM_SLOT_MB``.
+SHM_SLOT_CAP_BYTES = 128 << 20
+
+#: Environment kill-switch: any non-empty value forces pickle handoff.
+SHM_DISABLE_ENV = "REPRO_NO_SHM"
+
+#: Accepted ``handoff`` transports for pooled rendering.
+HANDOFF_MODES = ("shm", "pickle")
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -70,11 +109,30 @@ class _WorkerSetup:
     bw_interval_minutes: int
 
 
+@dataclass(frozen=True)
+class _ShmBlockRef:
+    """A rendered block parked in a shared-memory slot.
+
+    Crosses the result pipe instead of the row payload: the parent
+    rebuilds the :class:`SeriesBlock` from the slot and recycles it.
+    """
+
+    slot: int
+    app_id: str
+    vm_count: int
+    cpu_points: int
+    bw_points: int
+    private: bool
+    mean_bws: np.ndarray
+    perf: PerfRegistry | None
+
+
 #: Per-worker-process state installed by :func:`_init_worker`.
 _WORKER: dict | None = None
 
 
-def _init_worker(setup: _WorkerSetup) -> None:
+def _init_worker(setup: _WorkerSetup, shm_names=None, free_slots=None,
+                 slot_bytes: int = 0) -> None:
     """Pool initializer: precompute the time axes and season cache once."""
     global _WORKER
     _WORKER = {
@@ -85,10 +143,31 @@ def _init_worker(setup: _WorkerSetup) -> None:
                                         setup.bw_interval_minutes),
         "seasons": SeasonCache(),
     }
+    if shm_names is not None:
+        _WORKER["shm"] = {
+            "names": shm_names,
+            "free": free_slots,
+            "slot_bytes": slot_bytes,
+            "segments": {},
+        }
 
 
-def _render_in_worker(job: SeriesJob) -> SeriesBlock:
-    """Render one job inside a worker, with a private perf registry."""
+def _worker_segment(shm_cfg: dict, slot: int):
+    """Attach (and memoise) one ring segment inside a worker."""
+    segment = shm_cfg["segments"].get(slot)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=shm_cfg["names"][slot])
+        shm_cfg["segments"][slot] = segment
+    return segment
+
+
+def _render_in_worker(job: SeriesJob) -> SeriesBlock | _ShmBlockRef:
+    """Render one job inside a worker, with a private perf registry.
+
+    With a shared-memory ring configured, the finished rows are copied
+    into a free slot and only a :class:`_ShmBlockRef` travels back;
+    oversized blocks return whole (pickle fallback).
+    """
     state = _WORKER
     if state is None:  # pragma: no cover - pool misconfiguration guard
         raise RuntimeError("series worker used before initialisation")
@@ -99,28 +178,105 @@ def _render_in_worker(job: SeriesJob) -> SeriesBlock:
                               state["bw_minutes"], rng,
                               seasons=state["seasons"], perf=perf)
     block.perf = perf
-    return block
+    shm_cfg = state.get("shm")
+    if shm_cfg is None:
+        return block
+    parts = [block.cpu_rows, block.bw_rows]
+    if block.private_rows is not None:
+        parts.append(block.private_rows)
+    if sum(part.nbytes for part in parts) > shm_cfg["slot_bytes"]:
+        return block
+    slot = shm_cfg["free"].get()
+    view = np.frombuffer(_worker_segment(shm_cfg, slot).buf,
+                         dtype=np.float32)
+    offset = 0
+    for part in parts:
+        view[offset:offset + part.size] = part.ravel()
+        offset += part.size
+    return _ShmBlockRef(
+        slot=slot, app_id=block.app_id, vm_count=job.vm_count,
+        cpu_points=block.cpu_rows.shape[1],
+        bw_points=block.bw_rows.shape[1],
+        private=block.private_rows is not None,
+        mean_bws=block.mean_bws, perf=perf,
+    )
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, no re-import) where available, else default."""
+def _block_from_ref(ref: _ShmBlockRef, segments) -> SeriesBlock:
+    """Rebuild a block from its shared-memory slot (copies the rows)."""
+    view = np.frombuffer(segments[ref.slot].buf, dtype=np.float32)
+    offset = 0
+
+    def take(points: int) -> np.ndarray:
+        nonlocal offset
+        size = ref.vm_count * points
+        rows = view[offset:offset + size].reshape(ref.vm_count,
+                                                  points).copy()
+        offset += size
+        return rows
+
+    cpu_rows = take(ref.cpu_points)
+    bw_rows = take(ref.bw_points)
+    private_rows = take(ref.bw_points) if ref.private else None
+    return SeriesBlock(app_id=ref.app_id, mean_bws=ref.mean_bws,
+                       cpu_rows=cpu_rows, bw_rows=bw_rows,
+                       private_rows=private_rows, perf=ref.perf)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext | None:
+    """The fork context, or ``None`` where fork is unavailable.
+
+    The pool requires fork: workers inherit the initializer arguments
+    (including live shared-memory queue handles) without pickling, and
+    start cheaply without re-importing the package.
+    """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
+        return None
+
+
+def _slot_bytes_for(jobs_list: Sequence[SeriesJob],
+                    setup: _WorkerSetup) -> int:
+    """Resolved ring-slot size: the largest block, capped."""
+    minutes_per_day = 24 * 60
+    cpu_points = setup.trace_days * minutes_per_day \
+        // setup.cpu_interval_minutes
+    bw_points = setup.trace_days * minutes_per_day \
+        // setup.bw_interval_minutes
+    per_vm = cpu_points + bw_points * (2 if setup.recipe.private else 1)
+    largest = max(job.vm_count for job in jobs_list) * per_vm * 4
+    cap = SHM_SLOT_CAP_BYTES
+    override = os.environ.get("REPRO_SHM_SLOT_MB")
+    if override:
+        try:
+            cap = max(1, int(override)) << 20
+        except ValueError:
+            pass
+    return max(1, min(largest, cap))
 
 
 def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
                     recipe: SeriesRecipe, n_jobs: int = 1,
                     perf: PerfRegistry | None = None,
+                    handoff: str = "shm",
                     ) -> Iterator[SeriesBlock]:
     """Render series jobs, yielding blocks in submission order.
 
-    ``n_jobs == 1`` (or a single job) renders inline; otherwise a pool of
-    ``min(n_jobs, len(jobs_list))`` worker processes renders concurrently
-    while ``imap`` preserves ordering.  Either way the caller sees the
-    same sequence of bit-identical blocks.
+    ``n_jobs == 1`` (or a single job) renders inline; otherwise a pool
+    of ``min(n_jobs, len(jobs_list))`` worker processes renders
+    concurrently with windowed submission, so the caller sees the same
+    sequence of bit-identical blocks.  ``handoff`` selects the pooled
+    result transport (``"shm"`` or ``"pickle"``); it changes speed,
+    never bytes.
+
+    Raises:
+        ConfigurationError: on a bad ``n_jobs`` or ``handoff`` value.
+        ParallelError: when the worker pool fails to start.
     """
+    if handoff not in HANDOFF_MODES:
+        raise ConfigurationError(
+            f"unknown handoff {handoff!r}, expected one of {HANDOFF_MODES}")
     n_jobs = resolve_jobs(n_jobs)
     journal = perf.journal if perf is not None else None
     setup = _WorkerSetup(
@@ -130,8 +286,17 @@ def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
         bw_interval_minutes=scenario.bw_interval_minutes,
     )
     serial = n_jobs == 1 or len(jobs_list) <= 1
+    ctx = None
+    if not serial:
+        ctx = _pool_context()
+        if ctx is None:
+            if journal is not None:
+                journal.warn(
+                    "fork start method unavailable on this platform; "
+                    "rendering series serially", jobs=n_jobs)
+            serial = True
     if journal is not None:
-        # Dispatch events come first in both modes (imap submits eagerly),
+        # Dispatch events come first in both modes (submission is eager),
         # so journals are identical across --jobs settings.
         for job in jobs_list:
             journal.emit("job_dispatch", app_id=job.app_id,
@@ -139,15 +304,101 @@ def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
     if serial:
         yield from _run_serial(jobs_list, setup, perf, journal)
         return
-    processes = min(n_jobs, len(jobs_list))
-    with _pool_context().Pool(processes=processes, initializer=_init_worker,
-                              initargs=(setup,)) as pool:
-        for job, block in zip(jobs_list,
-                              pool.imap(_render_in_worker, jobs_list,
-                                        chunksize=1)):
-            _account_block(job, block.perf, perf, journal)
-            block.perf = None
-            yield block
+    yield from _run_pooled(jobs_list, setup, ctx, min(n_jobs, len(jobs_list)),
+                           handoff, perf, journal)
+
+
+def _run_pooled(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
+                ctx, processes: int, handoff: str,
+                perf: PerfRegistry | None,
+                journal) -> Iterator[SeriesBlock]:
+    """The pool path: windowed submission, optional shm transport."""
+    use_shm = (handoff == "shm" and shared_memory is not None
+               and not os.environ.get(SHM_DISABLE_ENV))
+    n_slots = processes + 2
+    segments: list = []
+    free_slots = None
+    initargs: tuple = (setup,)
+    slot_bytes = 0
+    if use_shm:
+        slot_bytes = _slot_bytes_for(jobs_list, setup)
+        try:
+            for _ in range(n_slots):
+                segments.append(shared_memory.SharedMemory(
+                    create=True, size=slot_bytes))
+        except OSError as exc:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+            raise ParallelError(
+                f"could not allocate {n_slots} shared-memory slots of "
+                f"{slot_bytes} bytes: {exc}") from exc
+        free_slots = ctx.Queue()
+        for index in range(n_slots):
+            free_slots.put(index)
+        initargs = (setup, [segment.name for segment in segments],
+                    free_slots, slot_bytes)
+    shm_blocks = pickle_blocks = 0
+    shm_bytes = 0
+    try:
+        try:
+            pool = ctx.Pool(processes=processes, initializer=_init_worker,
+                            initargs=initargs)
+        except OSError as exc:
+            raise ParallelError(
+                f"could not start {processes} series worker processes "
+                f"(fork): {exc}") from exc
+        with pool:
+            # Submission is windowed to the slot count: outstanding
+            # results can hold at most n_slots - 1 slots while the
+            # head-of-line job still needs one, so a free slot always
+            # exists for it and in-order consumption cannot deadlock.
+            window = n_slots
+            results: deque = deque()
+            job_iter = iter(jobs_list)
+
+            def submit_next() -> None:
+                job = next(job_iter, None)
+                if job is not None:
+                    results.append(
+                        (job, pool.apply_async(_render_in_worker, (job,))))
+
+            for _ in range(window):
+                submit_next()
+            while results:
+                job, async_result = results.popleft()
+                outcome = async_result.get()
+                submit_next()
+                if isinstance(outcome, _ShmBlockRef):
+                    block = _block_from_ref(outcome, segments)
+                    free_slots.put(outcome.slot)
+                    shm_blocks += 1
+                    shm_bytes += (block.cpu_rows.nbytes
+                                  + block.bw_rows.nbytes
+                                  + (block.private_rows.nbytes
+                                     if block.private_rows is not None
+                                     else 0))
+                else:
+                    block = outcome
+                    pickle_blocks += 1
+                _account_block(job, block.perf, perf, journal)
+                block.perf = None
+                if not results and journal is not None and use_shm:
+                    # Emitted before the final yield: consumers like the
+                    # generators' zip() never advance the iterator past
+                    # its last block, so a post-loop emit would be lost.
+                    journal.emit("shm_handoff", blocks=shm_blocks,
+                                 fallback_blocks=pickle_blocks,
+                                 slots=n_slots, slot_bytes=slot_bytes,
+                                 bytes=shm_bytes, workers=processes)
+                yield block
+    finally:
+        for segment in segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
 
 
 def _account_block(job: SeriesJob, worker_perf: PerfRegistry | None,

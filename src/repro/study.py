@@ -41,6 +41,7 @@ from .platform.cloud import build_cloud_platform
 from .platform.cluster import Platform
 from .workload.azure import generate_azure_workload
 from .workload.generator import GeneratedWorkload, generate_nep_workload
+from .workload.streaming import WorkloadSink, resolve_streaming
 
 
 class EdgeStudy:
@@ -54,7 +55,8 @@ class EdgeStudy:
 
     def __init__(self, scenario: Scenario = DEFAULT_SCENARIO,
                  jobs: int = 1, cache: ArtifactCache | None = None,
-                 journal: RunJournal | None = None) -> None:
+                 journal: RunJournal | None = None,
+                 streaming: str = "auto") -> None:
         self.scenario = scenario
         #: Worker processes for workload generation (0 was "all cores").
         self.jobs = resolve_jobs(jobs)
@@ -62,6 +64,10 @@ class EdgeStudy:
         self.cache = cache
         #: Optional run journal; every layer below reports through it.
         self.journal = journal
+        #: Whether workload series stream to sharded disk storage instead
+        #: of living in-process.  ``"auto"`` switches on at city-tier VM
+        #: counts; an execution knob only — results are bit-identical.
+        self.streaming = resolve_streaming(streaming, scenario)
         self.perf = PerfRegistry(journal=journal)
         self.phases = PhaseLedger(journal=journal)
         if journal is not None:
@@ -79,14 +85,30 @@ class EdgeStudy:
         generation entirely (the returned series are memory-mapped from
         the cache entry); a miss builds with this study's ``jobs``
         setting and stores the result for the next invocation.
+
+        With :attr:`streaming` on, rendered series rows flow through a
+        :class:`~repro.workload.streaming.WorkloadSink` into sharded
+        on-disk storage as they are produced — directly into the cache
+        entry when a cache is configured (no separate store step), or
+        into a self-cleaning spill directory otherwise.  Either way the
+        returned dataset serves its series from memory maps and the
+        parent's working set stays bounded.
         """
         if self.cache is not None:
             cached = self.cache.get_workload(name, self.scenario)
             if cached is not None:
                 self.perf.count(f"cache_hit:{name}")
                 return cached
-        workload = builder(self.scenario, jobs=self.jobs, perf=self.perf)
-        if self.cache is not None:
+        sink = None
+        if self.streaming:
+            if self.cache is not None:
+                sink = WorkloadSink.for_cache(self.cache, name,
+                                              self.scenario)
+            else:
+                sink = WorkloadSink.spill(journal=self.journal)
+        workload = builder(self.scenario, jobs=self.jobs, perf=self.perf,
+                           sink=sink)
+        if self.cache is not None and sink is None:
             with self.perf.span(f"cache_store:{name}"):
                 self.cache.put_workload(name, self.scenario, workload)
         return workload
@@ -279,7 +301,7 @@ class EdgeStudy:
 
 
 #: Scale names accepted by :func:`study_for` and the CLI's ``--scale``.
-SCALES = ("smoke", "default", "paper")
+SCALES = ("smoke", "default", "paper", "city")
 
 
 def scenario_for(scale: str, seed: int | None = None,
@@ -297,6 +319,8 @@ def scenario_for(scale: str, seed: int | None = None,
         scenario = Scenario.smoke_scale().with_overrides(seed=seed)
     elif scale == "paper":
         scenario = Scenario.paper_scale().with_overrides(seed=seed)
+    elif scale == "city":
+        scenario = Scenario.city_scale().with_overrides(seed=seed)
     else:
         raise ConfigurationError(
             f"unknown scale {scale!r}, expected one of {SCALES}")
@@ -307,21 +331,23 @@ def scenario_for(scale: str, seed: int | None = None,
 
 @lru_cache(maxsize=8)
 def _study_for(scale: str, seed: int, faults: str, jobs: int,
-               cache_dir: str | None) -> EdgeStudy:
+               cache_dir: str | None, streaming: str) -> EdgeStudy:
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
     return EdgeStudy(scenario_for(scale, seed, faults), jobs=jobs,
-                     cache=cache)
+                     cache=cache, streaming=streaming)
 
 
 def study_for(scale: str, seed: int | None = None,
               faults: str | None = None, jobs: int = 1,
-              cache_dir: str | None = None) -> EdgeStudy:
+              cache_dir: str | None = None,
+              streaming: str = "auto") -> EdgeStudy:
     """The shared study for a named scale, cached per argument tuple.
 
-    ``jobs`` is the worker-process count for workload generation and
+    ``jobs`` is the worker-process count for workload generation,
     ``cache_dir`` the root of the persistent artifact cache (``None``
-    disables caching) — both are execution knobs, so two calls differing
-    only there still share scenario *results* bit-for-bit.
+    disables caching), and ``streaming`` the out-of-core workload mode
+    (``"auto"``/``"on"``/``"off"``) — all execution knobs, so two calls
+    differing only there still share scenario *results* bit-for-bit.
     """
     if scale not in SCALES:
         raise ConfigurationError(
@@ -333,7 +359,8 @@ def study_for(scale: str, seed: int | None = None,
             f"{FAULT_PROFILES}")
     return _study_for(scale,
                       seed if seed is not None else DEFAULT_SCENARIO.seed,
-                      resolved_faults, resolve_jobs(jobs), cache_dir)
+                      resolved_faults, resolve_jobs(jobs), cache_dir,
+                      streaming)
 
 
 def default_study(seed: int | None = None) -> EdgeStudy:

@@ -10,7 +10,7 @@ stored as float32 arrays keyed by VM id, all aligned to the same clock
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -32,10 +32,13 @@ class TraceDataset:
     apps: dict[str, AppRecord] = field(default_factory=dict)
     sites: dict[str, SiteRecord] = field(default_factory=dict)
     servers: dict[str, ServerRecord] = field(default_factory=dict)
-    cpu_series: dict[str, np.ndarray] = field(default_factory=dict)
-    bw_series: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Series are ``Mapping[vm_id, row]``: plain dicts on the in-core
+    #: path, lazy :class:`repro.shards.ShardedSeriesMap` views when the
+    #: workload was streamed to disk (see :meth:`attach_series`).
+    cpu_series: Mapping[str, np.ndarray] = field(default_factory=dict)
+    bw_series: Mapping[str, np.ndarray] = field(default_factory=dict)
     #: Intra-site ("private") traffic, also reported by NEP's collector.
-    bw_private_series: dict[str, np.ndarray] = field(default_factory=dict)
+    bw_private_series: Mapping[str, np.ndarray] = field(default_factory=dict)
     #: Lazy reverse indexes (site/server/app -> vm ids); rebuilt after any
     #: add_vm.  The §4 analyses query these per site/server in loops, and
     #: a paper-scale fleet makes the naive full-table scan quadratic.
@@ -101,6 +104,36 @@ class TraceDataset:
                     f"VM {record.vm_id!r}: private bandwidth length mismatch"
                 )
             self.bw_private_series[record.vm_id] = bw_private.astype(np.float32)
+
+    def add_vm_record(self, record: VMRecord) -> None:
+        """Register a VM row *without* series (the streaming path).
+
+        The rendered rows travel through a
+        :class:`~repro.workload.streaming.WorkloadSink` instead and are
+        attached afterwards via :meth:`attach_series`; value/shape
+        validation happens in the sink, in the same terms as
+        :meth:`add_vm`.
+
+        Raises:
+            TraceError: on duplicate ids.
+        """
+        if record.vm_id in self.vms:
+            raise TraceError(f"duplicate VM id {record.vm_id!r}")
+        self.vms[record.vm_id] = record
+        self._site_index = self._server_index = self._app_index = None
+
+    def attach_series(self, cpu: Mapping[str, np.ndarray],
+                      bw: Mapping[str, np.ndarray],
+                      bw_private: Mapping[str, np.ndarray] | None = None,
+                      ) -> None:
+        """Attach complete series mappings (streamed or cache-loaded).
+
+        Replaces the series wholesale; callers guarantee the mappings
+        cover every registered VM (checked by :meth:`validate`).
+        """
+        self.cpu_series = cpu
+        self.bw_series = bw
+        self.bw_private_series = bw_private if bw_private is not None else {}
 
     # ---- lookups ----------------------------------------------------------
 

@@ -35,17 +35,21 @@ INDIVIDUAL_FRACTION = 0.35
 def generate_azure_workload(scenario: Scenario, name: str = "Azure",
                             jobs: int = 1,
                             perf: PerfRegistry | None = None,
-                            ) -> GeneratedWorkload:
+                            sink=None) -> GeneratedWorkload:
     """Generate the Azure-like comparison dataset for a scenario.
 
-    ``jobs``/``perf`` behave as in
+    ``jobs``/``perf``/``sink`` behave as in
     :func:`repro.workload.generator.generate_nep_workload`.
     """
     from ..parallel import run_series_jobs
 
     random = scenario.random
+    # The fixed 300-server regions fit every historical scale (<= 20k
+    # VMs, so scenarios up to paper scale keep their golden digests);
+    # the city tier needs the fleet to grow with the VM budget.
+    servers_per_region = max(300, scenario.azure_vm_count // 200)
     platform = build_cloud_platform(scenario, name=name, region_count=8,
-                                    servers_per_region=300)
+                                    servers_per_region=servers_per_region)
     policy = RandomPolicy(random.stream("azure-placement"))
     app_rng = random.stream("azure-apps")
 
@@ -103,22 +107,40 @@ def generate_azure_workload(scenario: Scenario, name: str = "Azure",
     # ---- series stage (parallel across apps) -------------------------
     blocks = run_series_jobs([job for job, _, _ in pending], scenario,
                              AZURE_RECIPE, n_jobs=jobs, perf=perf)
-    for (job, placed_vms, spec), block in zip(pending, blocks):
-        for offset, vm in enumerate(placed_vms):
-            site = platform.site(vm.site_id)
-            record = VMRecord(
-                vm_id=vm.vm_id, app_id=job.app_id,
-                customer_id=vm.customer_id,
-                site_id=vm.site_id, server_id=vm.server_id,
-                city=site.city, province=site.province,
-                category=job.profile.category, image_id=vm.image_id,
-                os_type=vm.os_type,
-                cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
-                disk_gb=spec.disk_gb,
-                bandwidth_mbps=float(np.ceil(block.mean_bws[offset] * 3.0)),
-            )
-            dataset.add_vm(record, block.cpu_rows[offset],
-                           block.bw_rows[offset])
+    if sink is not None:
+        sink.begin(dataset.cpu_points, dataset.bw_points,
+                   AZURE_RECIPE.private)
+    try:
+        for (job, placed_vms, spec), block in zip(pending, blocks):
+            vm_ids = []
+            for offset, vm in enumerate(placed_vms):
+                site = platform.site(vm.site_id)
+                record = VMRecord(
+                    vm_id=vm.vm_id, app_id=job.app_id,
+                    customer_id=vm.customer_id,
+                    site_id=vm.site_id, server_id=vm.server_id,
+                    city=site.city, province=site.province,
+                    category=job.profile.category, image_id=vm.image_id,
+                    os_type=vm.os_type,
+                    cpu_cores=spec.cpu_cores, memory_gb=spec.memory_gb,
+                    disk_gb=spec.disk_gb,
+                    bandwidth_mbps=float(
+                        np.ceil(block.mean_bws[offset] * 3.0)),
+                )
+                if sink is None:
+                    dataset.add_vm(record, block.cpu_rows[offset],
+                                   block.bw_rows[offset])
+                else:
+                    dataset.add_vm_record(record)
+                    vm_ids.append(vm.vm_id)
+            if sink is not None:
+                sink.consume(vm_ids, block)
+        if sink is not None:
+            sink.finalize(platform, dataset)
+    except BaseException:
+        if sink is not None:
+            sink.abort()
+        raise
 
     dataset.validate()
     platform.validate()

@@ -44,13 +44,24 @@ class SeasonCache:
     Every VM of every app with the same category recomputed the same
     seasonal curve; at paper scale that alone was minutes of work.  The
     cache holds one row per pattern per time axis (cpu and bw).
+
+    The axis is identified by a stable value token — length plus first
+    and last minute — rather than ``id(minutes)``: object ids are
+    recycled after garbage collection, so an id-keyed cache could serve
+    a curve computed for a *different* (freed) axis, and conversely
+    never hits when equal axes are rebuilt per call.
     """
 
     def __init__(self) -> None:
-        self._cache: dict[tuple[str, int], np.ndarray] = {}
+        self._cache: dict[tuple[str, int, float, float], np.ndarray] = {}
+
+    @staticmethod
+    def axis_token(minutes: np.ndarray) -> tuple[int, float, float]:
+        """A stable identity for one time axis (length, first, last)."""
+        return (minutes.shape[0], float(minutes[0]), float(minutes[-1]))
 
     def get(self, pattern_name: str, minutes: np.ndarray) -> np.ndarray:
-        key = (pattern_name, id(minutes))
+        key = (pattern_name, *self.axis_token(minutes))
         curve = self._cache.get(key)
         if curve is None:
             curve = pattern(pattern_name)(minutes)

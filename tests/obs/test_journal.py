@@ -157,3 +157,36 @@ class TestMisc:
             assert not VOLATILE_FIELDS & set(event)
         # and keeps everything else
         assert canonical_events(journal.events)[0]["phase"] == "p"
+
+    def test_canonical_events_drops_volatile_event_types(self):
+        from repro.obs import VOLATILE_EVENT_TYPES
+
+        assert {"chunk_spill", "shm_handoff"} <= VOLATILE_EVENT_TYPES
+        journal = RunJournal(None)
+        journal.emit("phase_begin", phase="p")
+        journal.emit("chunk_spill", kind="cpu", shard=0, rows=64,
+                     bytes=1024)
+        journal.emit("shm_handoff", blocks=3, fallback_blocks=0, slots=4,
+                     slot_bytes=128, bytes=4096, workers=2)
+        journal.emit("phase_end", phase="p", status="ok", wall_s=0.1)
+        canonical = canonical_events(journal.events)
+        assert [e["type"] for e in canonical] == ["phase_begin", "phase_end"]
+        # seq is renumbered densely so streamed and in-core runs of the
+        # same scenario canonicalise byte-identically.
+        assert [e["seq"] for e in canonical] == [0, 1]
+
+    def test_canonical_equality_across_streaming(self):
+        """A streamed run and an in-core run canonicalise identically."""
+        from repro.workload.generator import generate_nep_workload
+        from repro.workload.streaming import WorkloadSink
+
+        def run(streamed: bool) -> list[dict]:
+            from repro.perf import PerfRegistry
+
+            journal = RunJournal(None)
+            perf = PerfRegistry(journal=journal)
+            sink = WorkloadSink.spill(journal=journal) if streamed else None
+            generate_nep_workload(SCENARIO, perf=perf, sink=sink)
+            return canonical_events(journal.events)
+
+        assert run(streamed=False) == run(streamed=True)

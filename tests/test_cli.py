@@ -63,6 +63,22 @@ class TestParser:
         assert str(args.cache_dir) == "/tmp/c"
         assert args.no_cache is True
 
+    def test_streaming_defaults_to_auto(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.streaming == "auto"
+
+    def test_streaming_modes_accepted(self):
+        for mode in ("auto", "on", "off"):
+            args = build_parser().parse_args(
+                ["run", "fig3", "--streaming", mode])
+            assert args.streaming == mode
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--streaming", "half"])
+
+    def test_city_scale_accepted(self):
+        args = build_parser().parse_args(["run", "fig3", "--scale", "city"])
+        assert args.scale == "city"
+
     def test_cache_subcommand(self):
         args = build_parser().parse_args(["cache", "ls"])
         assert args.command == "cache"
@@ -137,6 +153,21 @@ class TestCacheCommand:
         assert "removed 2" in capsys.readouterr().out
         assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_sharded_entries_reported_by_ls_and_info(self, capsys, tmp_path):
+        assert main(["run", "fig8", "--streaming", "on",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out  # the column header
+        workload_rows = [line for line in out.splitlines()
+                         if "workload_nep" in line]
+        assert workload_rows and "workload-shards" in workload_rows[0]
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        info_out = capsys.readouterr().out
+        assert "sharded:" in info_out
+        assert "2 entries" in info_out  # both platform workloads streamed
 
     def test_no_cache_leaves_cache_untouched(self, capsys, tmp_path):
         assert main(["run", "table1", "--no-cache",

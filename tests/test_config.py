@@ -82,6 +82,23 @@ class TestScenario:
         assert smoke.nep_vm_count < full.nep_vm_count
         assert smoke.trace_days < full.trace_days
 
+    def test_city_scale_is_the_big_tier(self):
+        city, paper = Scenario.city_scale(), Scenario.paper_scale()
+        assert city.nep_vm_count == 1_000_000
+        assert city.azure_vm_count == 1_000_000
+        assert city.nep_site_count == 4000
+        assert city.trace_days == 92
+        assert city.cpu_interval_minutes == 1
+        assert city.nep_vm_count > paper.nep_vm_count
+
+    def test_city_scale_accepts_overrides(self):
+        shrunk = Scenario.city_scale().with_overrides(
+            nep_vm_count=400, azure_vm_count=400, nep_site_count=60,
+            seed=5)
+        assert shrunk.seed == 5
+        assert shrunk.nep_vm_count == 400
+        assert shrunk.trace_days == 92  # keeps the tier's resolution
+
     def test_random_property_reproducible(self):
         sc = Scenario(seed=99)
         a = sc.random.stream("s").random(4)

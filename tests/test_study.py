@@ -58,6 +58,52 @@ class TestFacade:
         # Served from cache: the warm run renders no series at all.
         assert "series_render" not in warm.perf.spans
 
+    def test_streamed_study_populates_sharded_cache(self, tmp_path):
+        from repro import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        scenario = Scenario.smoke_scale().with_overrides(seed=606)
+        cold = EdgeStudy(scenario, cache=cache, streaming="on")
+        cold.nep
+        entry = next(e for e in cache.entries()
+                     if e.artifact == "workload_nep")
+        assert entry.kind == "workload-shards"
+        assert entry.shards > 0
+        warm = EdgeStudy(scenario, cache=cache, streaming="on")
+        warm.nep
+        assert warm.perf.counters["cache_hit:workload_nep"] == 1
+        assert "series_render" not in warm.perf.spans
+
+    def test_streaming_is_part_of_study_key(self):
+        assert (study_for("smoke", streaming="on")
+                is not study_for("smoke"))
+        assert (study_for("smoke", streaming="on")
+                is study_for("smoke", streaming="on"))
+
+
+class TestCityTier:
+    def test_scenario_for_city(self):
+        from repro.study import SCALES, scenario_for
+
+        assert "city" in SCALES
+        city = scenario_for("city", seed=3)
+        assert city.seed == 3
+        assert city.nep_vm_count == 1_000_000
+        assert city.trace_days == 92
+
+    def test_city_studies_stream_automatically(self):
+        from repro.study import scenario_for
+        from repro.workload.streaming import resolve_streaming
+
+        assert resolve_streaming("auto", scenario_for("city")) is True
+        assert EdgeStudy(scenario_for("smoke")).streaming is False
+
+    def test_unknown_scale_rejected(self):
+        from repro.study import scenario_for
+
+        with pytest.raises(ConfigurationError):
+            scenario_for("continental")
+
 
 class TestFaultWiring:
     def test_faults_off_by_default(self, study):

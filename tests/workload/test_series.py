@@ -110,3 +110,55 @@ class TestPrivateSeries:
 
     def test_peak_to_mean_of_zero_series(self):
         assert peak_to_mean_ratio(np.zeros(10)) == 0.0
+
+
+class TestSeasonCache:
+    """Regression: the cache keys on axis *values*, never ``id()``.
+
+    The original implementation keyed on ``(pattern, id(minutes))``;
+    object ids are recycled after garbage collection, so a fresh axis
+    could silently be served a curve computed for a freed, different
+    one — and equal axes rebuilt per call never hit at all.
+    """
+
+    def test_equal_axes_hit_regardless_of_identity(self):
+        from repro.workload.series import SeasonCache
+
+        cache = SeasonCache()
+        first = cache.get("business_hours", time_axis_minutes(14, 5))
+        # A distinct-but-equal array (different id) must hit the cache.
+        second = cache.get("business_hours", time_axis_minutes(14, 5))
+        assert second is first
+
+    def test_different_axes_never_collide(self):
+        from repro.workload.series import SeasonCache
+
+        cache = SeasonCache()
+        curves = {}
+        for days, interval in [(14, 5), (14, 15), (7, 5)]:
+            axis = time_axis_minutes(days, interval)
+            curve = cache.get("evening_entertainment", axis)
+            curves[(days, interval)] = curve
+            assert curve.shape == axis.shape
+        del axis  # free the last axis: its id may now be recycled
+        fresh = cache.get("evening_entertainment", time_axis_minutes(28, 5))
+        assert all(fresh is not curve for curve in curves.values())
+        assert fresh.size == time_axis_minutes(28, 5).size
+
+    def test_token_is_a_pure_value(self):
+        from repro.workload.series import SeasonCache
+
+        a = time_axis_minutes(14, 5)
+        b = a.copy()
+        assert SeasonCache.axis_token(a) == SeasonCache.axis_token(b)
+        assert (SeasonCache.axis_token(a)
+                != SeasonCache.axis_token(time_axis_minutes(7, 5)))
+
+    def test_distinct_patterns_distinct_entries(self):
+        from repro.workload.series import SeasonCache
+
+        cache = SeasonCache()
+        axis = time_axis_minutes(14, 5)
+        flat = cache.get("flat", axis)
+        busy = cache.get("business_hours", axis)
+        assert not np.array_equal(flat, busy)
