@@ -4,20 +4,51 @@ Each benchmark module regenerates one table or figure of the paper from
 the shared full-scale study, prints the measured values next to the
 paper's, and times the analysis step with pytest-benchmark.  Expensive
 inputs (platforms, traces, campaigns) are session-scoped so the suite
-builds them once.
+builds them once — and persist across *invocations* through the
+artifact cache: the ``study`` fixture reads/writes the cache rooted at
+``$REPRO_BENCH_CACHE_DIR`` (default: the library cache at
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; set it to the empty string
+to force cold rebuilds).
+
+The six ablation modules no longer compute anything locally: a single
+session-scoped sweep (``sweeps/ablations.toml``) regenerates the whole
+ablation campaign through ``repro.sweep``, sharing the same artifact
+cache, and each module renders its cell's stored result.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
-from repro import default_study
+from repro import study_for
+from repro.cache import default_cache_dir
+from repro.sweep import load_sweep_spec, run_sweep
+from repro.sweep.runner import CELLS_DIR, RESULT_NAME
+
+#: Environment override for the benchmarks' artifact-cache root.
+#: Unset -> the library default; empty string -> caching disabled.
+CACHE_ENV = "REPRO_BENCH_CACHE_DIR"
+
+#: Sweep configs shipped with the benchmarks.
+SWEEPS_DIR = Path(__file__).parent / "sweeps"
+
+
+def bench_cache_dir() -> str | None:
+    """The artifact-cache root benchmarks share (None = disabled)."""
+    root = os.environ.get(CACHE_ENV)
+    if root is not None:
+        return root or None
+    return str(default_cache_dir())
 
 
 @pytest.fixture(scope="session")
 def study():
     """The shared full-scale study used by every figure benchmark."""
-    return default_study()
+    return study_for("default", cache_dir=bench_cache_dir())
 
 
 @pytest.fixture(scope="session")
@@ -33,6 +64,33 @@ def nep_dataset(study):
 @pytest.fixture(scope="session")
 def azure_dataset(study):
     return study.azure.dataset
+
+
+class AblationSweep:
+    """Accessor over the session ablation sweep's output directory."""
+
+    def __init__(self, out_dir: Path):
+        self.out_dir = out_dir
+
+    def outcome(self, cell: str) -> dict:
+        """The stored ``AnalysisResult`` dict of one ablation cell."""
+        result = json.loads(
+            (self.out_dir / CELLS_DIR / cell / RESULT_NAME).read_text(
+                encoding="utf-8"))
+        assert result["status"] == "ok", \
+            f"ablation cell {cell} failed: {result['error']}"
+        [analysis] = result["analyses"]
+        return analysis
+
+
+@pytest.fixture(scope="session")
+def ablation_sweep(tmp_path_factory) -> AblationSweep:
+    """Run the whole ablation campaign once, through the orchestrator."""
+    spec = load_sweep_spec(SWEEPS_DIR / "ablations.toml")
+    out_dir = tmp_path_factory.mktemp("ablation-sweep")
+    result = run_sweep(spec, out_dir, cache_dir=bench_cache_dir())
+    assert result.ok, f"ablation sweep failed: {', '.join(result.failed)}"
+    return AblationSweep(out_dir)
 
 
 def emit(text: str) -> None:

@@ -3,71 +3,17 @@
 The paper's implication — "NEP needs to deploy denser sites" — made
 quantitative: sweep the deployment from cloud-like (12 sites) to beyond
 NEP (1000 sites) and measure the median nearest-edge RTT for WiFi users.
+
+The computation lives in :func:`repro.core.ablations.run_density_ablation`
+and runs through the session ablation sweep (``sweeps/ablations.toml``);
+this module renders the sweep cell's stored result.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.geo import CHINA_CITIES, place_edge_sites
-from repro.netsim.latency import LatencyModel
-from repro.netsim.access import AccessType
-from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
 
-DENSITIES = (12, 60, 250, 520, 1000)
-USERS = 40
-
-
-def _median_nearest_rtt(site_count: int, rng) -> float:
-    sites = place_edge_sites(site_count, rng)
-    model = LatencyModel(rng)
-    medians = []
-    for _ in range(USERS):
-        home = CHINA_CITIES[int(rng.integers(0, len(CHINA_CITIES)))]
-        location = home.location.jitter(float(rng.uniform(-0.15, 0.15)),
-                                        float(rng.uniform(-0.15, 0.15)))
-        ue = UESpec("user", location, AccessType.WIFI)
-        nearest = sorted(sites,
-                         key=lambda s: s.location.distance_km(location))[:3]
-        rtts = []
-        for site in nearest:
-            route = build_route(
-                ue, TargetSiteSpec("edge", site.location, True), rng)
-            rtts.append(float(model.sample_many(route, 10).mean()))
-        medians.append(min(rtts))
-    return float(np.median(medians))
-
-
-def test_ablation_site_density(benchmark, study):
-    rng = study.scenario.random.stream("ablation-density")
-
-    def compute():
-        return {count: _median_nearest_rtt(count, rng)
-                for count in DENSITIES}
-
-    rtts = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [(count, rtt) for count, rtt in rtts.items()]
-    values = [rtts[c] for c in DENSITIES]
-    checks = [
-        check_ordering("denser deployment lowers the nearest-edge RTT",
-                       "RTT non-increasing in site count (to noise)",
-                       values[0] > values[-1]
-                       and values[1] >= values[-1] - 1.0,
-                       " -> ".join(f"{v:.1f}" for v in values)),
-        check_ordering("cloud-like density cannot reach edge latency",
-                       "12 sites >= 1.3x the RTT of 520 sites",
-                       values[0] >= 1.3 * rtts[520],
-                       f"{values[0]:.1f} vs {rtts[520]:.1f} ms"),
-        check_ordering("diminishing returns past NEP's density",
-                       "520 -> 1000 sites saves < 520's absolute RTT x25%",
-                       rtts[520] - rtts[1000] < 0.25 * rtts[520],
-                       f"saving {rtts[520] - rtts[1000]:.1f} ms"),
-        check_ordering("even 1000 sites stay above the MEC vision",
-                       "WiFi floor: access+metro ~ 12 ms",
-                       rtts[1000] > 10.0, f"{rtts[1000]:.1f} ms"),
-    ]
-    emit(format_table(["sites", "median nearest-edge RTT (ms)"], rows,
-                      title="Ablation — deployment density (WiFi)"))
-    emit(comparison_block("Density ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_site_density(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("density"), rounds=1, iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

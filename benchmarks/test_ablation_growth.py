@@ -5,61 +5,17 @@ to NEP frequently ... this also explains why the resource usage skewness
 is more severe across sites than servers".  Replays the build-out with
 geo-scoped demand and compares it against a static (all-sites-on-day-one)
 counterfactual.
+
+The computation lives in :func:`repro.core.ablations.run_growth_ablation`
+and runs through the session ablation sweep (``sweeps/ablations.toml``);
+this module renders the sweep cell's stored result.
 """
 
 from conftest import emit
 
-from repro.config import Scenario
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.platform.growth import simulate_growth
 
-SCENARIO = Scenario.smoke_scale().with_overrides(seed=20211102)
-EPOCHS = 6
-REQUESTS = 12
-
-
-def test_ablation_platform_growth(benchmark):
-    def compute():
-        grown = simulate_growth(SCENARIO, epochs=EPOCHS,
-                                initial_fraction=0.2,
-                                requests_per_epoch=REQUESTS)
-        static = simulate_growth(SCENARIO, epochs=EPOCHS,
-                                 initial_fraction=1.0,
-                                 requests_per_epoch=REQUESTS)
-        return grown, static
-
-    grown, static = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [(e.index, e.active_sites, e.placed_vms, e.skew,
-             static.epochs[e.index].skew)
-            for e in grown.epochs]
-    emit(format_table(
-        ["epoch", "active sites", "VMs", "skew (growth)",
-         "skew (static)"], rows,
-        title="Ablation — build-out vs static deployment"))
-
-    by_epoch = grown.rate_by_activation_epoch()
-    emit(format_table(
-        ["activation epoch", "mean final sales rate"],
-        [(epoch, rate) for epoch, rate in by_epoch.items()],
-        title="Sales rate by site age (growth run)"))
-
-    first, last = by_epoch[0], by_epoch[max(by_epoch)]
-    checks = [
-        check_ordering("growth amplifies across-site skew",
-                       "final skew above the static counterfactual",
-                       grown.final_skew > static.final_skew,
-                       f"{grown.final_skew:.0f}x vs "
-                       f"{static.final_skew:.0f}x"),
-        check_ordering("young sites sit near-empty",
-                       "day-one sites outsell the newest cohort",
-                       first > 3 * max(last, 1e-6),
-                       f"{first:.4f} vs {last:.4f} mean sales rate"),
-        check_ordering("skew grows while the platform builds out",
-                       "later epochs more skewed than the first",
-                       grown.epochs[-1].skew > grown.epochs[0].skew,
-                       f"{grown.epochs[0].skew:.0f}x -> "
-                       f"{grown.epochs[-1].skew:.0f}x"),
-    ]
-    emit(comparison_block("Growth ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_platform_growth(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("growth"), rounds=1, iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

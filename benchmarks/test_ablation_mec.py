@@ -5,89 +5,17 @@ meet cloud-VR (5-20 ms) or auto-driving (10 ms) budgets, and prescribes
 sinking resources "into the ISP's core networks or even cellular base
 stations".  This ablation deploys a hypothetical MEC server co-located
 with the access network and measures what that buys per access type.
+
+The computation lives in :func:`repro.core.ablations.run_mec_ablation`
+and runs through the session ablation sweep (``sweeps/ablations.toml``);
+this module renders the sweep cell's stored result.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.geo import CHINA_CITIES
-from repro.netsim.access import AccessType
-from repro.netsim.latency import LatencyModel
-from repro.netsim.routing import TargetSiteSpec, UESpec, build_route
 
-USERS = 30
-AUTO_DRIVING_BUDGET_MS = 10.0  # 5GAA requirement the paper cites
-
-
-def _median_rtts(study, access, rng):
-    """(median nearest-NEP RTT, median MEC RTT) for one access type."""
-    platform = study.nep.platform
-    model = LatencyModel(rng)
-    nep_rtts, mec_rtts = [], []
-    for _ in range(USERS):
-        home = CHINA_CITIES[int(rng.integers(0, len(CHINA_CITIES)))]
-        location = home.location.jitter(float(rng.uniform(-0.1, 0.1)),
-                                        float(rng.uniform(-0.1, 0.1)))
-        ue = UESpec("user", location, access)
-        best = None
-        for site in platform.nearest_sites(location, count=3):
-            route = build_route(
-                ue, TargetSiteSpec(site.site_id, site.location, True), rng)
-            rtt = float(model.sample_many(route, 10).mean())
-            best = rtt if best is None else min(best, rtt)
-        nep_rtts.append(best)
-        mec_route = build_route(
-            ue, TargetSiteSpec("mec", location, True,
-                               colocated_with_access=True), rng)
-        mec_rtts.append(float(model.sample_many(mec_route, 10).mean()))
-    return float(np.median(nep_rtts)), float(np.median(mec_rtts))
-
-
-def test_ablation_mec_deployment(benchmark, study):
-    rng = study.scenario.random.stream("ablation-mec")
-
-    def compute():
-        return {access: _median_rtts(study, access, rng)
-                for access in (AccessType.WIFI, AccessType.LTE,
-                               AccessType.FIVE_G)}
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [(access.value, nep, mec, nep - mec,
-             "yes" if mec <= AUTO_DRIVING_BUDGET_MS else "no")
-            for access, (nep, mec) in results.items()]
-    wifi_nep, wifi_mec = results[AccessType.WIFI]
-    lte_nep, lte_mec = results[AccessType.LTE]
-    five_g_nep, five_g_mec = results[AccessType.FIVE_G]
-    checks = [
-        check_ordering("today's NEP misses the 10 ms auto-driving budget",
-                       "nearest NEP > 10 ms on every access",
-                       all(nep > AUTO_DRIVING_BUDGET_MS
-                           for nep, _ in results.values()),
-                       " / ".join(f"{a.value}: {nep:.1f} ms"
-                                  for a, (nep, _) in results.items())),
-        check_ordering("MEC strictly improves on NEP",
-                       "co-located server faster everywhere",
-                       all(mec < nep for nep, mec in results.values()),
-                       " / ".join(f"{a.value}: -{nep - mec:.1f} ms"
-                                  for a, (nep, mec) in results.items())),
-        check_ordering("WiFi gains the most from MEC",
-                       "metro core removed (~40% of WiFi RTT)",
-                       (wifi_nep - wifi_mec) > (five_g_nep - five_g_mec),
-                       f"WiFi -{wifi_nep - wifi_mec:.1f} ms vs 5G "
-                       f"-{five_g_nep - five_g_mec:.1f} ms"),
-        check_ordering("LTE stays above the budget even with MEC",
-                       "the 26 ms packet core is the floor",
-                       lte_mec > AUTO_DRIVING_BUDGET_MS,
-                       f"{lte_mec:.1f} ms"),
-        check_ordering("MEC approaches the budget on WiFi/5G",
-                       "within ~2 ms of the 10 ms line",
-                       wifi_mec <= 12.0 and five_g_mec <= 12.0,
-                       f"WiFi {wifi_mec:.1f} / 5G {five_g_mec:.1f} ms"),
-    ]
-    emit(format_table(["access", "nearest NEP (ms)", "MEC (ms)",
-                       "saving (ms)", "meets 10 ms budget"], rows,
-                      title="Ablation — NEP today vs the MEC vision"))
-    emit(comparison_block("MEC ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_mec_deployment(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("mec"), rounds=1, iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

@@ -4,87 +4,18 @@
 fragmentation.  This ablation quantifies the trade-off: NEP's policy
 balances server load but occupies more servers (worse consolidation)
 than best-fit, with random placement as the null baseline.
+
+The computation lives in
+:func:`repro.core.ablations.run_placement_ablation` and runs through
+the session ablation sweep (``sweeps/ablations.toml``); this module
+renders the sweep cell's stored result.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.config import Scenario
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.platform.nep import build_nep_platform
-from repro.platform.placement import (
-    BestFitPolicy,
-    NepPlacementPolicy,
-    RandomPolicy,
-    SubscriptionRequest,
-)
-from repro.workload.subscription import sample_nep_spec
 
-SCENARIO = Scenario.smoke_scale().with_overrides(nep_site_count=30)
-REQUESTS = 40
-
-
-def _run_policy(policy_factory):
-    scenario = SCENARIO
-    platform = build_nep_platform(scenario)
-    rng = scenario.random.stream("ablation-placement")
-    policy = policy_factory(rng)
-    for index in range(REQUESTS):
-        from repro.platform.entities import App, Customer
-        customer = Customer(f"c{index}", f"cust-{index}")
-        platform.register_customer(customer)
-        platform.register_app(App(f"a{index}", customer.customer_id,
-                                  "cdn", f"img{index}"))
-        request = SubscriptionRequest(
-            customer_id=customer.customer_id, app_id=f"a{index}",
-            image_id=f"img{index}", spec=sample_nep_spec(rng),
-            vm_count=int(rng.integers(2, 8)),
-        )
-        policy.place(platform, request)
-    rates = np.array([s.cpu_sales_rate()
-                      for s in platform.iter_servers()])
-    used = int(np.count_nonzero(rates))
-    loaded = rates[rates > 0]
-    return {
-        "servers_used": used,
-        "load_std": float(loaded.std()),
-        "max_load": float(loaded.max()),
-        "vms": len(platform.vms),
-    }
-
-
-def test_ablation_placement_policies(benchmark):
-    def compute():
-        return {
-            "nep-low-usage": _run_policy(lambda rng: NepPlacementPolicy()),
-            "best-fit": _run_policy(lambda rng: BestFitPolicy()),
-            "random": _run_policy(lambda rng: RandomPolicy(rng)),
-        }
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [(name, r["vms"], r["servers_used"], r["load_std"],
-             r["max_load"]) for name, r in results.items()]
-    nep, best_fit = results["nep-low-usage"], results["best-fit"]
-    checks = [
-        check_ordering("NEP spreads load wider than best-fit",
-                       "NEP uses more servers",
-                       nep["servers_used"] > best_fit["servers_used"],
-                       f"{nep['servers_used']} vs "
-                       f"{best_fit['servers_used']} servers"),
-        check_ordering("best-fit consolidates into hotter servers",
-                       "best-fit max load above NEP's",
-                       best_fit["max_load"] >= nep["max_load"],
-                       f"{best_fit['max_load']:.2f} vs "
-                       f"{nep['max_load']:.2f}"),
-        check_ordering("NEP's loaded servers are more even",
-                       "NEP per-server load std below best-fit's",
-                       nep["load_std"] <= best_fit["load_std"],
-                       f"{nep['load_std']:.3f} vs "
-                       f"{best_fit['load_std']:.3f}"),
-    ]
-    emit(format_table(["policy", "VMs placed", "servers used",
-                       "loaded-server std", "hottest server"], rows,
-                      title="Ablation — placement policies"))
-    emit(comparison_block("Placement ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_placement_policies(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("placement"), rounds=1, iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

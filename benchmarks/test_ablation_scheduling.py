@@ -4,74 +4,19 @@ The paper shows production customers' nearest-site routing leaves one
 VM above the 80% safety threshold while siblings idle, and proposes
 load-aware scheduling with a bounded detour.  This ablation measures
 both the hotspot reduction and the detour cost on the simulated NEP.
+
+The computation lives in
+:func:`repro.core.ablations.run_scheduling_ablation` and runs through
+the session ablation sweep (``sweeps/ablations.toml``); this module
+renders the sweep cell's stored result.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.geo import CHINA_CITIES
-from repro.platform.scheduling import LoadAwareScheduler, NearestSiteScheduler
 
-REQUESTS = 400
-
-
-def test_ablation_request_scheduling(benchmark, study):
-    platform = study.nep.platform
-    dataset = study.nep.dataset
-    app_id = max(dataset.app_ids_with_vms(),
-                 key=lambda a: len(dataset.vms_of_app(a)))
-    rng = study.scenario.random.stream("ablation-scheduling")
-
-    def compute():
-        nearest = NearestSiteScheduler()
-        load_state = {vm.vm_id: 0.0
-                      for vm in platform.vms_of_app(app_id)}
-        gslb = LoadAwareScheduler(load=lambda v: load_state[v],
-                                  detour_km=300.0, overload=0.8)
-        nearest_hits: dict[str, int] = {}
-        gslb_hits: dict[str, int] = {}
-        nearest_km, gslb_km = [], []
-        for _ in range(REQUESTS):
-            user = CHINA_CITIES[
-                int(rng.integers(0, len(CHINA_CITIES)))].location
-            n = nearest.schedule(platform, app_id, user)
-            nearest_hits[n.vm_id] = nearest_hits.get(n.vm_id, 0) + 1
-            nearest_km.append(n.distance_km)
-            g = gslb.schedule(platform, app_id, user)
-            gslb_hits[g.vm_id] = gslb_hits.get(g.vm_id, 0) + 1
-            gslb_km.append(g.distance_km)
-            load_state[g.vm_id] += 1.0 / REQUESTS * 10
-        return nearest_hits, gslb_hits, nearest_km, gslb_km
-
-    nearest_hits, gslb_hits, nearest_km, gslb_km = benchmark.pedantic(
-        compute, rounds=1, iterations=1)
-
-    hotspot_nearest = max(nearest_hits.values())
-    hotspot_gslb = max(gslb_hits.values())
-    detour = float(np.mean(gslb_km)) - float(np.mean(nearest_km))
-    rows = [
-        ("hottest VM (requests)", hotspot_nearest, hotspot_gslb),
-        ("VMs serving traffic", len(nearest_hits), len(gslb_hits)),
-        ("mean user-VM distance (km)", float(np.mean(nearest_km)),
-         float(np.mean(gslb_km))),
-    ]
-    checks = [
-        check_ordering("GSLB flattens the hotspot",
-                       "hottest VM serves far fewer requests",
-                       hotspot_gslb < 0.6 * hotspot_nearest,
-                       f"{hotspot_nearest} -> {hotspot_gslb}"),
-        check_ordering("GSLB engages more of the fleet",
-                       "more VMs serve traffic",
-                       len(gslb_hits) > len(nearest_hits),
-                       f"{len(nearest_hits)} -> {len(gslb_hits)}"),
-        check_ordering("the detour stays bounded",
-                       "mean extra distance under the 300 km budget",
-                       0 <= detour <= 300.0,
-                       f"+{detour:.0f} km on average"),
-    ]
-    emit(format_table(["metric", "nearest-site", "load-aware GSLB"], rows,
-                      title=f"Ablation — request scheduling "
-                            f"(app {app_id})"))
-    emit(comparison_block("Scheduling ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_request_scheduling(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("scheduling"), rounds=1,
+        iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

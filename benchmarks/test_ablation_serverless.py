@@ -3,77 +3,19 @@
 Sweeps an app's duty cycle (hours of real traffic per day) and finds
 the crossover where FaaS stops being cheaper than the reserved VM —
 plus the cold-start latency price §5 warns about.
+
+The computation lives in
+:func:`repro.core.ablations.run_serverless_ablation` and runs through
+the session ablation sweep (``sweeps/ablations.toml``); this module
+renders the sweep cell's stored result.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core.report import check_ordering, comparison_block, format_table
-from repro.platform.serverless import FunctionSpec, compare_vm_vs_faas
 
-SPEC = FunctionSpec(name="api-backend", memory_mb=512, exec_ms=60.0,
-                    cold_start_ms=450.0)
-VM_MONTHLY_RMB = 260.0   # right-sized 2C/8G-class NEP VM
-VM_CAPACITY_RPS = 50.0
-DUTY_HOURS = (1, 3, 6, 12, 24)
-
-
-def test_ablation_vm_vs_serverless(benchmark, study):
-    rng = study.scenario.random.stream("ablation-faas")
-
-    def compute():
-        results = {}
-        for hours in DUTY_HOURS:
-            rate = np.zeros(48)
-            windows = hours * 2  # half-hour windows
-            rate[:windows] = 40.0
-            results[hours] = compare_vm_vs_faas(
-                rate, window_s=1800.0, spec=SPEC,
-                vm_monthly_rmb=VM_MONTHLY_RMB,
-                vm_capacity_rps=VM_CAPACITY_RPS, rng=rng)
-        return results
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [
-        (hours, VM_MONTHLY_RMB, r.faas_monthly_rmb,
-         "FaaS" if r.faas_cheaper else "VM",
-         r.faas_p95_latency_ms)
-        for hours, r in results.items()
-    ]
-    faas_costs = [results[h].faas_monthly_rmb for h in DUTY_HOURS]
-    checks = [
-        check_ordering("FaaS cost scales with duty cycle",
-                       "monotone in active hours",
-                       faas_costs == sorted(faas_costs),
-                       " -> ".join(f"{c:.0f}" for c in faas_costs)),
-        check_ordering("bursty apps favour FaaS",
-                       "1-3 active hours/day cheaper on FaaS",
-                       results[1].faas_cheaper and results[3].faas_cheaper,
-                       f"1h: {results[1].faas_monthly_rmb:.0f} RMB, "
-                       f"3h: {results[3].faas_monthly_rmb:.0f} RMB vs "
-                       f"VM {VM_MONTHLY_RMB:.0f}"),
-        check_ordering("steady apps favour the reserved VM",
-                       "24 active hours/day cheaper on the VM",
-                       not results[24].faas_cheaper,
-                       f"{results[24].faas_monthly_rmb:.0f} vs "
-                       f"{VM_MONTHLY_RMB:.0f} RMB"),
-    ]
-    # §5's latency caveat shows up on sparse traffic: with invocations
-    # minutes apart, every request lands on an expired pool.
-    sparse = compare_vm_vs_faas(
-        np.full(48, 0.002), window_s=1800.0, spec=SPEC,
-        vm_monthly_rmb=VM_MONTHLY_RMB, vm_capacity_rps=VM_CAPACITY_RPS,
-        rng=rng, keep_alive_s=300.0)
-    checks.append(check_ordering(
-        "cold starts poison sparse-traffic latency",
-        "FaaS p95 >> warm execution time (§5 caveat)",
-        sparse.faas_p95_latency_ms > 3 * SPEC.exec_ms,
-        f"p95 = {sparse.faas_p95_latency_ms:.0f} ms vs "
-        f"{SPEC.exec_ms:.0f} ms warm "
-        f"({sparse.faas_cold_start_fraction:.0%} cold)"))
-    emit(format_table(["active h/day", "VM (RMB/mo)", "FaaS (RMB/mo)",
-                       "winner", "FaaS p95 (ms)"], rows,
-                      title="Ablation — reserved VM vs serverless"))
-    emit(comparison_block("Serverless ablation", checks))
-    assert all(c.holds for c in checks)
+def test_ablation_vm_vs_serverless(benchmark, ablation_sweep):
+    outcome = benchmark.pedantic(
+        lambda: ablation_sweep.outcome("serverless"), rounds=1,
+        iterations=1)
+    emit(outcome["text"])
+    assert outcome["checks_ok"] == outcome["checks_total"]

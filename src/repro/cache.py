@@ -18,6 +18,13 @@ and ``code_version`` digests every ``*.py`` file of the installed
 cache — deliberately conservative: a stale artifact can silently skew
 every downstream figure, an unnecessary regeneration only costs time.
 
+The one deliberate widening: *workload* artifacts drop
+``fault_profile`` from their token (:data:`ARTIFACT_TOKEN_EXCLUDES`).
+Workload generation never reads the fault profile — faults are built
+separately and applied to campaigns and availability analyses — so a
+sweep over ``off``/``paper``/``harsh`` cells shares one rendered trace
+instead of paying the multi-minute render per profile.
+
 Layout and atomicity
 --------------------
 
@@ -50,6 +57,7 @@ evicted miss.
 
 from __future__ import annotations
 
+import calendar
 import hashlib
 import json
 import os
@@ -74,6 +82,16 @@ CACHE_FORMAT = 1
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Scenario fields excluded from specific artifacts' cache keys because
+#: the producing code provably never reads them.  Workload generation
+#: (:mod:`repro.workload.generator`, :mod:`repro.workload.azure`) only
+#: consumes topology/time/seed knobs — fault weather is built separately
+#: — so fault-profile sweeps reuse one rendered trace per scenario.
+ARTIFACT_TOKEN_EXCLUDES: dict[str, tuple[str, ...]] = {
+    "workload_nep": ("fault_profile",),
+    "workload_azure": ("fault_profile",),
+}
 
 
 def default_cache_dir() -> Path:
@@ -162,11 +180,17 @@ class ArtifactCache:
     # ---- keys ------------------------------------------------------------
 
     def key(self, artifact: str, scenario: Scenario) -> str:
-        """The content-addressed entry key for ``artifact`` + scenario."""
+        """The content-addressed entry key for ``artifact`` + scenario.
+
+        Artifacts listed in :data:`ARTIFACT_TOKEN_EXCLUDES` are keyed on
+        a reduced scenario token, so scenarios differing only in fields
+        the artifact ignores map to the same entry.
+        """
         if not artifact:
             raise ConfigurationError("artifact name must be non-empty")
+        exclude = ARTIFACT_TOKEN_EXCLUDES.get(artifact, ())
         payload = "|".join((str(CACHE_FORMAT), code_version(), artifact,
-                            scenario.cache_token()))
+                            scenario.cache_token(exclude=exclude)))
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _entry_dir(self, key: str) -> Path:
@@ -398,15 +422,58 @@ class ArtifactCache:
         found.sort(key=lambda e: e.created_at, reverse=True)
         return found
 
-    def clear(self) -> int:
-        """Remove every entry and stale staging dir; returns entries removed."""
-        removed = 0
-        for entry in self.entries():
+    def stale_entries(self,
+                      older_than_days: float | None = None
+                      ) -> list[CacheEntry]:
+        """Entries a ``clear`` with the same cutoff would remove.
+
+        ``None`` selects everything; otherwise entries created more than
+        ``older_than_days`` days ago.  An entry whose ``created_at``
+        does not parse counts as stale — its meta is damaged and a
+        warm load would evict it anyway.
+        """
+        entries = self.entries()
+        if older_than_days is None:
+            return entries
+        cutoff = time.time() - older_than_days * 86_400
+        stale = []
+        for entry in entries:
+            try:
+                created = calendar.timegm(time.strptime(
+                    entry.created_at, "%Y-%m-%dT%H:%M:%SZ"))
+            except ValueError:
+                created = 0.0
+            if created < cutoff:
+                stale.append(entry)
+        return stale
+
+    def clear(self, older_than_days: float | None = None,
+              dry_run: bool = False) -> int:
+        """Remove entries (and stale staging dirs); returns entries removed.
+
+        ``older_than_days`` limits removal to entries older than the
+        cutoff — the pruning mode behind ``repro cache clear
+        --older-than`` for long-lived sweep caches, which keeps warm
+        recent artifacts while reclaiming abandoned ones.  ``dry_run``
+        counts without deleting.  Staging directories are swept too:
+        all of them on a full clear, only ones older than the cutoff
+        otherwise (a live writer may own a fresh one).
+        """
+        stale = self.stale_entries(older_than_days)
+        if dry_run:
+            return len(stale)
+        for entry in stale:
             shutil.rmtree(entry.path, ignore_errors=True)
-            removed += 1
+        cutoff = (None if older_than_days is None
+                  else time.time() - older_than_days * 86_400)
         for staging in self.root.glob(".tmp-*"):
+            try:
+                if cutoff is not None and staging.stat().st_mtime >= cutoff:
+                    continue
+            except OSError:
+                pass
             shutil.rmtree(staging, ignore_errors=True)
-        return removed
+        return len(stale)
 
     def info(self) -> dict[str, object]:
         """Summary stats for ``repro cache info``."""

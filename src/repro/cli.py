@@ -9,6 +9,8 @@ Usage::
     python -m repro run all --log-json run.jsonl   # + structured journal
     python -m repro trace summary run.jsonl  # render a journal
     python -m repro export ./datasets        # the paper's two datasets
+    python -m repro sweep run grid.toml --jobs 2   # scenario sweep
+    python -m repro sweep report sweep-grid  # cross-cell comparison
 """
 
 from __future__ import annotations
@@ -82,10 +84,59 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent artifact cache")
     cache.add_argument("action", choices=("ls", "info", "clear"),
                        help="ls: list entries; info: totals; clear: "
-                            "remove everything")
+                            "remove everything (or --older-than)")
     cache.add_argument("--cache-dir", type=Path, default=None,
                        help="cache root (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache.add_argument("--older-than", type=int, default=None,
+                       metavar="DAYS",
+                       help="clear only: remove entries created more "
+                            "than DAYS days ago, keeping warm ones")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="clear only: report what would be removed "
+                            "without touching the cache")
+
+    sweep = sub.add_parser(
+        "sweep", help="run, inspect, or report a scenario sweep")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run (or resume) a sweep config")
+    sweep_run.add_argument("config", type=Path,
+                           help="sweep spec (.toml or .json; see "
+                                "docs/sweep.md)")
+    sweep_run.add_argument("--out", type=Path, default=None, metavar="DIR",
+                           help="output directory (default: "
+                                "sweep-<name> in the CWD); rerunning "
+                                "into it resumes")
+    sweep_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="concurrent cells (default: 1; 0 = all "
+                                "CPU cores)")
+    sweep_run.add_argument("--streaming", choices=STREAMING_MODES,
+                           default="auto",
+                           help="per-cell workload streaming mode "
+                                "(default: auto)")
+    sweep_run.add_argument("--cache-dir", type=Path, default=None,
+                           help="shared artifact cache enabling "
+                                "cross-cell dedup (default: "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep_run.add_argument("--no-cache", action="store_true",
+                           help="disable the shared cache (and with it "
+                                "cross-cell dedup)")
+    sweep_run.add_argument("-v", "--verbose", action="store_true",
+                           help="echo sweep journal events to stderr")
+    sweep_cells = sweep_sub.add_parser(
+        "cells", help="expand a config and list its cells (dry run)")
+    sweep_cells.add_argument("config", type=Path,
+                             help="sweep spec (.toml or .json)")
+    sweep_report = sweep_sub.add_parser(
+        "report", help="cross-cell comparison report of a sweep run")
+    sweep_report.add_argument("out", type=Path,
+                              help="sweep output directory")
+    sweep_report.add_argument("--baseline", default=None, metavar="CELL",
+                              help="cell to diff the others against "
+                                   "(default: the first cell)")
+    sweep_sub.add_parser("analyses",
+                         help="list the analysis ids cells can select")
 
     trace = sub.add_parser(
         "trace", help="render or compare run journals (see --log-json)")
@@ -276,10 +327,19 @@ def _command_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     cache = ArtifactCache(root)
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cache entr"
-              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        removed = cache.clear(older_than_days=args.older_than,
+                              dry_run=args.dry_run)
+        scope = (f" older than {args.older_than} day"
+                 f"{'' if args.older_than == 1 else 's'}"
+                 if args.older_than is not None else "")
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'}{scope} from {cache.root}")
         return 0
+    if args.older_than is not None or args.dry_run:
+        print("--older-than/--dry-run only apply to 'cache clear'",
+              file=sys.stderr)
+        return 2
     if args.action == "info":
         info = cache.info()
         print(f"root:         {info['root']}")
@@ -301,6 +361,52 @@ def _command_cache(args: argparse.Namespace) -> int:
         shards = str(entry.shards) if entry.shards else "-"
         print(f"{entry.created_at:<21}{entry.artifact:<22}{entry.kind:<16}"
               f"{shards:>7}{_human_bytes(entry.bytes):>11}  {entry.key[:16]}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (ANALYSES, load_sweep_spec, render_sweep_report,
+                        run_sweep, workload_group_token)
+
+    if args.sweep_command == "analyses":
+        for name in ANALYSES:
+            print(name)
+        return 0
+    if args.sweep_command == "report":
+        print(render_sweep_report(args.out, baseline=args.baseline))
+        return 0
+    spec = load_sweep_spec(args.config)
+    if args.sweep_command == "cells":
+        print(f"sweep {spec.name!r}: {len(spec.cells)} cells")
+        for cell in spec.cells:
+            overrides = " ".join(f"{k}={v}" for k, v in cell.overrides)
+            print(f"  {cell.name:<28} scale={cell.scale} "
+                  f"seed={cell.seed if cell.seed is not None else 'default'} "
+                  f"faults={cell.faults} jobs={cell.jobs} "
+                  f"group={workload_group_token(cell)} "
+                  f"analyses={','.join(cell.analyses)}"
+                  + (f" {overrides}" if overrides else ""))
+        return 0
+    out = args.out if args.out is not None else Path(f"sweep-{spec.name}")
+    result = run_sweep(
+        spec, out, cache_dir=_cache_dir_for(args), jobs=args.jobs,
+        streaming=args.streaming,
+        echo=_echo_event if args.verbose else None)
+    print(f"sweep {result.name!r}: {len(result.cells)} cells in "
+          f"{result.wall_s:.2f}s"
+          + (f" ({result.resumed} resumed)" if result.resumed else "")
+          + f" -> {result.out_dir}")
+    for cell in result.cells:
+        line = f"  {cell.name:<28} {cell.status:<8} {cell.wall_s:8.2f}s"
+        if cell.checks_total:
+            line += f"  {cell.checks_ok}/{cell.checks_total} checks"
+        if cell.error:
+            line += f"  {cell.error}"
+        print(line)
+    if not result.ok:
+        print(f"{len(result.failed)} cell(s) failed: "
+              f"{', '.join(result.failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -369,6 +475,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_export(args, journal)
         if args.command == "cache":
             return _command_cache(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "trace":
             return _command_trace(args)
         return _command_run(args, journal)

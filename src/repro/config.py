@@ -161,15 +161,30 @@ class Scenario:
         """Return a copy of this scenario with the given fields replaced."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
-    def cache_token(self) -> str:
+    def cache_token(self, exclude: tuple[str, ...] = ()) -> str:
         """Canonical JSON of every knob, for artifact-cache keys.
 
         Two scenarios with equal fields produce the same token; any
         field difference (seed, scale, fault profile, ...) changes it,
         so cached artifacts can never be served across configurations.
+
+        ``exclude`` drops the named fields from the token — for
+        artifacts that are provably independent of them (workload
+        generation never reads ``fault_profile``, so fault-sweep cells
+        can share one rendered trace).  Excluding a field an artifact
+        *does* depend on would silently serve stale data, so callers
+        must only exclude fields the producing code never consults.
+
+        Raises:
+            ConfigurationError: when ``exclude`` names an unknown field.
         """
-        return json.dumps(dataclasses.asdict(self), sort_keys=True,
-                          separators=(",", ":"))
+        fields = dataclasses.asdict(self)
+        for name in exclude:
+            if name not in fields:
+                raise ConfigurationError(
+                    f"cannot exclude unknown scenario field {name!r}")
+            del fields[name]
+        return json.dumps(fields, sort_keys=True, separators=(",", ":"))
 
     @classmethod
     def paper_scale(cls) -> "Scenario":

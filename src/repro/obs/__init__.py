@@ -38,6 +38,7 @@ from .journal import (
     VOLATILE_FIELDS,
     RunJournal,
     canonical_events,
+    merge_cell_journal,
 )
 from .memory import MemorySampler
 from .trace import (
@@ -58,6 +59,7 @@ __all__ = [
     "VOLATILE_FIELDS",
     "canonical_events",
     "diff_journals",
+    "merge_cell_journal",
     "phase_breakdown",
     "read_journal",
     "render_show",

@@ -90,6 +90,52 @@ def canonical_events(events: list[dict]) -> list[dict]:
     return canonical
 
 
+def merge_cell_journal(journal: "RunJournal", cell: str,
+                       events: list[dict]) -> dict:
+    """Fold one cell's journal into a sweep-level journal.
+
+    Re-emits a condensed view of the cell run — ``cell_start`` (seed and
+    fault profile from the cell's ``run_start``), one ``cell_phase`` per
+    ``phase_end`` (name, status, wall seconds), and ``cell_end``
+    (status, error, perf counters from ``run_end``) — each tagged with
+    the cell name.  The full per-cell journal stays on disk
+    next to the cell's results; the sweep journal carries just enough to
+    reconstruct the campaign timeline from one file.  Returns the
+    ``cell_end`` event.
+    """
+    start = next((e for e in events if e.get("type") == "run_start"), None)
+    end = next((e for e in reversed(events)
+                if e.get("type") == "run_end"), None)
+    header: dict[str, object] = {"cell": cell}
+    if start is not None:
+        header["seed"] = start.get("seed")
+        header["fault_profile"] = start.get("fault_profile")
+    journal.emit("cell_start", **header)
+    for event in events:
+        if event.get("type") != "phase_end":
+            continue
+        fields: dict[str, object] = {
+            "cell": cell, "phase": event.get("phase"),
+            "status": event.get("status", "ok"),
+        }
+        for key in ("wall_s", "error"):
+            if key in event:
+                fields[key] = event[key]
+        journal.emit("cell_phase", **fields)
+    footer: dict[str, object] = {
+        "cell": cell,
+        "status": end.get("status", "failed") if end else "failed",
+    }
+    if end is not None:
+        if "error" in end:
+            footer["error"] = end["error"]
+        if "counters" in end:
+            footer["counters"] = end["counters"]
+        if "wall_s" in end:
+            footer["wall_s"] = end["wall_s"]
+    return journal.emit("cell_end", **footer)
+
+
 class RunJournal:
     """Collects and persists the structured event stream of one run.
 

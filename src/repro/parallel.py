@@ -42,15 +42,28 @@ method (the cheap, no-reimport path); where it is unavailable the
 executor falls back to serial rendering with a journal warning, and a
 pool that fails to *start* raises :class:`~repro.errors.ParallelError`
 instead of a cryptic pickling failure.
+
+Task farm
+---------
+
+:class:`TaskFarm` is the second, coarser executor: whole units of work
+(one sweep cell = one full :class:`~repro.study.EdgeStudy`) in
+*non-daemonic* forked processes.  ``multiprocessing.Pool`` workers are
+daemonic and may not have children, which would forbid a cell from
+starting its own series pool; farm workers are plain forked processes,
+so nesting works.  A worker that dies without reporting (OOM kill,
+SIGKILL) surfaces as a failed :class:`TaskOutcome` instead of hanging
+the parent.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -416,6 +429,168 @@ def _account_block(job: SeriesJob, worker_perf: PerfRegistry | None,
                 if worker_perf is not None else 0.0)
         journal.emit("job_complete", app_id=job.app_id,
                      vms=job.vm_count, wall_s=round(wall, 6))
+
+
+# ---- coarse-grained task farm (sweep cells) ------------------------------
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The result of one farmed task: a value or a one-line error."""
+
+    task_id: str
+    ok: bool
+    value: object = None
+    error: str | None = None
+
+
+def _farm_task(fn: Callable, task_id: str, arg: object, results) -> None:
+    """Worker entry: run one task, report exactly one outcome tuple."""
+    try:
+        value = fn(arg)
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        results.put((task_id, False, f"{type(exc).__name__}: {exc}"))
+        raise SystemExit(1)
+    results.put((task_id, True, value))
+
+
+class TaskFarm:
+    """Run independent heavyweight tasks in non-daemon forked workers.
+
+    Tasks are submitted as ``(task_id, fn, arg)`` and collected with
+    :meth:`next_outcome` in completion order, which lets a scheduler
+    unlock dependent work (a sweep group's followers) the moment its
+    prerequisite finishes.  At ``n_jobs == 1`` — or where fork is
+    unavailable — submission queues the task and :meth:`next_outcome`
+    runs it inline, so scheduling semantics are identical either way.
+
+    Unlike :func:`run_series_jobs`'s pool, workers are **not** daemonic:
+    a farmed task may start its own series pool (nested parallelism),
+    which ``multiprocessing.Pool`` forbids its daemon workers.
+    """
+
+    #: Seconds to wait for an in-flight result before re-checking
+    #: worker liveness (and, after a dead worker is seen, the grace
+    #: period for its possibly-buffered final result).
+    _POLL_S = 0.25
+
+    def __init__(self, n_jobs: int = 1, journal=None) -> None:
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.journal = journal
+        ctx = _pool_context() if self.n_jobs > 1 else None
+        if self.n_jobs > 1 and ctx is None:
+            if journal is not None:
+                journal.warn("fork start method unavailable; running "
+                             "farmed tasks serially", jobs=self.n_jobs)
+        self._ctx = ctx
+        self._serial = ctx is None or self.n_jobs == 1
+        self._results = ctx.Queue() if not self._serial else None
+        self._procs: dict[str, multiprocessing.process.BaseProcess] = {}
+        self._waiting: deque = deque()
+        self._outstanding = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted but not yet returned by :meth:`next_outcome`."""
+        return self._outstanding
+
+    def submit(self, task_id: str, fn: Callable, arg: object) -> None:
+        """Enqueue one task; starts immediately if a worker slot is free."""
+        if any(task_id == queued[0] for queued in self._waiting) \
+                or task_id in self._procs:
+            raise ConfigurationError(
+                f"task id {task_id!r} is already outstanding")
+        self._waiting.append((task_id, fn, arg))
+        self._outstanding += 1
+        self._fill()
+
+    def _fill(self) -> None:
+        if self._serial:
+            return
+        while self._waiting and len(self._procs) < self.n_jobs:
+            task_id, fn, arg = self._waiting.popleft()
+            proc = self._ctx.Process(
+                target=_farm_task, args=(fn, task_id, arg, self._results),
+                daemon=False)
+            try:
+                proc.start()
+            except OSError as exc:
+                raise ParallelError(
+                    f"could not fork worker for task {task_id!r}: "
+                    f"{exc}") from exc
+            self._procs[task_id] = proc
+
+    def next_outcome(self) -> TaskOutcome:
+        """Block until any outstanding task finishes; return its outcome.
+
+        Raises:
+            ConfigurationError: when no task is outstanding.
+        """
+        if not self._outstanding:
+            raise ConfigurationError("no outstanding tasks to wait for")
+        if self._serial:
+            task_id, fn, arg = self._waiting.popleft()
+            self._outstanding -= 1
+            try:
+                value = fn(arg)
+            except Exception as exc:  # noqa: BLE001 - mirrored worker path
+                return TaskOutcome(task_id, False,
+                                   error=f"{type(exc).__name__}: {exc}")
+            return TaskOutcome(task_id, True, value=value)
+        while True:
+            try:
+                task_id, ok, payload = self._results.get(
+                    timeout=self._POLL_S)
+                break
+            except queue_mod.Empty:
+                dead = [tid for tid, proc in self._procs.items()
+                        if proc.exitcode is not None]
+                if not dead:
+                    continue
+                # A worker exited: either its final result is still in
+                # the pipe (grace get below) or it died silently
+                # (SIGKILL, OOM) and must be reported as failed.
+                try:
+                    task_id, ok, payload = self._results.get(
+                        timeout=self._POLL_S * 4)
+                    break
+                except queue_mod.Empty:
+                    failed = dead[0]
+                    proc = self._procs.pop(failed)
+                    proc.join()
+                    self._outstanding -= 1
+                    self._fill()
+                    return TaskOutcome(
+                        failed, False,
+                        error=f"worker died without reporting "
+                              f"(exit code {proc.exitcode})")
+        proc = self._procs.pop(task_id, None)
+        if proc is not None:
+            proc.join()
+        self._outstanding -= 1
+        self._fill()
+        if ok:
+            return TaskOutcome(task_id, True, value=payload)
+        return TaskOutcome(task_id, False, error=str(payload))
+
+    def close(self) -> None:
+        """Terminate any still-running workers and drop queued tasks."""
+        self._waiting.clear()
+        for proc in self._procs.values():
+            if proc.exitcode is None:
+                proc.terminate()
+            proc.join()
+        self._procs.clear()
+        self._outstanding = 0
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+
+    def __enter__(self) -> "TaskFarm":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def _run_serial(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,

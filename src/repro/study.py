@@ -305,11 +305,14 @@ SCALES = ("smoke", "default", "paper", "city")
 
 
 def scenario_for(scale: str, seed: int | None = None,
-                 faults: str | None = None) -> Scenario:
+                 faults: str | None = None,
+                 overrides: dict[str, object] | None = None) -> Scenario:
     """The scenario behind a named scale (see :data:`SCALES`).
 
     ``faults`` overrides the fault-injection profile (``"off"``,
     ``"paper"``, ``"harsh"``); ``None`` keeps the scale's default.
+    ``overrides`` replaces arbitrary scenario fields on top of the
+    scale's values — the hook sweep cells use for per-cell knobs.
     """
     if seed is None:
         seed = DEFAULT_SCENARIO.seed
@@ -326,6 +329,12 @@ def scenario_for(scale: str, seed: int | None = None,
             f"unknown scale {scale!r}, expected one of {SCALES}")
     if faults is not None:
         scenario = scenario.with_overrides(fault_profile=faults)
+    if overrides:
+        try:
+            scenario = scenario.with_overrides(**overrides)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"unknown scenario override: {exc}") from exc
     return scenario
 
 

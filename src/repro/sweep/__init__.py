@@ -1,0 +1,53 @@
+"""Declarative, parallel, resumable scenario sweeps.
+
+The paper's results are a *campaign* — 20+ figures and six ablations
+over scales x seeds x fault profiles — and this package is the driver
+that regenerates them as one unit instead of N independent cold runs:
+
+* :mod:`repro.sweep.spec` — TOML/JSON grid configs expanded into
+  validated :class:`SweepCell` lists;
+* :mod:`repro.sweep.analyses` — the per-cell analysis registry
+  (figure reports + the six ablations);
+* :mod:`repro.sweep.runner` — the executor: cells grouped by workload
+  cache identity so shared artifacts render exactly once, scheduled
+  over a :class:`~repro.parallel.TaskFarm`, each cell's output
+  published with staging + atomic rename (crash-resumable);
+* :mod:`repro.sweep.report` — the cross-cell comparison report.
+
+Usage::
+
+    from repro.sweep import load_sweep_spec, run_sweep
+
+    spec = load_sweep_spec("benchmarks/sweeps/ablations.toml")
+    result = run_sweep(spec, "out/ablations", cache_dir="~/.cache/repro",
+                       jobs=2)
+    assert result.ok
+
+See ``docs/sweep.md`` for the grid schema and resume semantics.
+"""
+
+from .analyses import ANALYSES, AnalysisResult, run_analysis
+from .report import load_manifest, render_sweep_report
+from .runner import (
+    CellOutcome,
+    SweepResult,
+    run_sweep,
+    workload_group_token,
+)
+from .spec import SweepCell, SweepSpec, load_sweep_spec, parse_sweep_spec
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisResult",
+    "CellOutcome",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "load_manifest",
+    "load_sweep_spec",
+    "parse_sweep_spec",
+    "render_sweep_report",
+    "run_analysis",
+    "run_sweep",
+    "workload_group_token",
+]

@@ -1,0 +1,73 @@
+"""The analyses a sweep cell can run: figure reports plus ablations.
+
+One registry unifies the two result surfaces the repo grew separately:
+the :data:`~repro.reports.REPORTS` figure/table functions (``fig2a``,
+``table3``, ...) and the six :data:`~repro.core.ablations.ABLATIONS`
+(``ablation_density``, ...).  Both run against one
+:class:`~repro.study.EdgeStudy` and come back as a uniform
+:class:`AnalysisResult`, which is what lands in a cell's
+``result.json`` and feeds ``repro sweep report`` deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ablations import ABLATIONS
+from ..errors import ConfigurationError
+from ..reports import REPORTS
+
+#: Prefix distinguishing ablation ids from figure-report ids.
+ABLATION_PREFIX = "ablation_"
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """One analysis's rendered text plus machine-readable extras.
+
+    Figure reports carry only ``text``; ablations add their numeric
+    ``metrics`` and qualitative check tallies.
+    """
+
+    name: str
+    text: str
+    metrics: dict[str, float]
+    checks_ok: int
+    checks_total: int
+
+    @property
+    def holds(self) -> bool:
+        """True when every check passed (vacuously for pure reports)."""
+        return self.checks_ok == self.checks_total
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (cell ``result.json``)."""
+        return {"name": self.name, "text": self.text,
+                "metrics": self.metrics, "checks_ok": self.checks_ok,
+                "checks_total": self.checks_total}
+
+
+#: Every analysis id a sweep cell may select.
+ANALYSES: tuple[str, ...] = tuple(REPORTS) + tuple(
+    f"{ABLATION_PREFIX}{name}" for name in ABLATIONS)
+
+
+def run_analysis(name: str, study) -> AnalysisResult:
+    """Run one analysis by id against a study.
+
+    Raises:
+        ConfigurationError: on unknown analysis ids.
+    """
+    if name.startswith(ABLATION_PREFIX):
+        runner = ABLATIONS.get(name[len(ABLATION_PREFIX):])
+        if runner is None:
+            raise ConfigurationError(f"unknown analysis {name!r}")
+        outcome = runner(study)
+        return AnalysisResult(
+            name=name, text=outcome.text, metrics=dict(outcome.metrics),
+            checks_ok=outcome.checks_ok, checks_total=len(outcome.checks))
+    report = REPORTS.get(name)
+    if report is None:
+        raise ConfigurationError(f"unknown analysis {name!r}")
+    return AnalysisResult(name=name, text=report(study), metrics={},
+                          checks_ok=0, checks_total=0)

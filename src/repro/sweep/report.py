@@ -1,0 +1,144 @@
+"""Cross-cell comparison report (``repro sweep report``).
+
+Renders a completed (or partially completed) sweep output directory:
+a per-cell summary table (status, wall time, cache temperature,
+check tally), metric deltas against a baseline cell, and
+``trace diff``-style phase deltas — the whole campaign on one screen.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.report import format_table
+from ..errors import ConfigurationError
+from ..obs import read_journal
+from ..obs.trace import phase_breakdown
+from .runner import CELLS_DIR, MANIFEST_NAME, RESULT_NAME
+
+
+def load_manifest(out_dir: str | Path) -> dict:
+    """The ``sweep.json`` manifest of a sweep output directory.
+
+    Raises:
+        ConfigurationError: when the directory holds no manifest (the
+            sweep never ran, or was killed before any scheduling pass
+            finished — rerun ``repro sweep run`` first).
+    """
+    path = Path(out_dir) / MANIFEST_NAME
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(
+            f"no sweep manifest at {path} (run 'repro sweep run' "
+            f"first): {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"corrupt sweep manifest at {path}: {exc}") from exc
+
+
+def _cell_result(out_dir: Path, name: str) -> dict:
+    path = out_dir / CELLS_DIR / name / RESULT_NAME
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _cell_phases(out_dir: Path, name: str) -> dict[str, dict]:
+    path = out_dir / CELLS_DIR / name / "journal.jsonl"
+    if not path.exists():
+        return {}
+    events, _ = read_journal(path)
+    return phase_breakdown(events)
+
+
+def _cell_metrics(result: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for analysis in result.get("analyses", []):
+        metrics.update(analysis.get("metrics", {}))
+    return metrics
+
+
+def _cache_tally(phases: dict[str, dict]) -> str:
+    cached = sum(1 for entry in phases.values() if entry.get("cached"))
+    return f"{cached}/{len(phases)}" if phases else "-"
+
+
+def render_sweep_report(out_dir: str | Path,
+                        baseline: str | None = None) -> str:
+    """The full cross-cell report for a sweep output directory.
+
+    ``baseline`` names the cell metric/phase deltas are computed
+    against (default: the first cell in the manifest).
+
+    Raises:
+        ConfigurationError: on a missing manifest or unknown baseline.
+    """
+    out = Path(out_dir)
+    manifest = load_manifest(out)
+    cells = manifest.get("cells", [])
+    if not cells:
+        return f"sweep {manifest.get('sweep')!r}: no cells recorded"
+    names = [c["name"] for c in cells]
+    if baseline is None:
+        baseline = names[0]
+    elif baseline not in names:
+        raise ConfigurationError(
+            f"unknown baseline cell {baseline!r}; sweep has: "
+            f"{', '.join(names)}")
+
+    results = {name: _cell_result(out, name) for name in names}
+    phases = {name: _cell_phases(out, name) for name in names}
+
+    rows = []
+    for entry in cells:
+        name = entry["name"]
+        checks = (f"{entry.get('checks_ok', 0)}"
+                  f"/{entry.get('checks_total', 0)}"
+                  if entry.get("checks_total") else "-")
+        rows.append((name, entry.get("status", "?"),
+                     f"{entry.get('wall_s', 0.0):.2f}",
+                     _cache_tally(phases[name]), checks,
+                     entry.get("error") or ""))
+    parts = [format_table(
+        ["cell", "status", "wall (s)", "cached phases", "checks",
+         "error"], rows,
+        title=f"Sweep {manifest.get('sweep')!r} — "
+              f"{len(cells)} cells, {manifest.get('wall_s', 0.0):.2f}s "
+              f"wall, jobs={manifest.get('jobs')}")]
+
+    base_metrics = _cell_metrics(results[baseline])
+    base_phases = phases[baseline]
+    for name in names:
+        if name == baseline:
+            continue
+        delta_rows = []
+        metrics = _cell_metrics(results[name])
+        for key in sorted(set(base_metrics) & set(metrics)):
+            a, b = base_metrics[key], metrics[key]
+            ratio = f"{b / a:.2f}x" if abs(a) > 1e-9 else "-"
+            delta_rows.append((key, f"{a:.3f}", f"{b:.3f}", ratio))
+        for phase in dict.fromkeys(list(base_phases) + list(phases[name])):
+            pa = base_phases.get(phase)
+            pb = phases[name].get(phase)
+            if pa is None or pb is None:
+                delta_rows.append(
+                    (f"phase:{phase}", "-" if pa is None
+                     else f"{pa.get('wall_s', 0.0):.3f}s",
+                     "-" if pb is None
+                     else f"{pb.get('wall_s', 0.0):.3f}s", "-"))
+                continue
+            wa, wb = pa.get("wall_s", 0.0), pb.get("wall_s", 0.0)
+            note = ""
+            if pa.get("cached") != pb.get("cached"):
+                note = ("hit->gen" if pa.get("cached") else "gen->hit")
+            delta_rows.append((f"phase:{phase}", f"{wa:.3f}s",
+                               f"{wb:.3f}s", note or
+                               (f"{wb / wa:.2f}x" if wa > 1e-9 else "-")))
+        if delta_rows:
+            parts.append(format_table(
+                ["metric", baseline, name, "delta"], delta_rows,
+                title=f"{baseline} vs {name}"))
+    return "\n\n".join(parts)

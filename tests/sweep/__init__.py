@@ -1,0 +1,1 @@
+"""Tests for the declarative sweep subsystem (repro.sweep)."""

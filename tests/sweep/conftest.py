@@ -1,0 +1,37 @@
+"""Shared sweep fixtures: one finished smoke sweep reused per session.
+
+Running a sweep is the expensive part of testing this subsystem, so
+one three-cell campaign (two cells sharing a workload group through
+the fault axis, one split off by seed) is executed once and inspected
+by the runner and report tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import parse_sweep_spec, run_sweep
+
+#: Two cells share a workload group (fault profile is excluded from the
+#: workload cache token); the reseeded cell forms its own group.
+SPEC_DATA = {
+    "name": "unit",
+    "defaults": {"scale": "smoke",
+                 "analyses": ["fig8", "ablation_growth"]},
+    "cells": [
+        {"name": "base"},
+        {"name": "faulty", "faults": "paper"},
+        {"name": "reseed", "seed": 7, "analyses": ["fig8"]},
+    ],
+}
+
+
+@pytest.fixture(scope="session")
+def finished_sweep(tmp_path_factory):
+    """A completed sweep: ``(spec, result)`` with a warm shared cache."""
+    spec = parse_sweep_spec(SPEC_DATA)
+    out = tmp_path_factory.mktemp("sweep-out")
+    cache = tmp_path_factory.mktemp("sweep-cache")
+    result = run_sweep(spec, out, cache_dir=str(cache), jobs=1)
+    assert result.ok, f"fixture sweep failed: {result.failed}"
+    return spec, result

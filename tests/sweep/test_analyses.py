@@ -1,0 +1,44 @@
+"""Tests for the unified analysis registry (repro.sweep.analyses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ablations import ABLATIONS
+from repro.errors import ConfigurationError
+from repro.reports import REPORTS
+from repro.sweep import ANALYSES, run_analysis
+
+
+class TestRegistry:
+    def test_covers_reports_and_ablations(self):
+        expected = set(REPORTS) | {f"ablation_{n}" for n in ABLATIONS}
+        assert set(ANALYSES) == expected
+
+    def test_ablation_ids_are_prefixed(self):
+        assert "ablation_density" in ANALYSES
+        assert "density" not in ANALYSES
+
+
+class TestRunAnalysis:
+    def test_report_analysis(self, study):
+        result = run_analysis("table1", study)
+        assert result.name == "table1"
+        assert "Table 1" in result.text
+        assert result.metrics == {}
+        assert result.holds and result.checks_total == 0
+
+    def test_ablation_analysis(self, study):
+        result = run_analysis("ablation_growth", study)
+        assert result.name == "ablation_growth"
+        assert "Growth ablation" in result.text
+        assert result.checks_total > 0
+        assert result.metrics
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown analysis"):
+            run_analysis("fig99", None)
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown analysis"):
+            run_analysis("ablation_nope", None)

@@ -1,0 +1,49 @@
+"""Tests for sweep report rendering (repro.sweep.report)."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import load_manifest, render_sweep_report
+
+
+class TestRender:
+    def test_summary_lists_every_cell(self, finished_sweep):
+        _, result = finished_sweep
+        text = render_sweep_report(result.out_dir)
+        assert "Sweep 'unit'" in text
+        for name in ("base", "faulty", "reseed"):
+            assert name in text
+
+    def test_delta_tables_against_first_cell(self, finished_sweep):
+        _, result = finished_sweep
+        text = render_sweep_report(result.out_dir)
+        assert "base vs faulty" in text
+        assert "base vs reseed" in text
+
+    def test_shared_metrics_get_ratios(self, finished_sweep):
+        # base and faulty both ran the growth ablation, so the delta
+        # table compares its metrics with explicit ratios.
+        _, result = finished_sweep
+        text = render_sweep_report(result.out_dir)
+        assert "final_skew_growth" in text
+        assert re.search(r"\d+(\.\d+)?x\b", text)
+
+    def test_baseline_override(self, finished_sweep):
+        _, result = finished_sweep
+        text = render_sweep_report(result.out_dir, baseline="faulty")
+        assert "faulty vs base" in text
+
+    def test_unknown_baseline_rejected(self, finished_sweep):
+        _, result = finished_sweep
+        with pytest.raises(ConfigurationError, match="baseline"):
+            render_sweep_report(result.out_dir, baseline="nope")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_manifest(tmp_path)
+        with pytest.raises(ConfigurationError):
+            render_sweep_report(tmp_path)

@@ -1,0 +1,116 @@
+"""Crash-resume contract: SIGKILL mid-sweep, restart, byte identity.
+
+The satellite guarantees under test:
+
+- a killed sweep leaves **no partial cell visible** — every directory
+  under ``cells/`` that is not a staging dir holds a complete
+  ``result.json`` and journal;
+- restarting the same config completes only the remaining cells;
+- a completed cell's journal survives the resume byte-for-byte, and
+  its canonical event stream equals the one from an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.obs import canonical_events, read_journal
+from repro.sweep import parse_sweep_spec, run_sweep
+
+#: Six smoke cells in three workload groups — enough runway that the
+#: kill lands while most of the grid is still pending.
+SPEC = {
+    "name": "kill",
+    "defaults": {"analyses": ["fig8"]},
+    "grid": {"seed": [1, 2, 3], "faults": ["off", "paper"]},
+}
+
+RUNNER = """\
+import json, sys
+from repro.sweep import parse_sweep_spec, run_sweep
+spec = parse_sweep_spec(json.loads(sys.argv[1]))
+run_sweep(spec, sys.argv[2], cache_dir=sys.argv[3], jobs=1)
+"""
+
+
+def _visible_cells(cells_dir: Path) -> list[Path]:
+    if not cells_dir.exists():
+        return []
+    return [p for p in cells_dir.iterdir()
+            if p.is_dir() and not p.name.startswith(".tmp-")]
+
+
+def test_sigkill_mid_sweep_then_resume(tmp_path):
+    out, cache = tmp_path / "out", tmp_path / "cache"
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", RUNNER, json.dumps(SPEC), str(out),
+         str(cache)], env=env)
+    cells_dir = out / "cells"
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if proc.poll() is not None or _visible_cells(cells_dir):
+                break
+            time.sleep(0.02)
+        assert proc.poll() is None, \
+            "sweep finished before it could be killed"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+
+    # No partial cell is visible: atomic rename publishes whole dirs.
+    completed = sorted(p.name for p in _visible_cells(cells_dir))
+    assert completed, "no cell completed before the kill"
+    assert len(completed) < 6, "every cell completed before the kill"
+    for cell_dir in _visible_cells(cells_dir):
+        payload = json.loads((cell_dir / "result.json").read_text())
+        assert payload["status"] == "ok"
+        events, _ = read_journal(cell_dir / "journal.jsonl")
+        assert events[-1]["type"] == "run_end"
+    before = {p.name: (p / "journal.jsonl").read_bytes()
+              for p in _visible_cells(cells_dir)}
+
+    # The restart completes only the remaining cells.
+    spec = parse_sweep_spec(SPEC)
+    resumed = run_sweep(spec, out, cache_dir=str(cache), jobs=1)
+    assert resumed.ok
+    statuses = {c.name: c.status for c in resumed.cells}
+    assert len(statuses) == 6
+    for name in completed:
+        assert statuses[name] == "resumed"
+    assert sum(1 for s in statuses.values() if s == "ok") \
+        == 6 - len(completed)
+
+    # Completed cells were never rewritten.
+    for name, blob in before.items():
+        assert (cells_dir / name / "journal.jsonl").read_bytes() == blob
+
+    # Their canonical journals match an uninterrupted run's.
+    clean = run_sweep(spec, tmp_path / "clean",
+                      cache_dir=str(tmp_path / "cache2"), jobs=1)
+    assert clean.ok
+    for name in completed:
+        interrupted, _ = read_journal(cells_dir / name / "journal.jsonl")
+        pristine, _ = read_journal(
+            tmp_path / "clean" / "cells" / name / "journal.jsonl")
+        assert (canonical_events(interrupted)
+                == canonical_events(pristine)), name
+
+    # A finished sweep re-run is a no-op.
+    rerun = run_sweep(spec, out, cache_dir=str(cache), jobs=1)
+    assert rerun.ok
+    assert rerun.resumed == len(rerun.cells) == 6

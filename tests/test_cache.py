@@ -220,3 +220,61 @@ class TestDefaultDir:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+def _age_entry(cache, artifact, days):
+    """Backdate an entry's created_at by ``days`` (meta.json rewrite)."""
+    import time
+    entry = next(e for e in cache.entries() if e.artifact == artifact)
+    meta_path = entry.path / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["created_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time() - days * 86_400))
+    meta_path.write_text(json.dumps(meta))
+
+
+class TestPruning:
+    def test_stale_entries_respect_cutoff(self, cache):
+        cache.put_object("old", SCENARIO, 1)
+        cache.put_object("new", SCENARIO, 2)
+        _age_entry(cache, "old", days=10)
+        assert {e.artifact for e in cache.stale_entries(5)} == {"old"}
+        assert len(cache.stale_entries(None)) == 2
+        assert cache.stale_entries(30) == []
+
+    def test_clear_older_than_keeps_recent(self, cache):
+        cache.put_object("old", SCENARIO, 1)
+        cache.put_object("new", SCENARIO, 2)
+        _age_entry(cache, "old", days=10)
+        assert cache.clear(older_than_days=5) == 1
+        assert {e.artifact for e in cache.entries()} == {"new"}
+        assert cache.get_object("new", SCENARIO) == 2
+
+    def test_dry_run_counts_without_removing(self, cache):
+        cache.put_object("a", SCENARIO, 1)
+        cache.put_object("b", SCENARIO, 2)
+        assert cache.clear(dry_run=True) == 2
+        assert len(cache.entries()) == 2
+        _age_entry(cache, "a", days=10)
+        assert cache.clear(older_than_days=5, dry_run=True) == 1
+        assert len(cache.entries()) == 2
+
+    def test_damaged_created_at_counts_as_stale(self, cache):
+        cache.put_object("a", SCENARIO, 1)
+        entry = cache.entries()[0]
+        meta_path = entry.path / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["created_at"] = "yesterday-ish"
+        meta_path.write_text(json.dumps(meta))
+        assert len(cache.stale_entries(9999)) == 1
+
+    def test_cutoff_clear_spares_fresh_staging(self, cache):
+        cache.put_object("a", SCENARIO, 1)
+        _age_entry(cache, "a", days=10)
+        staging = cache.root / ".tmp-live-writer"
+        staging.mkdir()
+        assert cache.clear(older_than_days=5) == 1
+        assert staging.exists()        # a live writer may own it
+        cache.put_object("b", SCENARIO, 2)
+        assert cache.clear() == 1      # full clear sweeps staging too
+        assert not staging.exists()

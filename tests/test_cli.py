@@ -200,3 +200,87 @@ class TestReportFunctions:
         text = REPORTS["findings"](study)
         for number in range(1, 9):
             assert f"({number})" in text
+
+
+class TestSweepParser:
+    def test_sweep_run_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "grid.toml", "--jobs", "2", "--out", "o",
+             "--no-cache"])
+        assert args.command == "sweep"
+        assert args.sweep_command == "run"
+        assert str(args.config) == "grid.toml"
+        assert args.jobs == 2
+        assert str(args.out) == "o"
+        assert args.no_cache is True
+
+    def test_sweep_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_report_baseline(self):
+        args = build_parser().parse_args(
+            ["sweep", "report", "out-dir", "--baseline", "base"])
+        assert args.sweep_command == "report"
+        assert args.baseline == "base"
+
+    def test_cache_pruning_flags(self):
+        args = build_parser().parse_args(
+            ["cache", "clear", "--older-than", "30", "--dry-run"])
+        assert args.older_than == 30
+        assert args.dry_run is True
+
+
+class TestSweepMain:
+    def _config(self, tmp_path):
+        config = tmp_path / "grid.toml"
+        config.write_text(
+            'name = "cli"\n'
+            '[defaults]\nanalyses = ["fig8"]\n'
+            '[grid]\nfaults = ["off", "paper"]\n', encoding="utf-8")
+        return config
+
+    def test_sweep_analyses_lists_registry(self, capsys):
+        assert main(["sweep", "analyses"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "ablation_density" in out
+
+    def test_sweep_cells_dry_run(self, capsys, tmp_path):
+        assert main(["sweep", "cells", str(self._config(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "faults_off" in out and "faults_paper" in out
+        assert "group" in out
+
+    def test_sweep_run_then_report(self, capsys, tmp_path):
+        config = self._config(tmp_path)
+        out_dir = tmp_path / "out"
+        cache = tmp_path / "cache"
+        assert main(["sweep", "run", str(config), "--out", str(out_dir),
+                     "--cache-dir", str(cache)]) == 0
+        run_out = capsys.readouterr().out
+        assert "2 cells" in run_out
+        assert (out_dir / "sweep.json").exists()
+        assert main(["sweep", "report", str(out_dir)]) == 0
+        report_out = capsys.readouterr().out
+        assert "faults_off vs faults_paper" in report_out
+
+    def test_sweep_bad_config_exits_2(self, capsys, tmp_path):
+        config = tmp_path / "broken.toml"
+        config.write_text("[grid\n", encoding="utf-8")
+        assert main(["sweep", "run", str(config)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCacheMain:
+    def test_clear_dry_run_older_than(self, capsys, tmp_path):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path),
+                     "--older-than", "30", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 0 cache entries older than 30 days" in out
+
+    def test_pruning_flags_rejected_outside_clear(self, capsys, tmp_path):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path),
+                     "--older-than", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "only apply to 'cache clear'" in err

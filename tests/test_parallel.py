@@ -186,3 +186,95 @@ class TestShmHandoff:
         # The fallback still renders in-process: same job_complete trail.
         assert sum(1 for e in journal.events
                    if e["type"] == "job_complete") == len(jobs)
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise ValueError(f"bad cell {x}")
+
+
+def _die_silently(_):
+    import os
+    import signal
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestTaskFarm:
+    def test_serial_runs_inline_in_fifo_order(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(1) as farm:
+            for i in range(3):
+                farm.submit(f"t{i}", _square, i)
+            seen = []
+            while farm.outstanding:
+                outcome = farm.next_outcome()
+                assert outcome.ok
+                seen.append((outcome.task_id, outcome.value))
+        assert seen == [("t0", 0), ("t1", 1), ("t2", 4)]
+
+    def test_serial_relays_errors_as_outcomes(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(1) as farm:
+            farm.submit("boom", _explode, 7)
+            outcome = farm.next_outcome()
+        assert not outcome.ok
+        assert outcome.error == "ValueError: bad cell 7"
+
+    def test_pooled_collects_every_outcome(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(2) as farm:
+            for i in range(5):
+                farm.submit(f"t{i}", _square, i)
+            values = {}
+            while farm.outstanding:
+                outcome = farm.next_outcome()
+                assert outcome.ok
+                values[outcome.task_id] = outcome.value
+        assert values == {f"t{i}": i * i for i in range(5)}
+
+    def test_pooled_relays_worker_exceptions(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(2) as farm:
+            farm.submit("ok", _square, 3)
+            farm.submit("boom", _explode, 9)
+            results = {}
+            while farm.outstanding:
+                outcome = farm.next_outcome()
+                results[outcome.task_id] = outcome
+        assert results["ok"].ok and results["ok"].value == 9
+        assert not results["boom"].ok
+        assert "ValueError: bad cell 9" in results["boom"].error
+
+    def test_silently_dead_worker_reported_failed(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(2) as farm:
+            farm.submit("doomed", _die_silently, None)
+            outcome = farm.next_outcome()
+        assert not outcome.ok
+        assert "worker died without reporting" in outcome.error
+
+    def test_duplicate_outstanding_id_rejected(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(1) as farm:
+            farm.submit("a", _square, 1)
+            with pytest.raises(ConfigurationError, match="already"):
+                farm.submit("a", _square, 2)
+
+    def test_next_outcome_without_tasks_rejected(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(1) as farm:
+            with pytest.raises(ConfigurationError, match="outstanding"):
+                farm.next_outcome()
+
+    def test_queue_beyond_worker_count_drains(self):
+        from repro.parallel import TaskFarm
+        with TaskFarm(2) as farm:
+            for i in range(6):
+                farm.submit(f"t{i}", _square, i)
+            done = sum(1 for _ in iter(
+                lambda: farm.next_outcome() if farm.outstanding else None,
+                None))
+        assert done == 6
