@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Run a study clean and under ``--chaos``, prove the outputs match.
+
+The CI gate behind ``docs/resilience.md``: deterministic fault injection
+must change *when* work happens, never *what* it produces.  The probe
+runs the same ``repro run`` twice in child processes — once clean, once
+with a chaos profile installed — each against its own cold cache, and
+asserts:
+
+1. both runs exit 0 (every injected fault was absorbed by a retry);
+2. their stdout is byte-identical (same report, same numbers);
+3. their journals canonicalize to the same event stream (the recovery
+   story lives only in volatile events);
+4. the chaos run stayed under a retry ceiling and quarantined nothing;
+5. with ``--jobs >= 2`` and a profile that kills pool workers, at least
+   one ``worker_restart`` proves the watchdog actually exercised.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_probe.py --jobs 2
+    PYTHONPATH=src python scripts/chaos_probe.py fig9 --profile harsh
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: Volatile event types that tell the recovery story.
+RECOVERY_EVENTS = ("job_retry", "worker_restart", "cache_retry",
+                   "io_retry", "job_quarantined", "cache_write_error")
+
+
+def run_cli(experiments: list[str], scale: str, jobs: int, root: Path,
+            name: str, chaos: str | None) -> tuple[bytes, Path]:
+    """One ``repro run`` in a child process; returns (stdout, journal)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env.pop("REPRO_FAILPOINTS", None)  # the child decides its own chaos
+    journal = root / f"{name}.jsonl"
+    argv = [sys.executable, "-m", "repro", "run", *experiments,
+            "--scale", scale, "--jobs", str(jobs),
+            "--cache-dir", str(root / f"cache-{name}"),
+            "--log-json", str(journal)]
+    if chaos is not None:
+        argv += ["--chaos", chaos]
+    proc = subprocess.run(argv, env=env, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        raise SystemExit(f"probe: FAILED, {name} run exited "
+                         f"{proc.returncode}")
+    return proc.stdout, journal
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", default=["fig2a", "table3"],
+                        help="experiments to run (default: fig2a table3)")
+    parser.add_argument("--profile", default="ci",
+                        help="chaos profile for the faulty run")
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--max-retries", type=int, default=25,
+                        help="ceiling on total recovery events in the "
+                             "chaos run")
+    args = parser.parse_args(argv)
+
+    from repro.obs import canonical_events, read_journal
+    from repro.resilience import chaos_spec
+
+    spec = chaos_spec(args.profile)
+    with tempfile.TemporaryDirectory(prefix="chaos-probe-") as tmp:
+        root = Path(tmp)
+        clean_out, clean_journal = run_cli(args.experiments, args.scale,
+                                           args.jobs, root, "clean", None)
+        chaos_out, chaos_journal = run_cli(args.experiments, args.scale,
+                                           args.jobs, root, "chaos",
+                                           args.profile)
+
+        if hashlib.sha256(clean_out).hexdigest() \
+                != hashlib.sha256(chaos_out).hexdigest():
+            print("probe: FAILED, chaos run produced different stdout")
+            return 1
+        print(f"probe: stdout identical "
+              f"(sha256 {hashlib.sha256(clean_out).hexdigest()[:12]})")
+
+        clean_events, warnings_a = read_journal(clean_journal)
+        chaos_events, warnings_b = read_journal(chaos_journal)
+        if warnings_a or warnings_b:
+            print(f"probe: FAILED, journal warnings: "
+                  f"{warnings_a + warnings_b}")
+            return 1
+        if canonical_events(clean_events) != canonical_events(chaos_events):
+            print("probe: FAILED, canonical journals differ")
+            return 1
+        print("probe: canonical journals identical")
+
+        counts = {etype: sum(1 for e in chaos_events
+                             if e["type"] == etype)
+                  for etype in RECOVERY_EVENTS}
+        recovered = sum(counts.values())
+        story = " ".join(f"{k}={v}" for k, v in counts.items() if v)
+        print(f"probe: chaos run recovered from {recovered} event(s)"
+              + (f" ({story})" if story else ""))
+        if counts["job_quarantined"]:
+            print("probe: FAILED, chaos run quarantined a job")
+            return 1
+        if recovered > args.max_retries:
+            print(f"probe: FAILED, {recovered} recovery events exceed "
+                  f"the --max-retries ceiling of {args.max_retries}")
+            return 1
+        if args.jobs >= 2 and "pool.kill_worker" in spec \
+                and not counts["worker_restart"]:
+            print("probe: FAILED, profile kills pool workers but no "
+                  "worker_restart was journaled")
+            return 1
+    print(f"probe: OK, --chaos {args.profile} run is behaviour-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

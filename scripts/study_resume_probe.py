@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""SIGKILL a study mid-run, resume it, and verify committed phases skip.
+
+The CI gate behind ``repro run --resume``: every committed phase is an
+atomically-published cache entry, so a run killed without warning can be
+resumed from its last checkpoint.  The probe:
+
+1. launches ``repro run`` as a child process and SIGKILLs it the moment
+   the first phase commits to the artifact cache — no graceful
+   shutdown, no atexit hooks;
+2. re-runs the same invocation with ``--resume`` and asserts it exits 0;
+3. checks the resume journal: a ``resume`` event names the committed
+   phases, each of them is served as a ``cache_hit`` (never re-stored),
+   and the remaining phases are generated and committed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/study_resume_probe.py --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return env
+
+
+def committed_entries(cache: Path) -> list[Path]:
+    """Published cache entries (staging dirs have no meta.json yet)."""
+    if not cache.exists():
+        return []
+    return sorted(p for p in cache.rglob("meta.json")
+                  if ".tmp-" not in str(p.parent))
+
+
+def kill_after_first_commit(argv: list[str], cache: Path,
+                            timeout_s: float) -> int:
+    proc = subprocess.Popen(argv, env=child_env(),
+                            stdout=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            if proc.poll() is not None or committed_entries(cache):
+                break
+            time.sleep(0.02)
+        if proc.poll() is not None:
+            raise SystemExit("probe: run finished before it could be "
+                             "killed; use a larger scale")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    count = len(committed_entries(cache))
+    if not count:
+        raise SystemExit("probe: no phase committed before the kill")
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*",
+                        default=["fig2a", "fig9", "table3"],
+                        help="experiments to run "
+                             "(default: fig2a fig9 table3)")
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for the first commit")
+    args = parser.parse_args(argv)
+
+    from repro.obs import read_journal
+
+    with tempfile.TemporaryDirectory(prefix="resume-probe-") as tmp:
+        root = Path(tmp)
+        cache = root / "cache"
+        base = [sys.executable, "-m", "repro", "run", *args.experiments,
+                "--scale", args.scale, "--jobs", str(args.jobs),
+                "--cache-dir", str(cache)]
+        committed = kill_after_first_commit(base, cache, args.timeout)
+        print(f"probe: killed the run after {committed} committed "
+              f"phase(s)")
+
+        journal = root / "resume.jsonl"
+        proc = subprocess.run(base + ["--resume", "--log-json",
+                                      str(journal)],
+                              env=child_env(), stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"probe: FAILED, --resume run exited {proc.returncode}")
+            return 1
+
+        events, warnings = read_journal(journal)
+        if warnings:
+            print(f"probe: FAILED, resume journal warnings: {warnings}")
+            return 1
+        resume = next((e for e in events if e["type"] == "resume"), None)
+        if resume is None:
+            print("probe: FAILED, no resume event journaled")
+            return 1
+        cached, pending = resume["cached"], resume["pending"]
+        if not cached:
+            print("probe: FAILED, resume header lists no committed phase")
+            return 1
+        hits = {e["artifact"] for e in events if e["type"] == "cache_hit"}
+        stores = {e["artifact"] for e in events
+                  if e["type"] == "cache_store"}
+        rebuilt = [name for name in cached
+                   if name in stores or name not in hits]
+        if rebuilt:
+            print(f"probe: FAILED, committed phase(s) re-ran: "
+                  f"{', '.join(rebuilt)}")
+            return 1
+        # The experiment set may not need every resumable phase, but a
+        # resume that did no new work means the kill came too late.
+        progressed = [name for name in pending if name in stores]
+        if not progressed:
+            print("probe: FAILED, resume committed nothing new; the "
+                  "kill landed after the whole run finished")
+            return 1
+        print(f"probe: OK, resume served {len(cached)} phase(s) from "
+              f"cache ({', '.join(cached)}) and committed "
+              f"{len(progressed)} more ({', '.join(progressed)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

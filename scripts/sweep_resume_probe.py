@@ -11,10 +11,18 @@ The CI probe behind ``docs/sweep.md``'s crash-resume guarantees:
    leaves the finished ones byte-untouched;
 4. a second resume is a pure no-op (every cell reports ``resumed``).
 
+``--kill worker`` probes the supervision layer one level down: instead
+of killing the sweep, it SIGKILLs one of the sweep's *pool workers*
+mid-cell and asserts the sweep itself still completes — the farm must
+notice the silent death, journal a ``worker_restart``, and re-run the
+lost cell.
+
 Usage::
 
     PYTHONPATH=src python scripts/sweep_resume_probe.py \
         benchmarks/sweeps/ci_smoke.toml --jobs 2
+    PYTHONPATH=src python scripts/sweep_resume_probe.py \
+        benchmarks/sweeps/ci_smoke.toml --jobs 2 --kill worker
 """
 
 from __future__ import annotations
@@ -33,7 +41,9 @@ RUNNER = """\
 import sys
 from repro.sweep import load_sweep_spec, run_sweep
 spec = load_sweep_spec(sys.argv[1])
-run_sweep(spec, sys.argv[2], cache_dir=sys.argv[3], jobs=int(sys.argv[4]))
+result = run_sweep(spec, sys.argv[2], cache_dir=sys.argv[3],
+                   jobs=int(sys.argv[4]))
+sys.exit(0 if result.ok else 1)
 """
 
 
@@ -77,6 +87,89 @@ def kill_mid_run(config: Path, out: Path, cache: Path, jobs: int,
     return completed
 
 
+def _launch(config: Path, out: Path, cache: Path, jobs: int):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return subprocess.Popen(
+        [sys.executable, "-c", RUNNER, str(config), str(out), str(cache),
+         str(jobs)], env=env)
+
+
+def pool_workers(pid: int) -> list[int]:
+    """Forked pool workers of ``pid`` (multiprocessing helper processes
+    such as the resource tracker run a different command line)."""
+    try:
+        raw = Path(f"/proc/{pid}/task/{pid}/children").read_text()
+    except OSError:
+        return []
+    workers = []
+    for child in (int(token) for token in raw.split()):
+        try:
+            cmdline = Path(f"/proc/{child}/cmdline").read_bytes()
+        except OSError:
+            continue
+        if b"tracker" not in cmdline:
+            workers.append(child)
+    return workers
+
+
+def worker_kill_probe(config: Path, jobs: int, timeout_s: float) -> int:
+    """SIGKILL one pool worker; the sweep must self-heal and finish."""
+    from repro.obs import read_journal
+    from repro.sweep import load_sweep_spec
+
+    spec = load_sweep_spec(config)
+    with tempfile.TemporaryDirectory(prefix="sweep-probe-") as root:
+        out = Path(root) / "out"
+        cache = Path(root) / "cache"
+        proc = _launch(config, out, cache, jobs)
+        victim = None
+        try:
+            deadline = time.time() + timeout_s
+            while time.time() < deadline:
+                if proc.poll() is not None:
+                    raise SystemExit("probe: sweep finished before a "
+                                     "worker could be killed; use a "
+                                     "larger grid")
+                workers = pool_workers(proc.pid)
+                if workers:
+                    victim = workers[0]
+                    os.kill(victim, signal.SIGKILL)
+                    break
+                time.sleep(0.01)
+            if victim is None:
+                raise SystemExit("probe: no pool worker appeared before "
+                                 "the timeout")
+            returncode = proc.wait(timeout=600)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        print(f"probe: SIGKILLed pool worker {victim} mid-sweep")
+        if returncode != 0:
+            print(f"probe: FAILED, sweep exited {returncode} after the "
+                  f"worker kill")
+            return 1
+        completed = visible_cells(out / "cells")
+        if len(completed) != len(spec.cells):
+            print(f"probe: FAILED, only {len(completed)}/"
+                  f"{len(spec.cells)} cells completed")
+            return 1
+        from repro.sweep.runner import JOURNAL_NAME
+
+        events, _ = read_journal(out / JOURNAL_NAME)
+        restarts = [e for e in events if e["type"] == "worker_restart"]
+        if not restarts:
+            print("probe: FAILED, no worker_restart event journaled")
+            return 1
+        print(f"probe: OK, sweep completed all {len(completed)} cells "
+              f"after restarting worker for cell "
+              f"{restarts[0].get('task')!r}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("config", type=Path,
@@ -87,7 +180,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="seconds to wait for the first cell before "
                              "giving up")
+    parser.add_argument("--kill", choices=("sweep", "worker"),
+                        default="sweep",
+                        help="what to SIGKILL: the whole sweep process "
+                             "(resume contract) or one of its pool "
+                             "workers (supervision contract)")
     args = parser.parse_args(argv)
+
+    if args.kill == "worker":
+        if args.jobs < 2:
+            print("probe: --kill worker needs --jobs >= 2 (a serial "
+                  "sweep has no pool workers)")
+            return 1
+        return worker_kill_probe(args.config, args.jobs, args.timeout)
 
     from repro.sweep import load_sweep_spec, run_sweep
 

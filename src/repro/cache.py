@@ -72,13 +72,68 @@ from pathlib import Path
 import numpy as np
 
 from .config import Scenario
-from .errors import ConfigurationError
-from .shards import SHARD_INDEX_NAME, load_sharded_series
+from .errors import ConfigurationError, InjectedFault, TraceError
+from .resilience import RetryPolicy, failpoint
+from .resilience.retry import call_with_retry
+from .shards import (
+    SHARD_INDEX_NAME,
+    _verify_shard,
+    load_sharded_series,
+    read_shard_index,
+    shard_path,
+)
 from .trace.dataset import TraceDataset
 from .workload.generator import GeneratedWorkload
 
 #: Bump when the on-disk entry layout changes.
 CACHE_FORMAT = 1
+
+#: Files above this size record only their byte count in the entry
+#: manifest, not a sha256 — hashing a 10 GB monolithic series matrix at
+#: store time would dominate the write, and torn writes (the realistic
+#: corruption) are caught by the size check alone.
+DIGEST_MAX_BYTES = 64 << 20
+
+#: Commit retry budget.  At the ci chaos profile's 5% injected failure
+#: rate, five attempts leave a ~3e-7 chance per entry of degrading to
+#: an uncached run — far below observable flake.
+COMMIT_RETRY = RetryPolicy(max_attempts=5)
+
+
+def _file_sha256(path: Path) -> str:
+    """The sha256 hexdigest of a file's bytes (chunked read)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _manifest(staging: Path,
+              skip_dirs: frozenset[str] = frozenset()) -> dict[str, dict]:
+    """The integrity manifest of a staged entry: size (and, for files
+    under :data:`DIGEST_MAX_BYTES`, sha256) per relative path.
+
+    ``skip_dirs`` omits top-level subdirectories whose integrity is
+    tracked elsewhere — shard payloads carry per-shard checksums in
+    ``shards.json``, so hashing them twice would double the commit cost.
+    """
+    files: dict[str, dict] = {}
+    for path in sorted(staging.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(staging)
+        if rel.parts[0] in skip_dirs:
+            continue
+        size = path.stat().st_size
+        info: dict[str, object] = {"bytes": size}
+        if size <= DIGEST_MAX_BYTES:
+            info["sha256"] = _file_sha256(path)
+        files[rel.as_posix()] = info
+    return files
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -196,6 +251,18 @@ class ArtifactCache:
     def _entry_dir(self, key: str) -> Path:
         return self.root / key[:2] / key
 
+    def has(self, artifact: str, scenario: Scenario) -> bool:
+        """Whether a committed entry exists for ``artifact`` + scenario.
+
+        A pure peek: checks for the entry's ``meta.json`` (the last file
+        the commit protocol writes, so its presence marks a complete
+        entry) without loading anything, emitting events, or evicting.
+        ``resume_status`` uses this to report which phases a resumed
+        study will replay from cache.
+        """
+        key = self.key(artifact, scenario)
+        return (self._entry_dir(key) / "meta.json").exists()
+
     # ---- generic pickled artifacts ---------------------------------------
 
     def get_object(self, artifact: str, scenario: Scenario) -> object | None:
@@ -206,6 +273,7 @@ class ArtifactCache:
             self._emit("cache_miss", artifact=artifact, key=key)
             return None
         try:
+            failpoint("cache.read", artifact)
             with (entry / "object.pkl").open("rb") as handle:
                 value = pickle.load(handle)
         except Exception:
@@ -239,6 +307,7 @@ class ArtifactCache:
             self._emit("cache_miss", artifact=artifact, key=key)
             return None
         try:
+            failpoint("cache.read", artifact)
             workload = self._load_workload(entry)
         except Exception:
             self._discard(entry)
@@ -356,38 +425,63 @@ class ArtifactCache:
         final = self._entry_dir(key)
         if (final / "meta.json").exists():
             return
-        staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
-        staging.mkdir(parents=True)
-        try:
-            writer(staging)
-            meta = {
-                "format": CACHE_FORMAT,
-                "key": key,
-                "artifact": artifact,
-                "kind": kind,
-                "code_version": code_version(),
-                "scenario": json.loads(scenario.cache_token()),
-                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
-                                            time.gmtime()),
-            }
-            # meta.json lands last inside the staging dir, and the rename
-            # below is atomic: a reader can never observe a partial entry.
-            with (staging / "meta.json").open("w") as handle:
-                json.dump(meta, handle, indent=2, sort_keys=True)
-            final.parent.mkdir(parents=True, exist_ok=True)
+
+        def attempt() -> None:
+            # A fresh staging dir per attempt: a failed write may leave
+            # torn files behind, and reusing them would defeat the point
+            # of retrying.
+            staging = self.root / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+            staging.mkdir(parents=True)
             try:
-                os.rename(staging, final)
-            except OSError:
-                if not (final / "meta.json").exists():
-                    raise
-                # Another process materialised the same entry first.
+                failpoint("cache.commit", artifact)
+                writer(staging)
+                meta = {
+                    "format": CACHE_FORMAT,
+                    "key": key,
+                    "artifact": artifact,
+                    "kind": kind,
+                    "code_version": code_version(),
+                    "scenario": json.loads(scenario.cache_token()),
+                    "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                                time.gmtime()),
+                    "files": _manifest(staging),
+                }
+                # meta.json lands last inside the staging dir, and the
+                # rename below is atomic: a reader can never observe a
+                # partial entry.
+                with (staging / "meta.json").open("w") as handle:
+                    json.dump(meta, handle, indent=2, sort_keys=True)
+                final.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.rename(staging, final)
+                except OSError:
+                    if not (final / "meta.json").exists():
+                        raise
+                    # Another process materialised the same entry first.
+                    shutil.rmtree(staging, ignore_errors=True)
+            except BaseException:
                 shutil.rmtree(staging, ignore_errors=True)
-            self._emit("cache_store", artifact=artifact, kind=kind, key=key,
-                       bytes=sum(p.stat().st_size
-                                 for p in final.iterdir() if p.is_file()))
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
+                raise
+
+        def retried(attempt_no: int, delay_s: float,
+                    exc: BaseException) -> None:
+            self._emit("cache_retry", artifact=artifact, key=key,
+                       attempt=attempt_no, delay_s=round(delay_s, 6),
+                       error=f"{type(exc).__name__}: {exc}")
+
+        try:
+            call_with_retry(attempt, policy=COMMIT_RETRY,
+                            token=f"{artifact}|{key}", on_retry=retried)
+        except (InjectedFault, OSError) as exc:
+            # Degrade, don't crash: a store that cannot commit (disk
+            # full, persistent fault) costs recompute time on the next
+            # run, never correctness of this one.  The staging dir was
+            # already cleaned up, so the cache stays readable.
+            self._emit("cache_write_error", artifact=artifact, key=key,
+                       error=f"{type(exc).__name__}: {exc}")
+            return
+        self._emit("cache_store", artifact=artifact, kind=kind, key=key,
+                   bytes=self._entry_size(final))
 
     @staticmethod
     def _discard(entry: Path) -> None:
@@ -395,9 +489,25 @@ class ArtifactCache:
 
     @staticmethod
     def _entry_size(entry_dir: Path) -> int:
-        """Total on-disk bytes of an entry, shard subdirectories included."""
-        return sum(p.stat().st_size
-                   for p in entry_dir.rglob("*") if p.is_file())
+        """Total on-disk bytes of an entry, shard subdirectories included.
+
+        Tolerates files vanishing mid-walk: a concurrent eviction (or a
+        racing ``clear``) must degrade a size report, never crash the
+        reader that happened to be summing it.
+        """
+        total = 0
+        try:
+            # The walk itself can raise too: scandir() of a directory the
+            # evictor already removed, not just stat() of a gone file.
+            for p in entry_dir.rglob("*"):
+                try:
+                    if p.is_file():
+                        total += p.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return total
 
     # ---- maintenance (the `repro cache` subcommand) ----------------------
 
@@ -487,6 +597,100 @@ class ArtifactCache:
             "code_version": code_version(),
         }
 
+    # ---- integrity (the `repro cache verify` subcommand) -----------------
+
+    def verify(self, repair: bool = False,
+               deep: bool = True) -> dict[str, object]:
+        """Integrity-check every entry; optionally evict the damaged ones.
+
+        Each entry's manifest (sizes + sha256 for small files) is
+        checked, and sharded entries additionally get their per-shard
+        payload checksums verified (``deep=False`` downgrades both to
+        structural checks: presence, sizes, shard headers).  With
+        ``repair=True``, damaged entries are evicted — the next run
+        regenerates them — and abandoned staging directories older than
+        an hour are swept.
+
+        Returns a report dict: ``checked``, ``ok``, ``problems`` (one
+        ``{key, artifact, issues}`` row per damaged entry),
+        ``stale_staging``, and ``repaired``.
+        """
+        problems: list[dict[str, object]] = []
+        checked = 0
+        for meta_path in sorted(self.root.glob("??/*/meta.json")):
+            entry_dir = meta_path.parent
+            checked += 1
+            artifact, issues = self._verify_entry(entry_dir, deep=deep)
+            if not issues:
+                continue
+            problems.append({"key": entry_dir.name, "artifact": artifact,
+                             "issues": issues})
+            if repair:
+                self._discard(entry_dir)
+                self._emit("cache_evict", artifact=artifact,
+                           key=entry_dir.name,
+                           reason=f"verify: {issues[0]}")
+        stale_staging = 0
+        cutoff = time.time() - 3600
+        for staging in self.root.glob(".tmp-*"):
+            try:
+                if staging.stat().st_mtime >= cutoff:
+                    continue  # possibly a live writer's staging dir
+            except OSError:
+                continue
+            stale_staging += 1
+            if repair:
+                shutil.rmtree(staging, ignore_errors=True)
+        return {
+            "root": str(self.root),
+            "checked": checked,
+            "ok": checked - len(problems),
+            "problems": problems,
+            "stale_staging": stale_staging,
+            "repaired": (len(problems) + stale_staging) if repair else 0,
+        }
+
+    def _verify_entry(self, entry_dir: Path,
+                      deep: bool) -> tuple[str, list[str]]:
+        """One entry's integrity issues (empty list = healthy)."""
+        try:
+            meta = json.loads((entry_dir / "meta.json").read_text())
+        except Exception as exc:  # noqa: BLE001 - any damage counts
+            return "?", [f"unreadable meta.json: {type(exc).__name__}"]
+        artifact = str(meta.get("artifact", "?"))
+        issues: list[str] = []
+        for rel, info in sorted(meta.get("files", {}).items()):
+            path = entry_dir / rel
+            try:
+                size = path.stat().st_size
+            except OSError:
+                issues.append(f"missing file {rel}")
+                continue
+            if size != info.get("bytes"):
+                issues.append(
+                    f"size mismatch {rel}: {size} != {info.get('bytes')}")
+                continue
+            want = info.get("sha256")
+            if deep and want and _file_sha256(path) != want:
+                issues.append(f"checksum mismatch {rel}")
+        if (entry_dir / SHARD_INDEX_NAME).exists():
+            try:
+                layouts = read_shard_index(entry_dir)
+                for kind in sorted(layouts):
+                    layout = layouts[kind]
+                    checksums = layout.checksums
+                    for shard in range(layout.n_shards):
+                        start, stop = layout.shard_extent(shard)
+                        _verify_shard(
+                            shard_path(entry_dir, kind, shard),
+                            stop - start, layout.points,
+                            checksum=(checksums[shard]
+                                      if shard < len(checksums) else None),
+                            deep=deep)
+            except TraceError as exc:
+                issues.append(str(exc))
+        return artifact, issues
+
 
 class StreamedEntryWriter:
     """A live staging directory for one streamed (sharded) cache entry.
@@ -514,14 +718,25 @@ class StreamedEntryWriter:
         a monolithic winner keeps *this* run's staged store alive as an
         anonymous spill directory so the returned path always holds the
         shards this writer produced.
+
+        Unlike the rebuildable :meth:`ArtifactCache.put_object` path,
+        a commit that keeps failing *raises* after its retry budget
+        (cleaning the staging dir first): the caller's dataset needs
+        these shards, so there is nothing to degrade to.  The seal step
+        (tables + meta + rename) is what retries — the multi-gigabyte
+        shard payload is already on disk and is not rewritten.
         """
-        try:
+
+        def seal() -> Path:
+            failpoint("cache.commit", self.artifact)
             with (self.staging / "platform.pkl").open("wb") as handle:
                 pickle.dump(platform, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             with (self.staging / "tables.pkl").open("wb") as handle:
                 pickle.dump(tables, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
+            skip = frozenset(p.name for p in self.staging.iterdir()
+                             if p.is_dir())
             meta = {
                 "format": CACHE_FORMAT,
                 "key": self.key,
@@ -532,6 +747,9 @@ class StreamedEntryWriter:
                 "scenario": json.loads(self.scenario.cache_token()),
                 "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                             time.gmtime()),
+                # Shard payloads carry per-shard checksums in
+                # shards.json; the manifest covers the rest.
+                "files": _manifest(self.staging, skip_dirs=skip),
             }
             with (self.staging / "meta.json").open("w") as handle:
                 json.dump(meta, handle, indent=2, sort_keys=True)
@@ -545,14 +763,27 @@ class StreamedEntryWriter:
                     shutil.rmtree(self.staging, ignore_errors=True)
                 else:
                     return self.staging
-            self.cache._emit(
-                "cache_store", artifact=self.artifact,
-                kind="workload-shards", key=self.key, shards=int(shards),
-                bytes=ArtifactCache._entry_size(self.final))
             return self.final
+
+        def retried(attempt_no: int, delay_s: float,
+                    exc: BaseException) -> None:
+            self.cache._emit("cache_retry", artifact=self.artifact,
+                             key=self.key, attempt=attempt_no,
+                             delay_s=round(delay_s, 6),
+                             error=f"{type(exc).__name__}: {exc}")
+
+        try:
+            landed = call_with_retry(seal, policy=COMMIT_RETRY,
+                                     token=f"{self.artifact}|{self.key}",
+                                     on_retry=retried)
         except BaseException:
             shutil.rmtree(self.staging, ignore_errors=True)
             raise
+        self.cache._emit(
+            "cache_store", artifact=self.artifact,
+            kind="workload-shards", key=self.key, shards=int(shards),
+            bytes=ArtifactCache._entry_size(landed))
+        return landed
 
     def abort(self) -> None:
         """Discard the staged entry without publishing anything."""

@@ -26,6 +26,7 @@ from .errors import ReproError
 from .obs import RunJournal, diff_journals, read_journal, render_show, \
     render_summary
 from .reports import REPORTS
+from .resilience import CHAOS_PROFILES, chaos_spec, install
 from .study import SCALES, EdgeStudy, scenario_for, study_for
 from .workload.streaming import STREAMING_MODES
 
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate one or more experiments")
     run.add_argument("experiments", nargs="+",
                      help="experiment ids (see 'list'), or 'all'")
+    run.add_argument("--resume", action="store_true",
+                     help="continue an interrupted run: phases already "
+                          "committed to the artifact cache are replayed "
+                          "instead of regenerated (needs the cache; "
+                          "results are bit-identical either way)")
     _add_scenario_args(run)
 
     export = sub.add_parser(
@@ -81,10 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(export)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent artifact cache")
-    cache.add_argument("action", choices=("ls", "info", "clear"),
+        "cache", help="inspect, verify, or clear the artifact cache")
+    cache.add_argument("action", choices=("ls", "info", "clear", "verify"),
                        help="ls: list entries; info: totals; clear: "
-                            "remove everything (or --older-than)")
+                            "remove everything (or --older-than); verify: "
+                            "integrity-check every entry")
     cache.add_argument("--cache-dir", type=Path, default=None,
                        help="cache root (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -95,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dry-run", action="store_true",
                        help="clear only: report what would be removed "
                             "without touching the cache")
+    cache.add_argument("--repair", action="store_true",
+                       help="verify only: evict damaged entries and sweep "
+                            "stale staging dirs so the next run "
+                            "regenerates them")
+    cache.add_argument("--shallow", action="store_true",
+                       help="verify only: skip payload checksums (sizes, "
+                            "presence, and shard headers only)")
 
     sweep = sub.add_parser(
         "sweep", help="run, inspect, or report a scenario sweep")
@@ -122,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument("--no-cache", action="store_true",
                            help="disable the shared cache (and with it "
                                 "cross-cell dedup)")
+    sweep_run.add_argument("--chaos", choices=sorted(CHAOS_PROFILES),
+                           default=None, metavar="PROFILE",
+                           help="install a deterministic failpoint "
+                                "profile for the sweep (inherited by "
+                                "cell workers)")
     sweep_run.add_argument("-v", "--verbose", action="store_true",
                            help="echo sweep journal events to stderr")
     sweep_cells = sweep_sub.add_parser(
@@ -180,6 +199,12 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-json", type=Path, default=None, metavar="PATH",
                         help="write a structured run journal (JSON-Lines) "
                              "to PATH; render it with 'repro trace'")
+    parser.add_argument("--chaos", choices=sorted(CHAOS_PROFILES),
+                        default=None, metavar="PROFILE",
+                        help="install a deterministic failpoint profile "
+                             "(fault injection into the *harness*, not the "
+                             "simulation); results stay bit-identical — "
+                             "see docs/resilience.md")
     volume = parser.add_mutually_exclusive_group()
     volume.add_argument("-v", "--verbose", action="store_true",
                         help="echo journal events to stderr as they happen")
@@ -227,9 +252,12 @@ def _study(args: argparse.Namespace,
 
     A journaled run builds its :class:`EdgeStudy` directly (bypassing the
     ``study_for`` memo) so the journal observes every phase instead of
-    attaching to a study another command already materialised.
+    attaching to a study another command already materialised.  A
+    ``--resume`` run does the same: the resume header must describe
+    *this* invocation's cache state, not a memoised study's.
     """
-    if journal is None:
+    resume = getattr(args, "resume", False)
+    if journal is None and not resume:
         return study_for(args.scale, args.seed, getattr(args, "faults", None),
                          jobs=getattr(args, "jobs", 1),
                          cache_dir=_cache_dir_for(args),
@@ -241,7 +269,8 @@ def _study(args: argparse.Namespace,
              if cache_dir is not None else None)
     return EdgeStudy(scenario, jobs=getattr(args, "jobs", 1), cache=cache,
                      journal=journal,
-                     streaming=getattr(args, "streaming", "auto"))
+                     streaming=getattr(args, "streaming", "auto"),
+                     resume=resume)
 
 
 def _maybe_report_perf(args: argparse.Namespace, study: EdgeStudy) -> None:
@@ -336,8 +365,30 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"{verb} {removed} cache entr"
               f"{'y' if removed == 1 else 'ies'}{scope} from {cache.root}")
         return 0
+    if args.action == "verify":
+        report = cache.verify(repair=args.repair, deep=not args.shallow)
+        print(f"verified {report['checked']} entr"
+              f"{'y' if report['checked'] == 1 else 'ies'} at "
+              f"{report['root']}: {report['ok']} ok, "
+              f"{len(report['problems'])} damaged, "
+              f"{report['stale_staging']} stale staging dir"
+              f"{'' if report['stale_staging'] == 1 else 's'}")
+        for problem in report["problems"]:
+            issues = "; ".join(problem["issues"])
+            print(f"  {problem['artifact']:<22} {problem['key'][:16]}  "
+                  f"{issues}")
+        if report["repaired"]:
+            print(f"repaired: evicted/swept {report['repaired']} "
+                  f"(next run regenerates them)")
+        elif report["problems"] or report["stale_staging"]:
+            print("rerun with --repair to evict damaged entries")
+        return 1 if report["problems"] and not args.repair else 0
     if args.older_than is not None or args.dry_run:
         print("--older-than/--dry-run only apply to 'cache clear'",
+              file=sys.stderr)
+        return 2
+    if args.repair or args.shallow:
+        print("--repair/--shallow only apply to 'cache verify'",
               file=sys.stderr)
         return 2
     if args.action == "info":
@@ -467,6 +518,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     journal = (_open_journal(args)
                if args.command in ("info", "run", "export") else None)
     try:
+        if getattr(args, "chaos", None):
+            # Exported to the env, so forked workers (series pools,
+            # sweep cells) inherit the same deterministic failpoints.
+            install(chaos_spec(args.chaos), export=True)
         if args.command == "list":
             return _command_list()
         if args.command == "info":

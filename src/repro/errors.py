@@ -59,3 +59,23 @@ class BillingError(ReproError):
 
 class ParallelError(ReproError):
     """The worker pool or its shared-memory transport failed to start."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic failpoint fired (see :mod:`repro.resilience`).
+
+    Raised only by the failpoint registry at an instrumented site; the
+    supervised layers (cache commit, shard flush, pool jobs, farm
+    tasks) treat it as a transient infrastructure failure and retry
+    with seeded backoff, which is exactly how chaos runs exercise the
+    recovery paths without changing results.
+    """
+
+
+class QuarantineError(ParallelError):
+    """A job kept failing past its retry budget and was quarantined.
+
+    Carries the job identity, the attempt count, and the last error so
+    a study fails loudly with context instead of hanging or silently
+    dropping work.
+    """

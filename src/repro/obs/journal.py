@@ -57,10 +57,18 @@ VOLATILE_FIELDS = frozenset({
 
 #: Event *types* that exist only because of execution knobs — shard
 #: spills (``--streaming``) and shared-memory handoff telemetry
-#: (``--jobs``/transport choice).  They change how bytes move, never
-#: which bytes, so the canonical view drops the whole event rather than
-#: individual fields.
-VOLATILE_EVENT_TYPES = frozenset({"chunk_spill", "shm_handoff"})
+#: (``--jobs``/transport choice) — or because of *recovery*: retries,
+#: worker restarts, quarantines, and resume headers exist only when a
+#: failpoint fired or the host misbehaved.  Recovery changes when work
+#: happens, never what it produces, so the canonical view drops the
+#: whole event rather than individual fields; that is what makes a
+#: ``--chaos`` run canonicalize bit-identical to a clean one.
+VOLATILE_EVENT_TYPES = frozenset({
+    "chunk_spill", "shm_handoff",
+    "job_retry", "worker_restart", "job_quarantined",
+    "cache_retry", "cache_write_error", "io_retry",
+    "resume",
+})
 
 #: Default journal file name when a directory is given.
 JOURNAL_NAME = "journal.jsonl"

@@ -261,6 +261,21 @@ def render_summary(events: list[dict],
                  f"{pool['completed']} completed, "
                  f"{pool['vms']} VM series rendered")
 
+    seen = summary.event_counts
+    recovered = {label: seen.get(etype, 0) for label, etype in (
+        ("job retries", "job_retry"),
+        ("worker restarts", "worker_restart"),
+        ("cache retries", "cache_retry"),
+        ("io retries", "io_retry"),
+        ("quarantined", "job_quarantined"),
+        ("cache write errors", "cache_write_error"),
+    ) if seen.get(etype, 0)}
+    if recovered or seen.get("resume", 0):
+        parts = [f"{n} {label}" for label, n in recovered.items()]
+        if seen.get("resume", 0):
+            parts.append("resumed run")
+        lines.append("resilience: " + ", ".join(parts))
+
     if summary.faults is not None:
         faults = summary.faults
         lines.append(

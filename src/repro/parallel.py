@@ -43,6 +43,34 @@ executor falls back to serial rendering with a journal warning, and a
 pool that fails to *start* raises :class:`~repro.errors.ParallelError`
 instead of a cryptic pickling failure.
 
+Supervision
+-----------
+
+The pool is *supervised* (see :mod:`repro.resilience`): workers are
+plain forked processes the parent watches rather than a fire-and-forget
+``multiprocessing.Pool``.  Every worker carries a heartbeat thread
+stamping a shared clock slot; the parent's watchdog detects (a) workers
+that exited without reporting (OOM kill, SIGKILL, crash), (b) jobs
+whose wall-clock exceeds the per-job timeout, and (c) wedged workers
+whose heartbeat goes stale — and in all three cases kills the worker,
+respawns a fresh one, and reschedules the job with seeded exponential
+backoff.  Transient job *errors* (an :class:`~repro.errors.InjectedFault`
+from a chaos failpoint, an OSError from flaky storage) are retried the
+same way; a job that keeps failing past its attempt budget raises
+:class:`~repro.errors.QuarantineError` with full context — the study
+fails loudly instead of hanging or silently dropping an app's series.
+Because rendering is a pure function of (seed, recipe, job), a retried
+job reproduces the exact bytes of a first-try success, so supervision
+changes timings, never results; the retry/restart journal events are
+volatile (:data:`repro.obs.VOLATILE_EVENT_TYPES`) and chaos runs
+canonicalise bit-identical to clean runs.
+
+A SIGKILLed worker can in principle die mid-write on the shared result
+pipe; the parent treats undecodable queue reads as transient and relies
+on the watchdog, and injected kills (``pool.kill_worker``) are fired at
+dispatch time — before the victim starts writing — so chaos runs do not
+exercise that race.
+
 Task farm
 ---------
 
@@ -61,6 +89,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
@@ -73,8 +103,15 @@ except ImportError:  # pragma: no cover - non-POSIX minimal builds
     shared_memory = None
 
 from .config import Scenario
-from .errors import ConfigurationError, ParallelError
+from .errors import (
+    ConfigurationError,
+    InjectedFault,
+    ParallelError,
+    QuarantineError,
+)
 from .perf import PerfRegistry
+from .resilience import RetryPolicy, SupervisionConfig, failpoint, fire
+from .resilience.retry import call_with_retry
 from .workload.patterns import time_axis_minutes
 from .workload.series import (
     SeasonCache,
@@ -199,7 +236,13 @@ def _render_in_worker(job: SeriesJob) -> SeriesBlock | _ShmBlockRef:
         parts.append(block.private_rows)
     if sum(part.nbytes for part in parts) > shm_cfg["slot_bytes"]:
         return block
+    failpoint("shm.acquire", job.app_id)
     slot = shm_cfg["free"].get()
+    intent = state.get("slot_intent")
+    if intent is not None:
+        # Publish which slot this worker holds *before* using it, so the
+        # supervisor can account the slot as leaked if we die mid-job.
+        intent[state["worker_index"]] = slot
     view = np.frombuffer(_worker_segment(shm_cfg, slot).buf,
                          dtype=np.float32)
     offset = 0
@@ -273,24 +316,30 @@ def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
                     recipe: SeriesRecipe, n_jobs: int = 1,
                     perf: PerfRegistry | None = None,
                     handoff: str = "shm",
+                    supervision: SupervisionConfig | None = None,
                     ) -> Iterator[SeriesBlock]:
     """Render series jobs, yielding blocks in submission order.
 
     ``n_jobs == 1`` (or a single job) renders inline; otherwise a pool
-    of ``min(n_jobs, len(jobs_list))`` worker processes renders
-    concurrently with windowed submission, so the caller sees the same
-    sequence of bit-identical blocks.  ``handoff`` selects the pooled
-    result transport (``"shm"`` or ``"pickle"``); it changes speed,
-    never bytes.
+    of ``min(n_jobs, len(jobs_list))`` supervised worker processes
+    renders concurrently with windowed submission, so the caller sees
+    the same sequence of bit-identical blocks.  ``handoff`` selects the
+    pooled result transport (``"shm"`` or ``"pickle"``); it changes
+    speed, never bytes.  ``supervision`` bundles the watchdog timeouts
+    and retry budget (default: :meth:`SupervisionConfig.from_env`).
 
     Raises:
         ConfigurationError: on a bad ``n_jobs`` or ``handoff`` value.
-        ParallelError: when the worker pool fails to start.
+        ParallelError: when the worker pool fails to start, or the
+            shared-memory ring is exhausted by repeated worker deaths.
+        QuarantineError: when one job exhausts its retry budget.
     """
     if handoff not in HANDOFF_MODES:
         raise ConfigurationError(
             f"unknown handoff {handoff!r}, expected one of {HANDOFF_MODES}")
     n_jobs = resolve_jobs(n_jobs)
+    if supervision is None:
+        supervision = SupervisionConfig.from_env()
     journal = perf.journal if perf is not None else None
     setup = _WorkerSetup(
         seed=scenario.seed, recipe=recipe,
@@ -315,23 +364,111 @@ def run_series_jobs(jobs_list: Sequence[SeriesJob], scenario: Scenario,
             journal.emit("job_dispatch", app_id=job.app_id,
                          vm_count=job.vm_count)
     if serial:
-        yield from _run_serial(jobs_list, setup, perf, journal)
+        yield from _run_serial(jobs_list, setup, perf, journal,
+                               supervision.retry)
         return
     yield from _run_pooled(jobs_list, setup, ctx, min(n_jobs, len(jobs_list)),
-                           handoff, perf, journal)
+                           handoff, perf, journal, supervision)
+
+
+#: Parent watchdog poll and worker heartbeat stamp intervals (seconds).
+_POOL_POLL_S = 0.05
+_HEARTBEAT_STAMP_S = 0.2
+
+#: Task-queue sentinel telling a worker to exit cleanly.
+_STOP = None
+
+
+def _supervised_worker(index: int, gen: int, setup: _WorkerSetup, tasks,
+                       results, heartbeats, slot_intent, shm_names,
+                       free_slots, slot_bytes: int) -> None:
+    """Worker main loop: render dispatched jobs until the stop sentinel.
+
+    A daemon thread stamps ``heartbeats[index]`` continuously so the
+    parent can tell a busy worker from a wedged one.  Job errors are
+    reported as outcomes, never raised: the worker survives a failed
+    job and stays available for the next dispatch.  ``gen`` tags every
+    result with the spawn generation, so a straggler message from a
+    killed predecessor cannot be mistaken for the respawn's work.
+    """
+    _init_worker(setup, shm_names, free_slots, slot_bytes)
+    state = _WORKER
+    state["worker_index"] = index
+    state["slot_intent"] = slot_intent
+
+    def stamp() -> None:  # pragma: no cover - timing-dependent thread
+        while True:
+            heartbeats[index] = time.monotonic()
+            time.sleep(_HEARTBEAT_STAMP_S)
+
+    threading.Thread(target=stamp, daemon=True).start()
+    while True:
+        message = tasks.get()
+        if message is _STOP:
+            return
+        job_index, job = message
+        try:
+            outcome = _render_in_worker(job)
+            results.put((index, gen, job_index, True, outcome))
+        except BaseException as exc:  # noqa: BLE001 - relayed to parent
+            if slot_intent is not None and slot_intent[index] >= 0:
+                # Acquired a slot but never shipped a ref for it: hand
+                # the slot straight back so it is not stranded.
+                free_slots.put(slot_intent[index])
+            results.put((index, gen, job_index, False,
+                         f"{type(exc).__name__}: {exc}"))
+        finally:
+            if slot_intent is not None:
+                slot_intent[index] = -1
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side lifecycle of one series job."""
+
+    job: SeriesJob
+    index: int
+    attempts: int = 0
+    phase: str = "waiting"  # waiting | inflight | retry | done
+    ready_at: float = 0.0
+    deadline: float | None = None
+
+
+class _PoolWorker:
+    """One supervised worker process plus its private task queue."""
+
+    __slots__ = ("index", "gen", "proc", "tasks", "current")
+
+    def __init__(self, index: int, gen: int, proc, tasks) -> None:
+        self.index = index
+        self.gen = gen
+        self.proc = proc
+        self.tasks = tasks
+        self.current: int | None = None
 
 
 def _run_pooled(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
                 ctx, processes: int, handoff: str,
-                perf: PerfRegistry | None,
-                journal) -> Iterator[SeriesBlock]:
-    """The pool path: windowed submission, optional shm transport."""
+                perf: PerfRegistry | None, journal,
+                supervision: SupervisionConfig) -> Iterator[SeriesBlock]:
+    """The supervised pool path: windowed submission, shm transport,
+    watchdog-driven retry.
+
+    Submission is windowed to the slot count minus any slots leaked by
+    dead workers: in-flight jobs never exceed the free slots, so the
+    head-of-line job can always obtain one and in-order consumption
+    cannot deadlock.  Results are drained eagerly (rows copied out,
+    slot recycled, block buffered) and yielded in submission order, so
+    perf accounting and ``job_complete`` events keep the serial order.
+    """
     use_shm = (handoff == "shm" and shared_memory is not None
                and not os.environ.get(SHM_DISABLE_ENV))
     n_slots = processes + 2
+    policy = supervision.retry
     segments: list = []
     free_slots = None
-    initargs: tuple = (setup,)
+    shm_names = None
+    slot_intent = None
     slot_bytes = 0
     if use_shm:
         slot_bytes = _slot_bytes_for(jobs_list, setup)
@@ -346,57 +483,222 @@ def _run_pooled(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
             raise ParallelError(
                 f"could not allocate {n_slots} shared-memory slots of "
                 f"{slot_bytes} bytes: {exc}") from exc
+        shm_names = [segment.name for segment in segments]
         free_slots = ctx.Queue()
         for index in range(n_slots):
             free_slots.put(index)
-        initargs = (setup, [segment.name for segment in segments],
-                    free_slots, slot_bytes)
+        slot_intent = ctx.Array("i", processes, lock=False)
+        for index in range(processes):
+            slot_intent[index] = -1
+    heartbeats = ctx.Array("d", processes, lock=False)
+    results = ctx.Queue()
+    states = [_JobState(job=job, index=index)
+              for index, job in enumerate(jobs_list)]
+    workers: list[_PoolWorker | None] = [None] * processes
+    retrying: set[int] = set()
+    buffered: dict[int, SeriesBlock] = {}
+    next_new = 0
+    next_yield = 0
+    started = 0
+    leaked = 0
     shm_blocks = pickle_blocks = 0
     shm_bytes = 0
-    try:
+
+    generations = [0] * processes
+
+    def spawn(index: int) -> None:
+        generations[index] += 1
+        tasks = ctx.SimpleQueue()
+        heartbeats[index] = time.monotonic()
+        proc = ctx.Process(
+            target=_supervised_worker,
+            args=(index, generations[index], setup, tasks, results,
+                  heartbeats, slot_intent, shm_names, free_slots,
+                  slot_bytes),
+            daemon=True)
         try:
-            pool = ctx.Pool(processes=processes, initializer=_init_worker,
-                            initargs=initargs)
+            proc.start()
         except OSError as exc:
             raise ParallelError(
-                f"could not start {processes} series worker processes "
+                f"could not start series worker {index} of {processes} "
                 f"(fork): {exc}") from exc
-        with pool:
-            # Submission is windowed to the slot count: outstanding
-            # results can hold at most n_slots - 1 slots while the
-            # head-of-line job still needs one, so a free slot always
-            # exists for it and in-order consumption cannot deadlock.
-            window = n_slots
-            results: deque = deque()
-            job_iter = iter(jobs_list)
+        workers[index] = _PoolWorker(index, generations[index], proc, tasks)
 
-            def submit_next() -> None:
-                job = next(job_iter, None)
-                if job is not None:
-                    results.append(
-                        (job, pool.apply_async(_render_in_worker, (job,))))
+    def get_result(timeout: float):
+        try:
+            return results.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+        except (EOFError, OSError, ValueError) as exc:
+            # A worker killed mid-write can tear the result pipe; the
+            # watchdog recovers the job, so drop the fragment.
+            if journal is not None:
+                journal.warn("undecodable pool result dropped",
+                             error=str(exc))
+            return None
 
-            for _ in range(window):
-                submit_next()
-            while results:
-                job, async_result = results.popleft()
-                outcome = async_result.get()
-                submit_next()
-                if isinstance(outcome, _ShmBlockRef):
-                    block = _block_from_ref(outcome, segments)
-                    free_slots.put(outcome.slot)
-                    shm_blocks += 1
-                    shm_bytes += (block.cpu_rows.nbytes
-                                  + block.bw_rows.nbytes
-                                  + (block.private_rows.nbytes
-                                     if block.private_rows is not None
-                                     else 0))
+    def schedule_retry(state: _JobState, reason: str, now: float) -> None:
+        if state.attempts >= policy.max_attempts:
+            if journal is not None:
+                journal.emit("job_quarantined", app_id=state.job.app_id,
+                             attempts=state.attempts, error=str(reason))
+            raise QuarantineError(
+                f"series job {state.job.app_id!r} failed after "
+                f"{state.attempts} attempts; last error: {reason}")
+        delay = policy.delay(state.job.app_id, state.attempts)
+        state.phase = "retry"
+        state.ready_at = now + delay
+        retrying.add(state.index)
+        if journal is not None:
+            journal.emit("job_retry", app_id=state.job.app_id,
+                         attempt=state.attempts, delay_s=round(delay, 6),
+                         error=str(reason))
+
+    def handle(message, now: float) -> None:
+        nonlocal shm_blocks, pickle_blocks, shm_bytes
+        worker_index, gen, job_index, ok, payload = message
+        state = states[job_index]
+        worker = workers[worker_index]
+        if worker is not None and worker.gen == gen \
+                and worker.current == job_index:
+            worker.current = None
+        if state.phase == "done":
+            # Stale duplicate from a worker presumed dead: recycle its
+            # slot, drop the copy (its perf was never merged, so the
+            # accepted render stays exactly one per job).
+            if ok and isinstance(payload, _ShmBlockRef):
+                free_slots.put(payload.slot)
+            return
+        if not ok:
+            if state.phase == "inflight":
+                schedule_retry(state, str(payload), now)
+            return
+        retrying.discard(job_index)
+        if isinstance(payload, _ShmBlockRef):
+            block = _block_from_ref(payload, segments)
+            free_slots.put(payload.slot)
+            shm_blocks += 1
+            shm_bytes += (block.cpu_rows.nbytes + block.bw_rows.nbytes
+                          + (block.private_rows.nbytes
+                             if block.private_rows is not None else 0))
+        else:
+            block = payload
+            pickle_blocks += 1
+        state.phase = "done"
+        buffered[job_index] = block
+
+    def handle_death(worker: _PoolWorker, reason: str, now: float) -> None:
+        nonlocal leaked
+        worker.proc.join()
+        # Its final result may have been flushed before death: drain the
+        # queue so a completed job is accepted instead of retried.
+        while True:
+            message = get_result(0)
+            if message is None:
+                break
+            handle(message, now)
+        if slot_intent is not None and slot_intent[worker.index] >= 0:
+            # The worker held a slot it never shipped: count it leaked
+            # and shrink the window.  Never re-free it — the worker may
+            # have died between shipping and clearing the intent, and a
+            # double-freed slot would corrupt two blocks at once.
+            leaked += 1
+            slot_intent[worker.index] = -1
+            if n_slots - leaked < 1:
+                raise ParallelError(
+                    "shared-memory ring exhausted by repeated worker "
+                    f"deaths ({leaked} of {n_slots} slots leaked)")
+        job_index = worker.current
+        worker.current = None
+        if journal is not None:
+            journal.emit(
+                "worker_restart", worker=worker.index, reason=reason,
+                app_id=(states[job_index].job.app_id
+                        if job_index is not None else ""))
+        if job_index is not None and states[job_index].phase == "inflight":
+            schedule_retry(states[job_index], f"worker died ({reason})",
+                           now)
+        try:
+            worker.tasks.close()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+        spawn(worker.index)
+
+    def watchdog(now: float) -> None:
+        for worker in workers:
+            if worker is None:
+                continue
+            exitcode = worker.proc.exitcode
+            if exitcode is not None:
+                handle_death(worker, f"exit code {exitcode}", now)
+                continue
+            if worker.current is not None:
+                deadline = states[worker.current].deadline
+                if deadline is not None and now > deadline:
+                    worker.proc.kill()
+                    handle_death(worker, "job timeout", now)
+                    continue
+            staleness = supervision.heartbeat_timeout_s
+            if staleness is not None \
+                    and now - heartbeats[worker.index] > staleness:
+                worker.proc.kill()
+                handle_death(worker, "heartbeat stale", now)
+
+    def dispatch(worker: _PoolWorker, state: _JobState, now: float) -> None:
+        state.attempts += 1
+        state.phase = "inflight"
+        state.deadline = (now + supervision.job_timeout_s
+                          if supervision.job_timeout_s is not None else None)
+        worker.current = state.index
+        worker.tasks.put((state.index, state.job))
+        if fire("pool.kill_worker"):
+            # Supervisor-side chaos: kill at dispatch, before the victim
+            # can start writing results, so the pipe stays intact.
+            worker.proc.kill()
+
+    try:
+        for index in range(processes):
+            spawn(index)
+        last_watchdog = time.monotonic()
+        while next_yield < len(states):
+            now = time.monotonic()
+            for worker in workers:
+                if worker is None or worker.current is not None:
+                    continue
+                ready = [i for i in retrying if states[i].ready_at <= now]
+                if ready:
+                    state = states[min(ready)]
+                    retrying.discard(state.index)
+                elif next_new < len(states) \
+                        and started - next_yield < n_slots - leaked:
+                    state = states[next_new]
+                    next_new += 1
+                    started += 1
                 else:
-                    block = outcome
-                    pickle_blocks += 1
-                _account_block(job, block.perf, perf, journal)
+                    break
+                dispatch(worker, state, now)
+            message = get_result(_POOL_POLL_S)
+            now = time.monotonic()
+            if message is not None:
+                handle(message, now)
+                while True:  # drain without blocking
+                    message = get_result(0)
+                    if message is None:
+                        break
+                    handle(message, now)
+            # Liveness: a steady result stream from healthy workers must
+            # not starve detection of the one that died.
+            if message is None or now - last_watchdog > 5 * _POOL_POLL_S:
+                watchdog(now)
+                last_watchdog = now
+            while next_yield in buffered:
+                block = buffered.pop(next_yield)
+                state = states[next_yield]
+                _account_block(state.job, block.perf, perf, journal)
                 block.perf = None
-                if not results and journal is not None and use_shm:
+                next_yield += 1
+                if next_yield == len(states) and journal is not None \
+                        and use_shm:
                     # Emitted before the final yield: consumers like the
                     # generators' zip() never advance the iterator past
                     # its last block, so a post-loop emit would be lost.
@@ -406,6 +708,22 @@ def _run_pooled(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
                                  bytes=shm_bytes, workers=processes)
                 yield block
     finally:
+        for worker in workers:
+            if worker is None:
+                continue
+            if worker.proc.exitcode is None:
+                try:
+                    worker.tasks.put(_STOP)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+                worker.proc.join(timeout=1.0)
+            if worker.proc.exitcode is None:
+                worker.proc.kill()
+                worker.proc.join()
+        for q in (results, free_slots):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
         for segment in segments:
             segment.close()
             try:
@@ -467,6 +785,14 @@ class TaskFarm:
     Unlike :func:`run_series_jobs`'s pool, workers are **not** daemonic:
     a farmed task may start its own series pool (nested parallelism),
     which ``multiprocessing.Pool`` forbids its daemon workers.
+
+    Supervision: a worker that dies silently (OOM kill, SIGKILL, the
+    ``farm.kill_worker`` chaos site) is retried under ``retry`` before
+    surfacing as a failed outcome, and a task failing with an
+    :class:`~repro.errors.InjectedFault` (the ``sweep.cell`` chaos
+    site) is resubmitted the same way.  Genuine task exceptions are
+    never retried — a sweep cell owns its internal I/O retries, so a
+    failure that reaches the farm is diagnostic, not transient.
     """
 
     #: Seconds to wait for an in-flight result before re-checking
@@ -474,9 +800,12 @@ class TaskFarm:
     #: period for its possibly-buffered final result).
     _POLL_S = 0.25
 
-    def __init__(self, n_jobs: int = 1, journal=None) -> None:
+    def __init__(self, n_jobs: int = 1, journal=None,
+                 retry: RetryPolicy | None = None) -> None:
         self.n_jobs = resolve_jobs(n_jobs)
         self.journal = journal
+        self.retry = retry if retry is not None \
+            else RetryPolicy(max_attempts=2)
         ctx = _pool_context() if self.n_jobs > 1 else None
         if self.n_jobs > 1 and ctx is None:
             if journal is not None:
@@ -487,6 +816,8 @@ class TaskFarm:
         self._results = ctx.Queue() if not self._serial else None
         self._procs: dict[str, multiprocessing.process.BaseProcess] = {}
         self._waiting: deque = deque()
+        self._attempts: dict[str, int] = {}
+        self._specs: dict[str, tuple[Callable, object]] = {}
         self._outstanding = 0
 
     @property
@@ -501,6 +832,7 @@ class TaskFarm:
             raise ConfigurationError(
                 f"task id {task_id!r} is already outstanding")
         self._waiting.append((task_id, fn, arg))
+        self._specs[task_id] = (fn, arg)
         self._outstanding += 1
         self._fill()
 
@@ -509,6 +841,7 @@ class TaskFarm:
             return
         while self._waiting and len(self._procs) < self.n_jobs:
             task_id, fn, arg = self._waiting.popleft()
+            self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
             proc = self._ctx.Process(
                 target=_farm_task, args=(fn, task_id, arg, self._results),
                 daemon=False)
@@ -518,7 +851,29 @@ class TaskFarm:
                 raise ParallelError(
                     f"could not fork worker for task {task_id!r}: "
                     f"{exc}") from exc
+            if fire("farm.kill_worker"):
+                # Supervisor-side chaos: kill the fresh worker before it
+                # reports, exercising the silent-death retry path.
+                proc.kill()
             self._procs[task_id] = proc
+
+    def _retry_task(self, task_id: str, event: str, **fields) -> None:
+        """Resubmit a task after a retryable failure (with backoff)."""
+        attempt = self._attempts.get(task_id, 1)
+        if self.journal is not None:
+            self.journal.emit(event, task=task_id, attempt=attempt,
+                              **fields)
+        time.sleep(self.retry.delay(task_id, attempt))
+        fn, arg = self._specs[task_id]
+        self._waiting.append((task_id, fn, arg))
+        self._fill()
+
+    def _finish(self, task_id: str) -> None:
+        """Drop per-task supervision state once an outcome is final."""
+        self._attempts.pop(task_id, None)
+        self._specs.pop(task_id, None)
+        self._outstanding -= 1
+        self._fill()
 
     def next_outcome(self) -> TaskOutcome:
         """Block until any outstanding task finishes; return its outcome.
@@ -529,49 +884,84 @@ class TaskFarm:
         if not self._outstanding:
             raise ConfigurationError("no outstanding tasks to wait for")
         if self._serial:
-            task_id, fn, arg = self._waiting.popleft()
-            self._outstanding -= 1
+            return self._serial_outcome()
+        while True:
+            message = None
+            try:
+                message = self._results.get(timeout=self._POLL_S)
+            except queue_mod.Empty:
+                dead = [tid for tid, proc in self._procs.items()
+                        if proc.exitcode is not None]
+                if dead:
+                    # A worker exited: either its final result is still
+                    # in the pipe (grace get) or it died silently
+                    # (SIGKILL, OOM) and is retried or reported failed.
+                    try:
+                        message = self._results.get(
+                            timeout=self._POLL_S * 4)
+                    except queue_mod.Empty:
+                        outcome = self._silent_death(dead[0])
+                        if outcome is not None:
+                            return outcome
+                        continue
+            if message is None:
+                continue
+            task_id, ok, payload = message
+            proc = self._procs.pop(task_id, None)
+            if proc is not None:
+                proc.join()
+            if not ok and str(payload).startswith("InjectedFault") \
+                    and self._attempts.get(task_id, 1) \
+                    < self.retry.max_attempts:
+                self._retry_task(task_id, "job_retry", error=str(payload))
+                continue
+            self._finish(task_id)
+            if ok:
+                return TaskOutcome(task_id, True, value=payload)
+            return TaskOutcome(task_id, False, error=str(payload))
+
+    def _silent_death(self, task_id: str) -> TaskOutcome | None:
+        """Handle a worker that exited without reporting.
+
+        Returns the failed outcome once the retry budget is spent,
+        ``None`` after scheduling a retry.
+        """
+        proc = self._procs.pop(task_id)
+        proc.join()
+        if self._attempts.get(task_id, 1) < self.retry.max_attempts:
+            self._retry_task(task_id, "worker_restart",
+                             reason=f"exit code {proc.exitcode}")
+            return None
+        self._finish(task_id)
+        return TaskOutcome(
+            task_id, False,
+            error=f"worker died without reporting "
+                  f"(exit code {proc.exitcode})")
+
+    def _serial_outcome(self) -> TaskOutcome:
+        """The inline path, with the same injected-fault retry policy."""
+        task_id, fn, arg = self._waiting.popleft()
+        self._specs.pop(task_id, None)
+        self._outstanding -= 1
+        attempt = 0
+        while True:
+            attempt += 1
             try:
                 value = fn(arg)
+            except InjectedFault as exc:
+                if attempt < self.retry.max_attempts:
+                    if self.journal is not None:
+                        self.journal.emit(
+                            "job_retry", task=task_id, attempt=attempt,
+                            error=f"{type(exc).__name__}: {exc}")
+                    time.sleep(self.retry.delay(task_id, attempt))
+                    continue
+                return TaskOutcome(task_id, False,
+                                   error=f"{type(exc).__name__}: {exc}")
             except Exception as exc:  # noqa: BLE001 - mirrored worker path
                 return TaskOutcome(task_id, False,
                                    error=f"{type(exc).__name__}: {exc}")
             return TaskOutcome(task_id, True, value=value)
-        while True:
-            try:
-                task_id, ok, payload = self._results.get(
-                    timeout=self._POLL_S)
-                break
-            except queue_mod.Empty:
-                dead = [tid for tid, proc in self._procs.items()
-                        if proc.exitcode is not None]
-                if not dead:
-                    continue
-                # A worker exited: either its final result is still in
-                # the pipe (grace get below) or it died silently
-                # (SIGKILL, OOM) and must be reported as failed.
-                try:
-                    task_id, ok, payload = self._results.get(
-                        timeout=self._POLL_S * 4)
-                    break
-                except queue_mod.Empty:
-                    failed = dead[0]
-                    proc = self._procs.pop(failed)
-                    proc.join()
-                    self._outstanding -= 1
-                    self._fill()
-                    return TaskOutcome(
-                        failed, False,
-                        error=f"worker died without reporting "
-                              f"(exit code {proc.exitcode})")
-        proc = self._procs.pop(task_id, None)
-        if proc is not None:
-            proc.join()
-        self._outstanding -= 1
-        self._fill()
-        if ok:
-            return TaskOutcome(task_id, True, value=payload)
-        return TaskOutcome(task_id, False, error=str(payload))
 
     def close(self) -> None:
         """Terminate any still-running workers and drop queued tasks."""
@@ -581,6 +971,8 @@ class TaskFarm:
                 proc.terminate()
             proc.join()
         self._procs.clear()
+        self._attempts.clear()
+        self._specs.clear()
         self._outstanding = 0
         if self._results is not None:
             self._results.close()
@@ -594,23 +986,53 @@ class TaskFarm:
 
 
 def _run_serial(jobs_list: Sequence[SeriesJob], setup: _WorkerSetup,
-                perf: PerfRegistry | None,
-                journal=None) -> Iterator[SeriesBlock]:
+                perf: PerfRegistry | None, journal=None,
+                policy: RetryPolicy | None = None) -> Iterator[SeriesBlock]:
     """The in-process path: same per-app renderer, no pool overhead.
 
     Each job records into a private registry that is merged into the
     parent's — mirroring what the pool does across the process boundary —
     so telemetry (and any attached journal) cannot tell the paths apart.
+    Transient render failures (injected faults, flaky I/O) retry under
+    the same policy as the pool: each attempt rebuilds the RNG substream
+    and a fresh perf registry, so a retried render is bit-identical to a
+    first-try success and counts exactly once.
     """
+    if policy is None:
+        policy = RetryPolicy()
     cpu_minutes = time_axis_minutes(setup.trace_days,
                                     setup.cpu_interval_minutes)
     bw_minutes = time_axis_minutes(setup.trace_days,
                                    setup.bw_interval_minutes)
     seasons = SeasonCache()
     for job in jobs_list:
-        rng = job_rng(setup.seed, setup.recipe, job.app_id)
-        job_perf = PerfRegistry() if perf is not None else None
-        block = render_series_job(job, setup.recipe, cpu_minutes, bw_minutes,
-                                  rng, seasons=seasons, perf=job_perf)
+        def attempt(job=job):
+            rng = job_rng(setup.seed, setup.recipe, job.app_id)
+            job_perf = PerfRegistry() if perf is not None else None
+            block = render_series_job(job, setup.recipe, cpu_minutes,
+                                      bw_minutes, rng, seasons=seasons,
+                                      perf=job_perf)
+            return block, job_perf
+
+        def on_retry(attempt_no, delay_s, exc, job=job):
+            if journal is not None:
+                journal.emit("job_retry", app_id=job.app_id,
+                             attempt=attempt_no,
+                             delay_s=round(delay_s, 6),
+                             error=f"{type(exc).__name__}: {exc}")
+
+        try:
+            block, job_perf = call_with_retry(
+                attempt, policy=policy, token=job.app_id,
+                on_retry=on_retry)
+        except (InjectedFault, OSError) as exc:
+            if journal is not None:
+                journal.emit("job_quarantined", app_id=job.app_id,
+                             attempts=policy.max_attempts,
+                             error=f"{type(exc).__name__}: {exc}")
+            raise QuarantineError(
+                f"series job {job.app_id!r} failed after "
+                f"{policy.max_attempts} attempts; last error: "
+                f"{type(exc).__name__}: {exc}") from exc
         _account_block(job, job_perf, perf, journal)
         yield block

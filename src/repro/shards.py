@@ -22,10 +22,21 @@ Every load verifies the store before serving from it: shard count,
 per-shard header dtype/shape, and on-disk payload size must all match
 the index.  A mismatch raises :class:`~repro.errors.TraceError`, which
 the cache layer treats as a corrupt entry (evict + miss).
+
+Self-healing extensions (see :mod:`repro.resilience`): every flushed
+shard records a sha256 of its payload bytes in the index, so ``repro
+cache verify`` can *deep*-check stores for silent corruption (structural
+header/size checks stay the default load path — hashing half a terabyte
+per warm city-tier load would defeat the cache).  Shard flushes retry
+transient failures (ENOSPC bursts, injected ``shard.write`` faults)
+under a bounded seeded-backoff policy before propagating — and a
+propagated failure unwinds through the sink's ``abort``, removing the
+staging directory so the store is never left torn.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Mapping
 from dataclasses import dataclass
@@ -35,6 +46,8 @@ from typing import Iterator
 import numpy as np
 
 from .errors import TraceError
+from .resilience import RetryPolicy, failpoint
+from .resilience.retry import call_with_retry
 
 #: Rows per shard file.  At paper resolution (92 d / 1 min = 132480
 #: points) one shard is ~2 GiB of float32 at 4096 rows; the default
@@ -57,6 +70,10 @@ class ShardLayout:
     rows: int
     points: int
     shard_rows: int
+    #: Per-shard sha256 hexdigests of the payload bytes, in shard order.
+    #: Empty for stores written before checksums existed (loads stay
+    #: structural; deep verification reports them as unverifiable).
+    checksums: tuple[str, ...] = ()
 
     @property
     def n_shards(self) -> int:
@@ -67,9 +84,13 @@ class ShardLayout:
         start = index * self.shard_rows
         return start, min(start + self.shard_rows, self.rows)
 
-    def as_dict(self) -> dict[str, int | str]:
-        return {"kind": self.kind, "rows": self.rows, "points": self.points,
-                "shard_rows": self.shard_rows}
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "kind": self.kind, "rows": self.rows, "points": self.points,
+            "shard_rows": self.shard_rows}
+        if self.checksums:
+            payload["checksums"] = list(self.checksums)
+        return payload
 
 
 def shard_path(root: Path, kind: str, index: int) -> Path:
@@ -101,14 +122,21 @@ def read_shard_index(root: Path) -> dict[str, ShardLayout]:
     layouts = {}
     for kind, entry in payload.get("series", {}).items():
         try:
-            layouts[kind] = ShardLayout(
+            layout = ShardLayout(
                 kind=kind, rows=int(entry["rows"]),
                 points=int(entry["points"]),
                 shard_rows=int(entry["shard_rows"]),
+                checksums=tuple(str(c)
+                                for c in entry.get("checksums", ())),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceError(
                 f"malformed shard index entry for {kind!r}") from exc
+        if layout.checksums and len(layout.checksums) != layout.n_shards:
+            raise TraceError(
+                f"shard index for {kind!r} lists {len(layout.checksums)} "
+                f"checksums for {layout.n_shards} shards")
+        layouts[kind] = layout
     return layouts
 
 
@@ -124,7 +152,8 @@ class ShardWriter:
 
     def __init__(self, root: Path, kind: str, points: int,
                  shard_rows: int = DEFAULT_SHARD_ROWS,
-                 on_flush=None) -> None:
+                 on_flush=None, retry: RetryPolicy | None = None,
+                 on_retry=None) -> None:
         if points <= 0:
             raise TraceError(f"points must be positive, got {points}")
         if shard_rows <= 0:
@@ -136,6 +165,12 @@ class ShardWriter:
         #: Optional callback ``(shard_index, rows, nbytes)`` per flush —
         #: the journal's ``chunk_spill`` hook.
         self.on_flush = on_flush
+        #: Transient flush failures retry under this policy before
+        #: propagating (and unwinding the owning sink's staging dir).
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Optional callback ``(shard_index, attempt, delay_s, exc)``
+        #: per flush retry — the journal's ``io_retry`` hook.
+        self.on_retry = on_retry
         self._dir = self.root / kind
         self._dir.mkdir(parents=True, exist_ok=True)
         self._buffer = np.empty((self.shard_rows, self.points),
@@ -143,6 +178,7 @@ class ShardWriter:
         self._fill = 0
         self._rows = 0
         self._shards = 0
+        self._checksums: list[str] = []
         self._finalized = False
 
     def append(self, rows: np.ndarray) -> None:
@@ -172,7 +208,30 @@ class ShardWriter:
             return
         path = shard_path(self.root, self.kind, self._shards)
         filled = self._buffer[:self._fill]
-        np.save(path, filled)
+        # Hash the payload before writing: zero-copy over the contiguous
+        # buffer slice, and the digest the index records is by
+        # construction what a clean write put on disk.
+        digest = hashlib.sha256(filled).hexdigest()
+
+        def write() -> None:
+            failpoint("shard.write", path.name)
+            np.save(path, filled)
+
+        def retried(attempt: int, delay_s: float, exc: BaseException) -> None:
+            # A failed np.save can leave a torn partial file; remove it
+            # so the retry starts from a clean slate.
+            path.unlink(missing_ok=True)
+            if self.on_retry is not None:
+                self.on_retry(self._shards, attempt, delay_s, exc)
+
+        try:
+            call_with_retry(write, policy=self.retry,
+                            token=f"{self.kind}/{self._shards}",
+                            on_retry=retried)
+        except BaseException:
+            path.unlink(missing_ok=True)
+            raise
+        self._checksums.append(digest)
         if self.on_flush is not None:
             self.on_flush(self._shards, self._fill, int(filled.nbytes))
         self._shards += 1
@@ -184,16 +243,25 @@ class ShardWriter:
             self._flush()
             self._finalized = True
         return ShardLayout(kind=self.kind, rows=self._rows,
-                           points=self.points, shard_rows=self.shard_rows)
+                           points=self.points, shard_rows=self.shard_rows,
+                           checksums=tuple(self._checksums))
 
 
-def _verify_shard(path: Path, expected_rows: int,
-                  points: int) -> None:
+def _verify_shard(path: Path, expected_rows: int, points: int,
+                  checksum: str | None = None,
+                  deep: bool = False) -> None:
     """Check one shard's header and payload size without loading it.
 
+    With ``deep=True`` and a recorded ``checksum``, the payload bytes
+    are additionally hashed and compared — the full-integrity pass
+    behind ``repro cache verify`` (too expensive for the default load
+    path at city scale).
+
     Raises:
-        TraceError: missing file, wrong dtype/shape, or truncation.
+        TraceError: missing file, wrong dtype/shape, truncation, or
+            (deep only) a payload checksum mismatch.
     """
+    failpoint("shard.read", path.name)
     try:
         with path.open("rb") as handle:
             version = np.lib.format.read_magic(handle)
@@ -224,6 +292,18 @@ def _verify_shard(path: Path, expected_rows: int,
         raise TraceError(
             f"shard {path.name}: {actual} bytes on disk, expected "
             f"{expected_bytes} (truncated or padded)")
+    if deep and checksum:
+        digest = hashlib.sha256()
+        with path.open("rb") as handle:
+            handle.seek(data_start)
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                digest.update(chunk)
+        if digest.hexdigest() != checksum:
+            raise TraceError(
+                f"shard {path.name}: payload checksum mismatch")
 
 
 class ShardedSeriesMap(Mapping):
@@ -253,12 +333,20 @@ class ShardedSeriesMap(Mapping):
         if verify:
             self.verify()
 
-    def verify(self) -> None:
-        """Validate every shard header/size against the layout."""
+    def verify(self, deep: bool = False) -> None:
+        """Validate every shard header/size against the layout.
+
+        ``deep=True`` additionally hashes each shard's payload against
+        the recorded checksum (when the index carries one).
+        """
+        checksums = self.layout.checksums
         for shard in range(self.layout.n_shards):
             start, stop = self.layout.shard_extent(shard)
             _verify_shard(shard_path(self.root, self.layout.kind, shard),
-                          stop - start, self.layout.points)
+                          stop - start, self.layout.points,
+                          checksum=(checksums[shard]
+                                    if shard < len(checksums) else None),
+                          deep=deep)
 
     def _shard(self, index: int) -> np.ndarray:
         cached = self._maps.get(index)

@@ -44,6 +44,12 @@ from .workload.generator import GeneratedWorkload, generate_nep_workload
 from .workload.streaming import WorkloadSink, resolve_streaming
 
 
+#: Phases whose results land in the artifact cache and can therefore be
+#: skipped by a resumed run.  Order matches the natural execution order.
+RESUMABLE_PHASES = ("workload_nep", "workload_azure",
+                    "campaign_latency", "campaign_throughput")
+
+
 class EdgeStudy:
     """Lazily-computed bundle of every dataset the paper's figures need.
 
@@ -51,12 +57,21 @@ class EdgeStudy:
     span, so ``study.perf.report()`` (or the CLI's ``--perf`` flag) shows
     where a run spent its time; ``study.phases.report()`` shows which
     phases ran and whether they failed.
+
+    ``resume=True`` declares that this run continues an earlier (killed
+    or crashed) run of the same scenario: it requires an artifact cache
+    — the medium resume works through, since every committed phase is a
+    cache entry published atomically — and journals a ``resume`` event
+    listing which phases will replay from cache and which still have to
+    run.  Resume never changes results; cached phases are bit-identical
+    to regenerated ones, so a resumed journal canonicalizes equal to a
+    clean one.
     """
 
     def __init__(self, scenario: Scenario = DEFAULT_SCENARIO,
                  jobs: int = 1, cache: ArtifactCache | None = None,
                  journal: RunJournal | None = None,
-                 streaming: str = "auto") -> None:
+                 streaming: str = "auto", resume: bool = False) -> None:
         self.scenario = scenario
         #: Worker processes for workload generation (0 was "all cores").
         self.jobs = resolve_jobs(jobs)
@@ -68,6 +83,12 @@ class EdgeStudy:
         #: of living in-process.  ``"auto"`` switches on at city-tier VM
         #: counts; an execution knob only — results are bit-identical.
         self.streaming = resolve_streaming(streaming, scenario)
+        #: Whether this run continues an interrupted one via the cache.
+        self.resume = resume
+        if resume and cache is None:
+            raise ConfigurationError(
+                "resume needs an artifact cache (committed phases are "
+                "cache entries); drop --no-cache or pass cache_dir")
         self.perf = PerfRegistry(journal=journal)
         self.phases = PhaseLedger(journal=journal)
         if journal is not None:
@@ -75,6 +96,28 @@ class EdgeStudy:
                 cache.journal = journal
             journal.run_start(scenario, jobs=self.jobs,
                               cache=cache is not None)
+            if resume:
+                status = self.resume_status()
+                journal.emit("resume", cached=status["cached"],
+                             pending=status["pending"])
+
+    def resume_status(self) -> dict[str, list[str]]:
+        """Which resumable phases are already committed in the cache.
+
+        Returns ``{"cached": [...], "pending": [...]}`` over
+        :data:`RESUMABLE_PHASES` — a pure peek at entry metadata, with
+        no loading, no events, and no side effects on the cache.
+
+        Raises:
+            ConfigurationError: when the study has no artifact cache.
+        """
+        if self.cache is None:
+            raise ConfigurationError(
+                "resume status needs an artifact cache")
+        cached = [name for name in RESUMABLE_PHASES
+                  if self.cache.has(name, self.scenario)]
+        pending = [name for name in RESUMABLE_PHASES if name not in cached]
+        return {"cached": cached, "pending": pending}
 
     # ---- artifact cache plumbing ----------------------------------------
 

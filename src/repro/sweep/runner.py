@@ -45,6 +45,7 @@ from ..cache import ARTIFACT_TOKEN_EXCLUDES, ArtifactCache
 from ..errors import ConfigurationError, ReproError
 from ..obs import RunJournal, merge_cell_journal, read_journal
 from ..parallel import TaskFarm
+from ..resilience import failpoint
 from ..study import EdgeStudy
 from .analyses import run_analysis
 from .spec import SweepCell, SweepSpec
@@ -121,6 +122,10 @@ def _write_json_atomic(path: Path, payload: dict) -> None:
 def _execute_cell(task: dict) -> dict:
     """Worker body: run one cell, publish its directory atomically."""
     cell: SweepCell = task["cell"]
+    # Chaos site: fires before any output exists, so a tripped cell
+    # leaves nothing behind and the farm's retry (serial mode) or a
+    # sweep resume (pooled mode) re-runs it from scratch.
+    failpoint("sweep.cell", cell.name)
     cells_dir = Path(task["cells_dir"])
     staging = cells_dir / f".tmp-{cell.name}-{os.getpid()}"
     if staging.exists():

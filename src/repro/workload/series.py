@@ -26,6 +26,7 @@ import numpy as np
 
 from ..config import RandomState
 from ..perf import PerfRegistry
+from ..resilience import failpoint
 from .apps import AppProfile
 from .bandwidth import derive_private_series_batch, generate_bw_series_batch
 from .cpu import generate_cpu_series_batch
@@ -162,6 +163,9 @@ def render_series_job(job: SeriesJob, recipe: SeriesRecipe,
     """
     if seasons is None:
         seasons = SeasonCache()
+    # Chaos site: fires *before* any draw is consumed, so a retried
+    # render replays the substream from scratch and stays bit-identical.
+    failpoint("series.render", job.app_id)
     profile, n_vms = job.profile, job.vm_count
     span = (perf.span("series_render") if perf is not None
             else nullcontext())

@@ -137,13 +137,24 @@ class WorkloadSink:
         for kind, points in kinds:
             self._writers[kind] = ShardWriter(
                 self.root, kind, points, shard_rows=self.shard_rows,
-                on_flush=self._flush_hook(kind))
+                on_flush=self._flush_hook(kind),
+                on_retry=self._retry_hook(kind))
 
     def _flush_hook(self, kind: str):
         def hook(shard: int, rows: int, nbytes: int) -> None:
             if self.journal is not None:
                 self.journal.emit("chunk_spill", kind=kind, shard=shard,
                                   rows=rows, bytes=nbytes)
+        return hook
+
+    def _retry_hook(self, kind: str):
+        def hook(shard: int, attempt: int, delay_s: float,
+                 exc: BaseException) -> None:
+            if self.journal is not None:
+                self.journal.emit("io_retry", kind=kind, shard=shard,
+                                  attempt=attempt,
+                                  delay_s=round(delay_s, 6),
+                                  error=f"{type(exc).__name__}: {exc}")
         return hook
 
     def consume(self, vm_ids: list[str], block: SeriesBlock) -> None:

@@ -1,0 +1,114 @@
+"""`repro trace` on failed and retried runs (the chaos observability story).
+
+Pins the satellite contract: a run that retried renders the recovery
+events in show/summary, a run that failed closes its journal with
+``status=failed``, and a chaos run's canonical journal diffs empty
+against a clean run's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs import canonical_events, diff_journals, read_journal
+from repro.resilience import FAILPOINTS_ENV, reset
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset()
+    yield
+    reset()
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    """Three real smoke runs: clean, retried-but-ok, and failed.
+
+    Module-scoped (one workload generation each); the failpoint env var
+    is managed manually because monkeypatch is function-scoped.
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("trace-failures")
+    paths = {"clean": root / "clean.jsonl", "retried": root / "retried.jsonl",
+             "failed": root / "failed.jsonl"}
+    assert main(["run", "fig9", "--log-json", str(paths["clean"]),
+                 "--cache-dir", str(root / "cache-clean")]) == 0
+    os.environ[FAILPOINTS_ENV] = "series.render:nth=1"
+    try:
+        assert main(["run", "fig9", "--log-json", str(paths["retried"]),
+                     "--cache-dir", str(root / "cache-retried")]) == 0
+        reset()
+        # Every render attempt fails: the workload phases quarantine and
+        # the run closes failed (still journaled end to end).
+        os.environ[FAILPOINTS_ENV] = "series.render:nth=1,times=9999"
+        assert main(["run", "fig9", "--log-json", str(paths["failed"]),
+                     "--no-cache"]) == 1
+    finally:
+        os.environ.pop(FAILPOINTS_ENV, None)
+        reset()
+    return paths
+
+
+class TestRetriedRun:
+    def test_journal_records_retry_and_closes_ok(self, runs):
+        events, warnings = read_journal(runs["retried"])
+        assert warnings == []
+        assert events[-1]["status"] == "ok"
+        retries = [e for e in events if e["type"] == "job_retry"]
+        assert retries and "InjectedFault" in retries[0]["error"]
+
+    def test_show_renders_retry_events(self, runs, capsys):
+        assert main(["trace", "show", str(runs["retried"])]) == 0
+        assert "job_retry" in capsys.readouterr().out
+
+    def test_summary_has_resilience_line(self, runs, capsys):
+        assert main(["trace", "summary", str(runs["retried"])]) == 0
+        out = capsys.readouterr().out
+        assert "status=ok" in out
+        assert "resilience:" in out
+        assert "job retries" in out
+
+    def test_canonical_diff_vs_clean_is_empty(self, runs):
+        clean, _ = read_journal(runs["clean"])
+        retried, _ = read_journal(runs["retried"])
+        assert canonical_events(clean) != canonical_events([])  # non-trivial
+        assert canonical_events(retried) == canonical_events(clean)
+        rendered = diff_journals(canonical_events(clean),
+                                 canonical_events(retried))
+        assert "identical type counts" in rendered
+        assert "identical behaviour" in rendered
+
+    def test_raw_diff_shows_only_volatile_drift(self, runs):
+        clean, _ = read_journal(runs["clean"])
+        retried, _ = read_journal(runs["retried"])
+        rendered = diff_journals(clean, retried)
+        assert "job_retry" in rendered  # raw view keeps the chaos story
+
+
+class TestFailedRun:
+    def test_journal_closes_failed_with_quarantine(self, runs):
+        events, _ = read_journal(runs["failed"])
+        end = events[-1]
+        assert end["type"] == "run_end" and end["status"] == "failed"
+        assert any(e["type"] == "job_quarantined" for e in events)
+        assert any(e["type"] == "job_retry" for e in events)
+        failed_phases = [e for e in events if e["type"] == "phase_end"
+                         and e.get("status") == "failed"]
+        assert failed_phases
+
+    def test_summary_renders_failure_and_retries(self, runs, capsys):
+        assert main(["trace", "summary", str(runs["failed"])]) == 0
+        out = capsys.readouterr().out
+        assert "status=failed" in out
+        assert "error:" in out
+        assert "resilience:" in out
+        assert "quarantined" in out
+
+    def test_diff_failed_vs_clean_flags_status(self, runs):
+        clean, _ = read_journal(runs["clean"])
+        failed, _ = read_journal(runs["failed"])
+        rendered = diff_journals(clean, failed)
+        assert "status: ok -> failed" in rendered

@@ -1,0 +1,169 @@
+"""Tests for the deterministic failpoint registry (repro.resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFault
+from repro.resilience import (
+    CHAOS_PROFILES,
+    FAILPOINTS_ENV,
+    SITES,
+    FailpointRule,
+    active,
+    chaos_spec,
+    failpoint,
+    fire,
+    install,
+    parse_failpoints,
+    reset,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Failpoints are process-global: every test starts and ends clean."""
+    reset()
+    yield
+    reset()
+
+
+class TestGrammar:
+    def test_empty_spec_is_disabled(self):
+        registry = parse_failpoints("")
+        assert not registry.enabled
+
+    def test_nth_rule(self):
+        registry = parse_failpoints("cache.commit:nth=3")
+        rule = registry.rules["cache.commit"]
+        assert rule.nth == 3 and rule.p is None
+        assert rule.max_fires == 1  # nth default: fire once
+
+    def test_p_rule_with_seed_and_times(self):
+        registry = parse_failpoints("shard.write:p=0.5,seed=7,times=2")
+        rule = registry.rules["shard.write"]
+        assert rule.p == 0.5 and rule.seed == 7 and rule.max_fires == 2
+
+    def test_p_rule_defaults_to_unlimited_fires(self):
+        rule = parse_failpoints("cache.read:p=0.5").rules["cache.read"]
+        assert rule.max_fires is None
+
+    def test_multiple_sites(self):
+        registry = parse_failpoints(
+            "cache.commit:nth=1;series.render:p=0.1,seed=3")
+        assert set(registry.rules) == {"cache.commit", "series.render"}
+
+    @pytest.mark.parametrize("spec", [
+        "not.a.site:nth=1",          # unknown site
+        "cache.commit:nth=1,p=0.5",  # both triggers
+        "cache.commit:times=2",      # neither trigger
+        "cache.commit:nth=0",        # out of range
+        "cache.commit:p=0",          # out of range
+        "cache.commit:p=1.5",        # out of range
+        "cache.commit:nth=1,times=0",
+        "cache.commit:nth=x",        # bad int
+        "cache.commit:wat=1",        # unknown parameter
+        "cache.commit",              # missing params
+        "cache.commit:nth=1;cache.commit:nth=2",  # duplicate site
+        "cache.commit:nth",          # malformed parameter
+    ])
+    def test_rejected_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_failpoints(spec)
+
+    def test_rule_site_must_be_known(self):
+        with pytest.raises(ConfigurationError):
+            FailpointRule(site="bogus", nth=1)
+
+
+class TestFiring:
+    def test_nth_fires_exactly_once_on_nth_hit(self):
+        registry = parse_failpoints("series.render:nth=3")
+        fires = [registry.fire("series.render") for _ in range(6)]
+        assert fires == [False, False, True, False, False, False]
+        assert registry.hits("series.render") == 6
+        assert registry.fired("series.render") == 1
+
+    def test_times_extends_the_budget(self):
+        registry = parse_failpoints("series.render:nth=1,times=3")
+        fires = [registry.fire("series.render") for _ in range(5)]
+        assert fires == [True, True, True, False, False]
+
+    def test_unconfigured_site_never_fires(self):
+        registry = parse_failpoints("cache.commit:nth=1")
+        assert not registry.fire("series.render")
+        assert registry.hits("series.render") == 0  # only rules count hits
+
+    def test_unknown_site_rejected_at_fire_time(self):
+        registry = parse_failpoints("cache.commit:nth=1")
+        with pytest.raises(ConfigurationError):
+            registry.fire("made.up")
+
+    def test_p_sequence_is_deterministic(self):
+        a = parse_failpoints("cache.read:p=0.3,seed=5")
+        b = parse_failpoints("cache.read:p=0.3,seed=5")
+        seq_a = [a.fire("cache.read") for _ in range(50)]
+        seq_b = [b.fire("cache.read") for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_p_sequence_depends_on_seed(self):
+        a = parse_failpoints("cache.read:p=0.3,seed=5")
+        b = parse_failpoints("cache.read:p=0.3,seed=6")
+        assert ([a.fire("cache.read") for _ in range(50)]
+                != [b.fire("cache.read") for _ in range(50)])
+
+    def test_p_rate_is_roughly_p(self):
+        registry = parse_failpoints("cache.read:p=0.2,seed=1")
+        fired = sum(registry.fire("cache.read") for _ in range(2000))
+        assert 300 <= fired <= 500  # 0.2 +/- generous tolerance
+
+    def test_trip_raises_injected_fault_with_context(self):
+        registry = parse_failpoints("cache.commit:nth=1")
+        with pytest.raises(InjectedFault, match="cache.commit.*hit 1.*nep"):
+            registry.trip("cache.commit", "nep")
+        registry.trip("cache.commit")  # budget spent: no-op
+
+
+class TestActivation:
+    def test_install_exports_env(self, monkeypatch):
+        install("cache.commit:nth=1")
+        import os
+        assert os.environ[FAILPOINTS_ENV] == "cache.commit:nth=1"
+        assert active().enabled
+        reset()
+        assert FAILPOINTS_ENV not in os.environ
+        assert not active().enabled
+
+    def test_active_reparses_on_env_change(self, monkeypatch):
+        monkeypatch.setenv(FAILPOINTS_ENV, "cache.commit:nth=1")
+        assert active().rules["cache.commit"].nth == 1
+        monkeypatch.setenv(FAILPOINTS_ENV, "cache.commit:nth=2")
+        assert active().rules["cache.commit"].nth == 2
+
+    def test_failpoint_helper_raises_when_armed(self):
+        failpoint("series.render", "app-1")  # disabled: no-op
+        install("series.render:nth=1")
+        with pytest.raises(InjectedFault):
+            failpoint("series.render", "app-1")
+
+    def test_fire_helper_is_false_when_disabled(self):
+        assert not fire("pool.kill_worker")
+        install("pool.kill_worker:nth=1")
+        assert fire("pool.kill_worker")
+        assert not fire("pool.kill_worker")  # budget spent
+
+
+class TestChaosProfiles:
+    def test_all_profiles_parse(self):
+        for name in CHAOS_PROFILES:
+            assert parse_failpoints(chaos_spec(name)).enabled
+
+    def test_profile_sites_are_instrumented(self):
+        for name in CHAOS_PROFILES:
+            for site in parse_failpoints(chaos_spec(name)).rules:
+                assert site in SITES
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chaos_spec("apocalypse")

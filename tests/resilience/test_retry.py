@@ -1,0 +1,98 @@
+"""Tests for the seeded bounded-retry loop (repro.resilience.retry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFault
+from repro.resilience import RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_token_and_attempt(self):
+        policy = RetryPolicy(backoff_s=0.1, factor=2.0, jitter=0.25)
+        assert policy.delay("job-a", 1) == policy.delay("job-a", 1)
+        assert policy.delay("job-a", 1) != policy.delay("job-b", 1)
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(backoff_s=0.1, factor=2.0, jitter=0.25)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            delay = policy.delay("t", attempt)
+            assert base <= delay <= base * 1.25
+
+    def test_zero_jitter_is_exact_backoff(self):
+        policy = RetryPolicy(backoff_s=0.5, factor=3.0, jitter=0.0)
+        assert policy.delay("t", 2) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_s": -1.0},
+        {"factor": 0.5},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def test_first_try_success_calls_once(self):
+        calls = []
+        result = call_with_retry(lambda: calls.append(1) or "ok",
+                                 policy=RetryPolicy(), token="t")
+        assert result == "ok" and len(calls) == 1
+
+    def test_transient_failures_retried_until_success(self):
+        attempts, slept, retries = [], [], []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise InjectedFault(f"boom {len(attempts)}")
+            return "ok"
+
+        result = call_with_retry(
+            flaky, policy=RetryPolicy(max_attempts=3, backoff_s=0.01),
+            token="t",
+            on_retry=lambda a, d, e: retries.append((a, d, str(e))),
+            sleep=slept.append)
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert [a for a, _, _ in retries] == [1, 2]
+        assert slept == [d for _, d, _ in retries]
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        def always():
+            raise InjectedFault("persistent")
+
+        with pytest.raises(InjectedFault, match="persistent"):
+            call_with_retry(always,
+                            policy=RetryPolicy(max_attempts=2,
+                                               backoff_s=0.0),
+                            token="t", sleep=lambda _s: None)
+
+    def test_non_transient_error_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, policy=RetryPolicy(max_attempts=5),
+                            token="t", sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_oserror_is_transient_by_default(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError(28, "No space left on device")
+            return "ok"
+
+        assert call_with_retry(flaky,
+                               policy=RetryPolicy(backoff_s=0.0),
+                               token="t", sleep=lambda _s: None) == "ok"

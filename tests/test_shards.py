@@ -53,9 +53,13 @@ class TestShardWriter:
         _write_store(tmp_path, rows=10, shard_rows=4)
         layout = read_shard_index(tmp_path)["cpu"]
         assert layout == ShardLayout(kind="cpu", rows=10, points=16,
-                                     shard_rows=4)
+                                     shard_rows=4,
+                                     checksums=layout.checksums)
         assert layout.n_shards == 3
         assert layout.shard_extent(2) == (8, 10)
+        # One payload checksum per shard survives the index round-trip.
+        assert len(layout.checksums) == 3
+        assert all(len(c) == 64 for c in layout.checksums)
         for shard in range(3):
             assert shard_path(tmp_path, "cpu", shard).exists()
 
