@@ -57,7 +57,12 @@ import numpy as np
 
 #: The phases tracked per run, in execution order.
 PHASES = ("workload_nep", "workload_azure", "campaign_latency",
-          "campaign_throughput")
+          "campaign_throughput", "qoe_sessions")
+
+#: Optional per-scale ledger sections measured by dedicated flags.  A
+#: run that does not re-measure one keeps the previously committed
+#: value instead of silently dropping it from the ledger.
+OPTIONAL_SECTIONS = ("handoff", "sweep", "cache", "qoe_sessions")
 
 
 def effective_seed(seed: int | None) -> int:
@@ -100,6 +105,7 @@ def run_once(scale: str, seed: int | None, jobs: int = 1,
         study.azure
         study.latency_results
         study.throughput_results
+        study.qoe_sessions
         journal.close(counters=study.perf.counters or None)
     result = study.perf.as_dict()
     result["journal_phases"] = phase_breakdown(journal.events)
@@ -183,6 +189,7 @@ def bench_handoff(scale: str, seed: int | None,
         "vms_per_app": vms_per_app,
         "workers": 2,
     }
+    total_vms = app_count * vms_per_app
     walls = {}
     for handoff in ("pickle", "shm"):
         moved = 0
@@ -194,10 +201,85 @@ def bench_handoff(scale: str, seed: int | None,
                 moved += block.private_rows.nbytes
         walls[handoff] = time.perf_counter() - start
         result[f"{handoff}_wall_s"] = round(walls[handoff], 6)
+        # Self-describing throughput: the speedup ratio can be sanity-
+        # checked from the row alone, without knowing the job shape.
+        result[f"{handoff}_vms_per_s"] = round(
+            total_vms / max(walls[handoff], 1e-9), 1)
         result["block_bytes"] = moved
     result["shm_speedup"] = round(
         walls["pickle"] / max(walls["shm"], 1e-9), 3)
     return result
+
+
+def bench_qoe(scale: str, seed: int | None, jobs: int = 1,
+              sessions: int | None = None,
+              reference_sessions: int = 300,
+              streaming: str = "auto") -> dict[str, object]:
+    """Benchmark the vectorized session engine against its reference.
+
+    Runs the full ``qoe_sessions`` study phase (both arms, chunked,
+    journaled — its wall and ``peak_rss_mb`` sample feed the RSS gate),
+    then times the vectorized engine and the scalar reference on the
+    same prebuilt workload — engine throughput, with the analytic
+    cache-model solve kept out of both sides of the ratio — and checks
+    golden-digest equivalence on a shared slice.  ``sessions``
+    overrides the scale's session count.
+    """
+    import dataclasses
+
+    from repro.cdn import CdnModel
+    from repro.obs import RunJournal, phase_breakdown
+    from repro.qoe import (ARMS, SessionDigest, build_session_workload,
+                           run_sessions, simulate_reference)
+    from repro.study import EdgeStudy
+
+    overrides = ({"qoe_session_count": sessions}
+                 if sessions is not None else None)
+    scenario = build_scenario(scale, seed, overrides)
+    with RunJournal(None) as journal:
+        study = EdgeStudy(scenario, jobs=jobs, journal=journal,
+                          streaming=streaming)
+        start = time.perf_counter()
+        result = study.qoe_sessions
+        phase_wall = time.perf_counter() - start
+        journal.close(counters=study.perf.counters or None)
+    breakdown = phase_breakdown(journal.events).get("qoe_sessions", {})
+
+    workload = build_session_workload(scenario, model=CdnModel(scenario))
+    start = time.perf_counter()
+    for arm in ARMS:
+        run_sessions(workload, arm, jobs=jobs)
+    engine_wall = time.perf_counter() - start
+    simulated = workload.n_sessions * len(ARMS)
+    sessions_per_s = simulated / max(engine_wall, 1e-9)
+
+    slice_workload = dataclasses.replace(workload,
+                                         n_sessions=reference_sessions)
+    start = time.perf_counter()
+    reference = simulate_reference(slice_workload, "edge")
+    reference_wall = time.perf_counter() - start
+    reference_per_s = reference_sessions / max(reference_wall, 1e-9)
+    digest = SessionDigest()
+    digest.update(reference)
+    vectorized = run_sessions(slice_workload, "edge")
+    row = {
+        "sessions": result.sessions,
+        "ticks": result.ticks,
+        "arms": len(result.arms),
+        "abr": result.abr,
+        "hit_ratio_mean": round(result.hit_ratio_mean, 4),
+        "phase_wall_s": round(phase_wall, 6),
+        "wall_s": round(engine_wall, 6),
+        "sessions_per_s": round(sessions_per_s, 1),
+        "reference_sessions": reference_sessions,
+        "reference_sessions_per_s": round(reference_per_s, 1),
+        "speedup": round(sessions_per_s / max(reference_per_s, 1e-9), 1),
+        "digest_match": vectorized.digest == digest.hexdigest(),
+    }
+    peak = breakdown.get("peak_rss_mb")
+    if peak is not None:
+        row["peak_rss_mb"] = peak
+    return row
 
 
 #: Child program for one sweep-bench measurement.  Runs in a pristine
@@ -426,6 +508,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --sweep-bench: exit non-zero unless the "
                              "sweep beats the serial baseline by this "
                              "factor")
+    parser.add_argument("--qoe-bench", action="store_true",
+                        help="also benchmark the vectorized session "
+                             "engine against the scalar reference")
+    parser.add_argument("--qoe-sessions", type=int, default=None,
+                        metavar="N",
+                        help="with --qoe-bench: override the session "
+                             "count for the vectorized run")
+    parser.add_argument("--assert-qoe-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --qoe-bench: exit non-zero unless the "
+                             "vectorized engine beats the scalar "
+                             "reference by this factor")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="also measure a cold + warm artifact-cache "
                              "cycle rooted here")
@@ -450,6 +544,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--assert-warm requires --cache-dir")
     if args.assert_sweep_speedup is not None and args.sweep_bench is None:
         parser.error("--assert-sweep-speedup requires --sweep-bench")
+    if args.assert_qoe_speedup is not None and not args.qoe_bench:
+        parser.error("--assert-qoe-speedup requires --qoe-bench")
+    if args.qoe_sessions is not None and not args.qoe_bench:
+        parser.error("--qoe-sessions requires --qoe-bench")
 
     overrides: dict[str, int] = {}
     if args.vms is not None:
@@ -482,9 +580,43 @@ def main(argv: list[str] | None = None) -> int:
         handoff = bench_handoff(args.scale, args.seed,
                                 overrides=overrides or None)
         fresh["handoff"] = handoff
-        print(f"  handoff: pickle {handoff['pickle_wall_s']:.3f}s, shm "
+        print(f"  handoff: pickle {handoff['pickle_wall_s']:.3f}s "
+              f"({handoff['pickle_vms_per_s']:.0f} VMs/s), shm "
               f"{handoff['shm_wall_s']:.3f}s "
-              f"({handoff['shm_speedup']}x)")
+              f"({handoff['shm_vms_per_s']:.0f} VMs/s, "
+              f"{handoff['shm_speedup']}x)")
+
+    if args.qoe_bench:
+        qoe_stats = bench_qoe(args.scale, args.seed, jobs=args.jobs,
+                              sessions=args.qoe_sessions,
+                              streaming=args.streaming)
+        fresh["qoe_sessions"] = qoe_stats
+        print(f"  qoe: {qoe_stats['sessions']} sessions x "
+              f"{qoe_stats['arms']} arms in {qoe_stats['wall_s']:.3f}s "
+              f"({qoe_stats['sessions_per_s']:.0f}/s vectorized vs "
+              f"{qoe_stats['reference_sessions_per_s']:.0f}/s scalar, "
+              f"{qoe_stats['speedup']}x)")
+        if not qoe_stats["digest_match"]:
+            print("qoe-digest: FAILED, vectorized output diverges from "
+                  "the scalar reference")
+            return 1
+        print("qoe-digest: OK, vectorized matches the scalar reference "
+              "bit for bit")
+        if args.assert_qoe_speedup is not None:
+            if qoe_stats["speedup"] < args.assert_qoe_speedup:
+                print(f"assert-qoe-speedup: FAILED, "
+                      f"{qoe_stats['speedup']}x below the "
+                      f"{args.assert_qoe_speedup}x budget")
+                return 1
+            print(f"assert-qoe-speedup: OK, {qoe_stats['speedup']}x "
+                  f">= {args.assert_qoe_speedup}x")
+        qoe_peak = qoe_stats.get("peak_rss_mb")
+        if (args.assert_peak_rss_mb is not None and qoe_peak is not None
+                and qoe_peak > args.assert_peak_rss_mb):
+            print(f"assert-peak-rss: FAILED, qoe phase peaked at "
+                  f"{qoe_peak:.1f} MB over "
+                  f"{args.assert_peak_rss_mb:.1f} MB")
+            return 1
 
     if args.sweep_bench is not None:
         sweep_stats = bench_sweep(args.sweep_bench, args.jobs)
@@ -525,7 +657,15 @@ def main(argv: list[str] | None = None) -> int:
                                 args.max_regression)
 
     ledger = load_ledger(args.output)
-    ledger.setdefault("runs", {})[args.scale] = fresh
+    runs = ledger.setdefault("runs", {})
+    previous = runs.get(args.scale, {})
+    # Carry forward sections a past run measured but this one did not:
+    # replacing the scale row wholesale would silently drop e.g. the
+    # handoff comparison whenever a later run skips --handoff-bench.
+    for section in OPTIONAL_SECTIONS:
+        if section not in fresh and section in previous:
+            fresh[section] = previous[section]
+    runs[args.scale] = fresh
     write_ledger(ledger, args.output)
     print(f"updated {args.output}")
     return 0

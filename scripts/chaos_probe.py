@@ -60,8 +60,10 @@ def run_cli(experiments: list[str], scale: str, jobs: int, root: Path,
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("experiments", nargs="*", default=["fig2a", "table3"],
-                        help="experiments to run (default: fig2a table3)")
+    parser.add_argument("experiments", nargs="*",
+                        default=["fig2a", "table3", "qoe-sessions"],
+                        help="experiments to run "
+                             "(default: fig2a table3 qoe-sessions)")
     parser.add_argument("--profile", default="ci",
                         help="chaos profile for the faulty run")
     parser.add_argument("--scale", default="smoke")

@@ -146,6 +146,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 ARTIFACT_TOKEN_EXCLUDES: dict[str, tuple[str, ...]] = {
     "workload_nep": ("fault_profile",),
     "workload_azure": ("fault_profile",),
+    # The session engine reads only the qoe_* knobs, the topology and
+    # the seed; fault weather never reaches it.
+    "qoe_sessions": ("fault_profile",),
 }
 
 

@@ -1,0 +1,29 @@
+"""Per-site edge CDN cache model (analytic hit ratios + netsim paths).
+
+The paper's platform hosts video-centric apps (§4.1) on >500 small edge
+sites; whether the edge actually helps a *viewer* depends on whether
+their request hits the site's cache (served at edge RTT) or misses and
+detours to the cloud origin.  This package models that boundary
+analytically — seeded per-site Zipf popularity, Che-approximation LRU
+(or fixed-TTL) hit ratios, hit/miss latency drawn from the existing
+:mod:`repro.netsim` edge/cloud paths — so a million-session QoE study
+(:mod:`repro.qoe.sessions`) can evaluate it as pure array lookups.
+"""
+
+from .model import (
+    CdnLatencies,
+    CdnModel,
+    che_characteristic_time,
+    lru_hit_ratio_curve,
+    ttl_hit_ratios,
+    zipf_weights,
+)
+
+__all__ = [
+    "CdnLatencies",
+    "CdnModel",
+    "che_characteristic_time",
+    "lru_hit_ratio_curve",
+    "ttl_hit_ratios",
+    "zipf_weights",
+]

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .cache import ArtifactCache, default_cache_dir
-from .config import FAULT_PROFILES
+from .config import ABR_POLICIES, FAULT_PROFILES
 from .errors import ReproError
 from .obs import RunJournal, diff_journals, read_journal, render_show, \
     render_summary
@@ -55,6 +55,7 @@ DESCRIPTIONS = {
     "findings": "the paper's eight findings with measured values",
     "availability": "site availability, probe failures, MTTR (needs "
                     "--faults)",
+    "qoe-sessions": "session-scale edge CDN vs cloud QoE distributions",
 }
 
 
@@ -78,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "committed to the artifact cache are replayed "
                           "instead of regenerated (needs the cache; "
                           "results are bit-identical either way)")
+    run.add_argument("--sessions", type=int, default=None, metavar="N",
+                     help="qoe-sessions: viewer-session count (default: "
+                          "the scale's qoe_session_count)")
+    run.add_argument("--cache-mb", type=int, default=None, metavar="MB",
+                     help="qoe-sessions: per-site edge cache size")
+    run.add_argument("--abr", choices=ABR_POLICIES, default=None,
+                     help="qoe-sessions: bitrate adaptation policy "
+                          "(default: throughput)")
     _add_scenario_args(run)
 
     export = sub.add_parser(
@@ -246,6 +255,18 @@ def _close_journal(journal: RunJournal | None, study: EdgeStudy,
                       counters=study.perf.counters or None)
 
 
+def _qoe_overrides(args: argparse.Namespace) -> dict[str, object]:
+    """Scenario overrides from the qoe-sessions knobs (empty if unused)."""
+    overrides: dict[str, object] = {}
+    if getattr(args, "sessions", None) is not None:
+        overrides["qoe_session_count"] = args.sessions
+    if getattr(args, "cache_mb", None) is not None:
+        overrides["qoe_cache_mb"] = args.cache_mb
+    if getattr(args, "abr", None) is not None:
+        overrides["qoe_abr"] = args.abr
+    return overrides
+
+
 def _study(args: argparse.Namespace,
            journal: RunJournal | None = None) -> EdgeStudy:
     """The study for the CLI args, sharing the module-level cache.
@@ -254,16 +275,20 @@ def _study(args: argparse.Namespace,
     ``study_for`` memo) so the journal observes every phase instead of
     attaching to a study another command already materialised.  A
     ``--resume`` run does the same: the resume header must describe
-    *this* invocation's cache state, not a memoised study's.
+    *this* invocation's cache state, not a memoised study's.  Scenario
+    overrides (``--sessions``/``--cache-mb``/``--abr``) also bypass the
+    memo — it is keyed on the named scale alone.
     """
     resume = getattr(args, "resume", False)
-    if journal is None and not resume:
+    overrides = _qoe_overrides(args)
+    if journal is None and not resume and not overrides:
         return study_for(args.scale, args.seed, getattr(args, "faults", None),
                          jobs=getattr(args, "jobs", 1),
                          cache_dir=_cache_dir_for(args),
                          streaming=getattr(args, "streaming", "auto"))
     scenario = scenario_for(args.scale, args.seed, getattr(args, "faults",
-                                                           None))
+                                                           None),
+                            overrides=overrides or None)
     cache_dir = _cache_dir_for(args)
     cache = (ArtifactCache(cache_dir, journal=journal)
              if cache_dir is not None else None)

@@ -30,6 +30,14 @@ _DEFAULT_SEED = 20211102  # IMC 2021 opening day
 #: behaviour; the calibrations live in :mod:`repro.faults.schedule`.
 FAULT_PROFILES = ("off", "paper", "harsh")
 
+#: ABR policies accepted by :attr:`Scenario.qoe_abr` (the CLI's
+#: ``--abr``); the implementations live in :mod:`repro.qoe.sessions`.
+ABR_POLICIES = ("throughput", "buffer")
+
+#: Edge-cache eviction models accepted by
+#: :attr:`Scenario.qoe_cache_eviction` (see :mod:`repro.cdn`).
+CACHE_EVICTIONS = ("lru", "ttl")
+
 
 class RandomState:
     """A root seed plus a family of named, independent substreams.
@@ -104,6 +112,16 @@ class Scenario:
     # --- QoE testbeds (§3.3) --------------------------------------------
     qoe_samples_per_setting: int = 50
 
+    # --- session-scale QoE (beyond §3.3: CDN + ABR sessions) ------------
+    qoe_session_count: int = 2000
+    qoe_session_ticks: int = 120
+    qoe_cache_mb: int = 512
+    qoe_catalog_objects: int = 20_000
+    qoe_zipf_alpha: float = 0.8
+    qoe_abr: str = "throughput"
+    qoe_cache_eviction: str = "lru"
+    qoe_cache_ttl_s: int = 300
+
     # --- prediction study (§4.4) ----------------------------------------
     prediction_vm_sample: int = 48     # VMs sampled per platform
     prediction_window_minutes: int = 30
@@ -127,7 +145,9 @@ class Scenario:
             "iperf_duration_seconds", "qoe_samples_per_setting",
             "prediction_vm_sample", "prediction_window_minutes",
             "prediction_train_days", "prediction_test_days",
-            "heaviest_app_count",
+            "heaviest_app_count", "qoe_session_count",
+            "qoe_session_ticks", "qoe_cache_mb", "qoe_catalog_objects",
+            "qoe_cache_ttl_s",
         )
         for name in positive_fields:
             value = getattr(self, name)
@@ -146,6 +166,17 @@ class Scenario:
                 f"fault_profile must be one of {FAULT_PROFILES}, "
                 f"got {self.fault_profile!r}"
             )
+        if self.qoe_zipf_alpha <= 0:
+            raise ConfigurationError(
+                f"qoe_zipf_alpha must be positive, got {self.qoe_zipf_alpha}")
+        if self.qoe_abr not in ABR_POLICIES:
+            raise ConfigurationError(
+                f"qoe_abr must be one of {ABR_POLICIES}, "
+                f"got {self.qoe_abr!r}")
+        if self.qoe_cache_eviction not in CACHE_EVICTIONS:
+            raise ConfigurationError(
+                f"qoe_cache_eviction must be one of {CACHE_EVICTIONS}, "
+                f"got {self.qoe_cache_eviction!r}")
 
     @property
     def random(self) -> RandomState:
@@ -199,6 +230,7 @@ class Scenario:
             nep_vm_count=20_000,
             azure_vm_count=20_000,
             prediction_vm_sample=512,
+            qoe_session_count=20_000,
         )
 
     @classmethod
@@ -222,6 +254,8 @@ class Scenario:
             nep_vm_count=1_000_000,
             azure_vm_count=1_000_000,
             prediction_vm_sample=512,
+            qoe_session_count=1_000_000,
+            qoe_catalog_objects=50_000,
         )
 
     @classmethod
@@ -238,6 +272,9 @@ class Scenario:
             throughput_participants=6,
             throughput_edge_vms=5,
             qoe_samples_per_setting=12,
+            qoe_session_count=500,
+            qoe_session_ticks=60,
+            qoe_catalog_objects=2000,
             prediction_vm_sample=8,
             prediction_train_days=5,
             prediction_test_days=2,

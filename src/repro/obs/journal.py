@@ -64,7 +64,7 @@ VOLATILE_FIELDS = frozenset({
 #: whole event rather than individual fields; that is what makes a
 #: ``--chaos`` run canonicalize bit-identical to a clean one.
 VOLATILE_EVENT_TYPES = frozenset({
-    "chunk_spill", "shm_handoff",
+    "chunk_spill", "shm_handoff", "session_chunk",
     "job_retry", "worker_restart", "job_quarantined",
     "cache_retry", "cache_write_error", "io_retry",
     "resume",

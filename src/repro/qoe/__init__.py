@@ -1,0 +1,40 @@
+"""Session-scale QoE: a vectorized ABR engine over the CDN model.
+
+The testbed in :mod:`repro.measurement.qoe` reproduces the paper's
+Figures 6-7 — a handful of single-session trials per placement.  This
+package answers the ROADMAP's "millions of users" question instead: it
+advances ``(n_sessions,)`` state arrays one tick at a time, never one
+session at a time, and streams the per-session results through
+:class:`~repro.core.chunks.StreamingHistogram` sketches so a
+million-session edge-vs-cloud comparison runs with bounded peak RSS.
+"""
+
+from .sessions import (
+    ARMS,
+    METRICS,
+    ArmResult,
+    QoeSessionsResult,
+    SessionDigest,
+    SessionWorkload,
+    build_session_workload,
+    counter_uniform,
+    run_qoe_sessions,
+    run_sessions,
+    simulate_chunk,
+    simulate_reference,
+)
+
+__all__ = [
+    "ARMS",
+    "METRICS",
+    "ArmResult",
+    "QoeSessionsResult",
+    "SessionDigest",
+    "SessionWorkload",
+    "build_session_workload",
+    "counter_uniform",
+    "run_qoe_sessions",
+    "run_sessions",
+    "simulate_chunk",
+    "simulate_reference",
+]

@@ -419,6 +419,11 @@ def availability(study: EdgeStudy) -> str:
     return study.availability.format()
 
 
+def qoe_sessions(study: EdgeStudy) -> str:
+    """Session-scale edge-vs-cloud QoE distributions (beyond Figure 7)."""
+    return study.qoe_sessions.format()
+
+
 #: CLI registry: experiment id -> report function.
 REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "table1": table1,
@@ -443,4 +448,5 @@ REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "categories": categories,
     "findings": findings,
     "availability": availability,
+    "qoe-sessions": qoe_sessions,
 }

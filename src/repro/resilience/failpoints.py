@@ -68,18 +68,20 @@ SITES = frozenset({
     "sweep.cell",         # one sweep cell execution
     "pool.kill_worker",   # supervisor-side: SIGKILL the dispatched worker
     "farm.kill_worker",   # supervisor-side: SIGKILL a farm worker
+    "qoe.chunk",          # one vectorized session-chunk simulation
 })
 
 #: Named chaos profiles behind ``--chaos PROFILE``.  ``ci`` is the CI
 #: chaos gate: ~5% cache-write failures plus one injected worker death,
 #: recoverable well inside the default retry budgets.
 CHAOS_PROFILES = {
-    "ci": "cache.commit:p=0.05,seed=11;pool.kill_worker:nth=2,times=1",
+    "ci": ("cache.commit:p=0.05,seed=11;pool.kill_worker:nth=2,times=1;"
+           "qoe.chunk:p=0.05,seed=14"),
     "cache": "cache.commit:p=0.2,seed=7;cache.read:p=0.05,seed=8",
     "pool": ("series.render:p=0.05,seed=9;shm.acquire:p=0.02,seed=10;"
              "pool.kill_worker:nth=3,times=1"),
     "harsh": ("cache.commit:p=0.1,seed=11;shard.write:p=0.02,seed=12;"
-              "series.render:p=0.05,seed=13;"
+              "series.render:p=0.05,seed=13;qoe.chunk:p=0.05,seed=14;"
               "pool.kill_worker:nth=2,times=2"),
 }
 

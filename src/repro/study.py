@@ -16,6 +16,7 @@ runnable).
 
 from __future__ import annotations
 
+import tempfile
 from functools import cached_property, lru_cache
 
 from .billing.cloud import alicloud_billing, huawei_billing
@@ -39,6 +40,7 @@ from .perf import PerfRegistry
 from .phases import PhaseLedger
 from .platform.cloud import build_cloud_platform
 from .platform.cluster import Platform
+from .qoe import QoeSessionsResult, run_qoe_sessions
 from .workload.azure import generate_azure_workload
 from .workload.generator import GeneratedWorkload, generate_nep_workload
 from .workload.streaming import WorkloadSink, resolve_streaming
@@ -47,7 +49,8 @@ from .workload.streaming import WorkloadSink, resolve_streaming
 #: Phases whose results land in the artifact cache and can therefore be
 #: skipped by a resumed run.  Order matches the natural execution order.
 RESUMABLE_PHASES = ("workload_nep", "workload_azure",
-                    "campaign_latency", "campaign_throughput")
+                    "campaign_latency", "campaign_throughput",
+                    "qoe_sessions")
 
 
 class EdgeStudy:
@@ -149,18 +152,27 @@ class EdgeStudy:
                                               self.scenario)
             else:
                 sink = WorkloadSink.spill(journal=self.journal)
-        workload = builder(self.scenario, jobs=self.jobs, perf=self.perf,
-                           sink=sink)
+        try:
+            workload = builder(self.scenario, jobs=self.jobs,
+                               perf=self.perf, sink=sink)
+        except BaseException:
+            # The generators abort the sink on mid-stream failures, but
+            # an exception *before* the series stage (platform build,
+            # placement) would otherwise leave the spill/staging dir
+            # behind until interpreter exit.  abort() is idempotent.
+            if sink is not None:
+                sink.abort()
+            raise
         if self.cache is not None and sink is None:
             with self.perf.span(f"cache_store:{name}"):
                 self.cache.put_workload(name, self.scenario, workload)
         return workload
 
-    def _campaign_cache_peek(self, name: str) -> CampaignResults | None:
-        """A cached campaign result, or ``None``.
+    def _campaign_cache_peek(self, name: str):
+        """A cached phase object (campaign results, session QoE), or ``None``.
 
-        Peeked *before* touching :attr:`campaign` so a warm run never
-        builds the platforms just to replay recorded observations.
+        Peeked *before* touching the phase's dependencies so a warm run
+        never builds the platforms just to replay recorded results.
         """
         if self.cache is None:
             return None
@@ -169,8 +181,7 @@ class EdgeStudy:
             self.perf.count(f"cache_hit:{name}")
         return cached
 
-    def _campaign_cache_store(self, name: str,
-                              results: CampaignResults) -> None:
+    def _campaign_cache_store(self, name: str, results: object) -> None:
         if self.cache is not None:
             with self.perf.span(f"cache_store:{name}"):
                 self.cache.put_object(name, self.scenario, results)
@@ -319,6 +330,38 @@ class EdgeStudy:
     @cached_property
     def qoe_testbed(self) -> QoETestbed:
         return QoETestbed(self.scenario.random.stream("qoe-testbed"))
+
+    @cached_property
+    def qoe_sessions(self) -> QoeSessionsResult:
+        """Edge-vs-cloud session QoE distributions (beyond Figure 7).
+
+        Runs the vectorized ABR engine over the analytic CDN model for
+        both arms, chunked through a task farm and folded into streaming
+        sketches.  With :attr:`streaming` on, per-session metric rows
+        additionally spill to shard files in a throwaway directory
+        (deleted once aggregated) so even the inspection copy never
+        accumulates in RSS.
+        """
+        cached = self._campaign_cache_peek("qoe_sessions")
+        with self.perf.span("qoe_sessions"), \
+                self.phases.track("qoe_sessions"):
+            if cached is not None:
+                result = cached
+            else:
+                if self.streaming:
+                    with tempfile.TemporaryDirectory(
+                            prefix="repro-qoe-spill-") as spill:
+                        result = run_qoe_sessions(
+                            self.scenario, jobs=self.jobs,
+                            journal=self.journal, spill_root=spill)
+                else:
+                    result = run_qoe_sessions(
+                        self.scenario, jobs=self.jobs,
+                        journal=self.journal)
+                self._campaign_cache_store("qoe_sessions", result)
+        self.perf.count("qoe_sessions_simulated",
+                        result.sessions * len(result.arms))
+        return result
 
     # ---- billing ---------------------------------------------------------------
 

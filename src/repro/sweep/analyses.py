@@ -69,5 +69,11 @@ def run_analysis(name: str, study) -> AnalysisResult:
     report = REPORTS.get(name)
     if report is None:
         raise ConfigurationError(f"unknown analysis {name!r}")
-    return AnalysisResult(name=name, text=report(study), metrics={},
+    text = report(study)
+    # The session-QoE report is the one figure report with a natural
+    # numeric surface — its distribution summary feeds the cross-cell
+    # comparison columns like an ablation's metrics do.
+    metrics = (study.qoe_sessions.metrics() if name == "qoe-sessions"
+               else {})
+    return AnalysisResult(name=name, text=text, metrics=metrics,
                           checks_ok=0, checks_total=0)

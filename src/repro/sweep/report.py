@@ -116,7 +116,19 @@ def render_sweep_report(out_dir: str | Path,
             continue
         delta_rows = []
         metrics = _cell_metrics(results[name])
-        for key in sorted(set(base_metrics) & set(metrics)):
+        # Union, not intersection: a cell whose analysis set differs
+        # from the baseline's (heterogeneous sweeps) still shows its
+        # one-sided metrics, with "-" placeholders where the other
+        # side has no value.
+        for key in sorted(set(base_metrics) | set(metrics)):
+            if key not in base_metrics or key not in metrics:
+                delta_rows.append(
+                    (key,
+                     f"{base_metrics[key]:.3f}"
+                     if key in base_metrics else "-",
+                     f"{metrics[key]:.3f}" if key in metrics else "-",
+                     "-"))
+                continue
             a, b = base_metrics[key], metrics[key]
             ratio = f"{b / a:.2f}x" if abs(a) > 1e-9 else "-"
             delta_rows.append((key, f"{a:.3f}", f"{b:.3f}", ratio))

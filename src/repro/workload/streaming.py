@@ -98,6 +98,7 @@ class WorkloadSink:
         self._seen: set[str] = set()
         self._began = False
         self._done = False
+        self._aborted = False
 
     # ---- constructors ----------------------------------------------------
 
@@ -223,7 +224,18 @@ class WorkloadSink:
         dataset.attach_series(maps["cpu"], maps["bw"], maps.get("private"))
 
     def abort(self) -> None:
-        """Discard all partial output (failed generation)."""
+        """Discard all partial output (failed generation).
+
+        Idempotent: the generator aborts on a mid-stream failure and the
+        study aborts again when the exception reaches it (covering
+        failures *before* the generator's own try block, e.g. during
+        placement) — the second call must not touch the already-removed
+        directory.  Same ENOSPC hygiene as the cache's staging dirs: a
+        failed spill never waits for interpreter exit to free its disk.
+        """
+        if self._aborted:
+            return
+        self._aborted = True
         self._done = True
         if self._entry_writer is not None:
             self._entry_writer.abort()

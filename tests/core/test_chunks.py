@@ -131,6 +131,44 @@ class TestStreamingHistogram:
         assert np.array_equal(left.counts, whole.counts)
         assert left.quantile(0.5) == whole.quantile(0.5)
 
+    def test_merge_empty_operands(self):
+        """Empty-into-full and full-into-empty both leave counts right."""
+        full = StreamingHistogram(bins=32)
+        full.add(np.linspace(0.0, 1.0, 100))
+        before = full.counts.copy()
+        full.merge(StreamingHistogram(bins=32))  # empty rhs: no-op
+        assert np.array_equal(full.counts, before)
+        assert full.count == 100
+        empty = StreamingHistogram(bins=32)
+        empty.merge(full)  # empty lhs adopts the rhs wholesale
+        assert np.array_equal(empty.counts, before)
+        assert empty.quantile(0.5) == full.quantile(0.5)
+        both = StreamingHistogram(bins=32)
+        both.merge(StreamingHistogram(bins=32))
+        assert both.count == 0
+
+    def test_single_bin_histogram(self):
+        """One bin degenerates gracefully: everything lands in it."""
+        hist = StreamingHistogram(lo=0.0, hi=10.0, bins=1)
+        hist.add(np.array([-1.0, 3.0, 42.0]))
+        assert hist.count == 3
+        assert hist.counts.tolist() == [3]
+        assert 0.0 <= hist.quantile(0.5) <= 10.0
+        other = StreamingHistogram(lo=0.0, hi=10.0, bins=1)
+        other.add(np.array([5.0]))
+        hist.merge(other)
+        assert hist.count == 4
+
+    def test_mismatched_ranges_raise(self):
+        """Every geometry axis is checked, not just the bin count."""
+        base = StreamingHistogram(lo=0.0, hi=1.0, bins=64)
+        with pytest.raises(TraceError):
+            base.merge(StreamingHistogram(lo=0.5, hi=1.0, bins=64))
+        with pytest.raises(TraceError):
+            base.merge(StreamingHistogram(lo=0.0, hi=0.5, bins=64))
+        with pytest.raises(TraceError):
+            base.merge(StreamingHistogram(lo=-1.0, hi=1.0, bins=64))
+
     def test_out_of_range_values_clamp_into_edge_bins(self):
         hist = StreamingHistogram(lo=0.0, hi=1.0, bins=10)
         hist.add(np.array([-5.0, 0.05, 2.0]))
@@ -180,3 +218,32 @@ class TestCpuTickQuantiles:
         result = cpu_tick_quantiles(nep_dataset)
         with pytest.raises(AttributeError):
             result.platform = "x"
+
+    def test_small_scale_matches_exact_quantiles(self):
+        """At toy scale the sketch must track np.quantile bin-tight."""
+        from repro.trace.dataset import TraceDataset
+        from repro.trace.schema import VMRecord
+
+        ds = TraceDataset(platform_name="toy", trace_days=1,
+                          cpu_interval_minutes=180,
+                          bw_interval_minutes=180)
+        rng = np.random.default_rng(19)
+        rows = rng.random((6, ds.cpu_points)).astype(np.float32)
+        for i, row in enumerate(rows):
+            record = VMRecord(vm_id=f"vm{i}", app_id="a0",
+                              customer_id="c0", site_id="s0",
+                              server_id="m0", city="Beijing",
+                              province="Beijing", category="cdn",
+                              image_id="img", os_type="linux",
+                              cpu_cores=4, memory_gb=8, disk_gb=50,
+                              bandwidth_mbps=10.0)
+            ds.add_vm(record, row, np.zeros(ds.bw_points))
+        result = cpu_tick_quantiles(ds, qs=(0.25, 0.5, 0.75, 0.95))
+        pooled = rows.astype(np.float64).ravel()
+        assert result.readings == pooled.size
+        for q, approx in result.quantiles.items():
+            # With 48 readings the interpolated default quantile can sit
+            # between order statistics; the sketch tracks the pure
+            # order-statistic quantile to within one bin.
+            exact = float(np.quantile(pooled, q, method="inverted_cdf"))
+            assert abs(approx - exact) <= result.max_error

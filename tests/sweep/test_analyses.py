@@ -35,6 +35,15 @@ class TestRunAnalysis:
         assert result.checks_total > 0
         assert result.metrics
 
+    def test_qoe_report_carries_metrics(self, study):
+        # The one figure report with a numeric surface: its QoE
+        # summary feeds the cross-cell comparison columns.
+        result = run_analysis("qoe-sessions", study)
+        assert result.name == "qoe-sessions"
+        assert "edge" in result.text and "cloud" in result.text
+        assert "qoe_hit_ratio" in result.metrics
+        assert result.checks_total == 0
+
     def test_unknown_report_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown analysis"):
             run_analysis("fig99", None)

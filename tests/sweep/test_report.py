@@ -32,6 +32,20 @@ class TestRender:
         assert "final_skew_growth" in text
         assert re.search(r"\d+(\.\d+)?x\b", text)
 
+    def test_heterogeneous_analysis_sets_align(self, finished_sweep):
+        # reseed ran only fig8, so the growth-ablation metrics exist
+        # on the base side alone; the union keeps them in the table
+        # with "-" placeholders instead of silently dropping the row.
+        _, result = finished_sweep
+        text = render_sweep_report(result.out_dir)
+        section = text.split("base vs reseed", 1)[1]
+        line = next(line for line in section.splitlines()
+                    if "final_skew_growth" in line)
+        name, base_value, reseed_value, ratio = line.split()
+        assert name == "final_skew_growth"
+        assert float(base_value) > 0.0
+        assert reseed_value == "-" and ratio == "-"
+
     def test_baseline_override(self, finished_sweep):
         _, result = finished_sweep
         text = render_sweep_report(result.out_dir, baseline="faulty")

@@ -12,7 +12,8 @@ class TestRegistry:
 
     def test_covers_all_paper_experiments(self):
         expected = {"table1", "table2", "table3", "table6", "sales",
-                    "findings", "categories", "availability"} | {
+                    "findings", "categories", "availability",
+                    "qoe-sessions"} | {
             f"fig{i}" for i in range(3, 15)
         } | {"fig2a", "fig2b"}
         assert set(REPORTS) == expected
@@ -78,6 +79,23 @@ class TestParser:
     def test_city_scale_accepted(self):
         args = build_parser().parse_args(["run", "fig3", "--scale", "city"])
         assert args.scale == "city"
+
+    def test_qoe_knobs_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "qoe-sessions", "--sessions", "800",
+             "--cache-mb", "256", "--abr", "buffer"])
+        assert args.sessions == 800
+        assert args.cache_mb == 256
+        assert args.abr == "buffer"
+
+    def test_qoe_knobs_default_to_scenario(self):
+        args = build_parser().parse_args(["run", "qoe-sessions"])
+        assert args.sessions is None
+        assert args.cache_mb is None
+        assert args.abr is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "qoe-sessions", "--abr", "oracle"])
 
     def test_cache_subcommand(self):
         args = build_parser().parse_args(["cache", "ls"])

@@ -154,3 +154,45 @@ class TestSinkProtocol:
         assert not root.exists()
         with pytest.raises(TraceError):
             sink.consume(["c"], self._block(n=1))
+
+    def test_abort_is_idempotent(self, tmp_path):
+        # The generator aborts on a mid-stream failure and the study
+        # aborts again when the exception surfaces — the second call
+        # must not trip over the already-removed directory.
+        root = tmp_path / "spill"
+        sink = WorkloadSink.spill(root)
+        sink.begin(8, 8, private=False)
+        sink.consume(["a", "b"], self._block())
+        sink.abort()
+        sink.abort()
+        assert not root.exists()
+
+    def test_study_aborts_sink_on_generation_failure(self, tmp_path):
+        # A mid-generation failure must surface the original error —
+        # the study-level abort (plus the idempotence guard above) may
+        # not mask it with a second-cleanup crash — and the spill
+        # directory is gone before the exception reaches the caller.
+        from repro.errors import QuarantineError
+        from repro.resilience import install, reset
+        from repro.study import EdgeStudy
+        from repro.workload import streaming as streaming_mod
+
+        spills: list[Path] = []
+        original = streaming_mod.WorkloadSink.spill.__func__
+
+        def tracking_spill(cls, directory=None, **kwargs):
+            sink = original(cls, directory, **kwargs)
+            spills.append(sink.root)
+            return sink
+
+        scenario = Scenario.smoke_scale().with_overrides(seed=811)
+        install("series.render:nth=1,times=99")
+        try:
+            streaming_mod.WorkloadSink.spill = classmethod(tracking_spill)
+            study = EdgeStudy(scenario, streaming="on")
+            with pytest.raises(QuarantineError):
+                study.nep
+        finally:
+            streaming_mod.WorkloadSink.spill = classmethod(original)
+            reset()
+        assert spills and all(not root.exists() for root in spills)
