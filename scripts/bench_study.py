@@ -62,7 +62,7 @@ PHASES = ("workload_nep", "workload_azure", "campaign_latency",
 #: Optional per-scale ledger sections measured by dedicated flags.  A
 #: run that does not re-measure one keeps the previously committed
 #: value instead of silently dropping it from the ledger.
-OPTIONAL_SECTIONS = ("handoff", "sweep", "cache", "qoe_sessions")
+OPTIONAL_SECTIONS = ("handoff", "sweep", "cache", "qoe_sessions", "live")
 
 
 def effective_seed(seed: int | None) -> int:
@@ -275,6 +275,71 @@ def bench_qoe(scale: str, seed: int | None, jobs: int = 1,
         "reference_sessions_per_s": round(reference_per_s, 1),
         "speedup": round(sessions_per_s / max(reference_per_s, 1e-9), 1),
         "digest_match": vectorized.digest == digest.hexdigest(),
+    }
+    peak = breakdown.get("peak_rss_mb")
+    if peak is not None:
+        row["peak_rss_mb"] = peak
+    return row
+
+
+def bench_live(scale: str, seed: int | None, jobs: int = 1,
+               ticks: int | None = None,
+               reference_ticks: int = 60) -> dict[str, object]:
+    """Benchmark the vectorized live stepper against its scalar twin.
+
+    Runs the full ``live`` study phase (journaled — its ``peak_rss_mb``
+    sample is the city-tier memory row), then times the vectorized
+    stepper on the full precomputed inputs and the per-server scalar
+    reference on a ``reference_ticks`` prefix of the *same* inputs, and
+    checks digest equivalence of the two steppers on that shared
+    prefix.  ``ticks`` overrides the scale's tick count.
+    """
+    import dataclasses
+
+    from repro.live import (build_live_inputs, run_live_engine,
+                            run_reference_engine)
+    from repro.obs import RunJournal, phase_breakdown
+    from repro.platform.nep import build_nep_platform
+    from repro.study import EdgeStudy
+
+    overrides = {"live_ticks": ticks} if ticks is not None else None
+    scenario = build_scenario(scale, seed, overrides)
+    with RunJournal(None) as journal:
+        study = EdgeStudy(scenario, jobs=jobs, journal=journal)
+        start = time.perf_counter()
+        result = study.live
+        phase_wall = time.perf_counter() - start
+        journal.close(counters=study.perf.counters or None)
+    breakdown = phase_breakdown(journal.events).get("live", {})
+
+    inputs = build_live_inputs(scenario, build_nep_platform(scenario))
+    start = time.perf_counter()
+    run_live_engine(inputs)
+    engine_wall = time.perf_counter() - start
+    ticks_per_s = inputs.ticks / max(engine_wall, 1e-9)
+
+    reference_ticks = min(reference_ticks, inputs.ticks)
+    slice_inputs = dataclasses.replace(
+        inputs, ticks=reference_ticks,
+        arrivals=inputs.arrivals[:reference_ticks],
+        transitions=tuple(tr for tr in inputs.transitions
+                          if tr[0] < reference_ticks))
+    start = time.perf_counter()
+    reference = run_reference_engine(slice_inputs)
+    reference_wall = time.perf_counter() - start
+    reference_per_s = reference_ticks / max(reference_wall, 1e-9)
+    vectorized = run_live_engine(slice_inputs)
+    row = {
+        "ticks": result.ticks,
+        "servers": result.servers,
+        "autoscale": result.autoscale,
+        "phase_wall_s": round(phase_wall, 6),
+        "wall_s": round(engine_wall, 6),
+        "ticks_per_s": round(ticks_per_s, 1),
+        "reference_ticks": reference_ticks,
+        "reference_ticks_per_s": round(reference_per_s, 1),
+        "speedup": round(ticks_per_s / max(reference_per_s, 1e-9), 1),
+        "digest_match": vectorized.digest == reference.digest,
     }
     peak = breakdown.get("peak_rss_mb")
     if peak is not None:
@@ -520,6 +585,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --qoe-bench: exit non-zero unless the "
                              "vectorized engine beats the scalar "
                              "reference by this factor")
+    parser.add_argument("--live-bench", action="store_true",
+                        help="also benchmark the vectorized live-platform "
+                             "stepper against the scalar reference")
+    parser.add_argument("--live-ticks", type=int, default=None, metavar="N",
+                        help="with --live-bench: override the tick count "
+                             "for the vectorized run")
+    parser.add_argument("--assert-live-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --live-bench: exit non-zero unless the "
+                             "vectorized stepper beats the scalar "
+                             "reference by this factor")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="also measure a cold + warm artifact-cache "
                              "cycle rooted here")
@@ -548,6 +624,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--assert-qoe-speedup requires --qoe-bench")
     if args.qoe_sessions is not None and not args.qoe_bench:
         parser.error("--qoe-sessions requires --qoe-bench")
+    if args.assert_live_speedup is not None and not args.live_bench:
+        parser.error("--assert-live-speedup requires --live-bench")
+    if args.live_ticks is not None and not args.live_bench:
+        parser.error("--live-ticks requires --live-bench")
 
     overrides: dict[str, int] = {}
     if args.vms is not None:
@@ -615,6 +695,38 @@ def main(argv: list[str] | None = None) -> int:
                 and qoe_peak > args.assert_peak_rss_mb):
             print(f"assert-peak-rss: FAILED, qoe phase peaked at "
                   f"{qoe_peak:.1f} MB over "
+                  f"{args.assert_peak_rss_mb:.1f} MB")
+            return 1
+
+    if args.live_bench:
+        live_stats = bench_live(args.scale, args.seed, jobs=args.jobs,
+                                ticks=args.live_ticks)
+        fresh["live"] = live_stats
+        print(f"  live: {live_stats['ticks']} ticks over "
+              f"{live_stats['servers']} servers in "
+              f"{live_stats['wall_s']:.3f}s "
+              f"({live_stats['ticks_per_s']:.0f} ticks/s vectorized vs "
+              f"{live_stats['reference_ticks_per_s']:.0f} ticks/s scalar, "
+              f"{live_stats['speedup']}x)")
+        if not live_stats["digest_match"]:
+            print("live-digest: FAILED, vectorized stepper diverges from "
+                  "the scalar reference")
+            return 1
+        print("live-digest: OK, vectorized matches the scalar reference "
+              "bit for bit")
+        if args.assert_live_speedup is not None:
+            if live_stats["speedup"] < args.assert_live_speedup:
+                print(f"assert-live-speedup: FAILED, "
+                      f"{live_stats['speedup']}x below the "
+                      f"{args.assert_live_speedup}x budget")
+                return 1
+            print(f"assert-live-speedup: OK, {live_stats['speedup']}x "
+                  f">= {args.assert_live_speedup}x")
+        live_peak = live_stats.get("peak_rss_mb")
+        if (args.assert_peak_rss_mb is not None and live_peak is not None
+                and live_peak > args.assert_peak_rss_mb):
+            print(f"assert-peak-rss: FAILED, live phase peaked at "
+                  f"{live_peak:.1f} MB over "
                   f"{args.assert_peak_rss_mb:.1f} MB")
             return 1
 

@@ -105,6 +105,20 @@ def run_python(snippet: Snippet, namespace: dict | None) -> dict:
     return namespace
 
 
+def render_failure(snippet: Snippet, reason: str) -> str:
+    """A failure report carrying the offending snippet with file:line.
+
+    Each code line is prefixed with its *document* line number, so the
+    fix is one click away in an editor instead of a grep through the
+    markdown for a stack-trace fragment.
+    """
+    excerpt = "\n".join(
+        f"    {snippet.line + offset:>4} | {text}"
+        for offset, text in enumerate(snippet.code.splitlines(), start=1))
+    return (f"{snippet.label}: {reason.rstrip()}\n"
+            f"  offending snippet ({snippet.language}):\n{excerpt}")
+
+
 def run_bash(snippet: Snippet, env: dict[str, str]) -> None:
     subprocess.run(["bash", "-e", "-c", snippet.code], check=True,
                    cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
@@ -139,11 +153,11 @@ def check_file(path: Path, verbose: bool) -> tuple[int, int, list[str]]:
                     run_bash(snippet, env)
                 ran += 1
             except subprocess.CalledProcessError as exc:
-                failures.append(f"{snippet.label}: bash exited "
-                                f"{exc.returncode}\n{exc.stderr}")
+                failures.append(render_failure(
+                    snippet, f"bash exited {exc.returncode}\n{exc.stderr}"))
             except Exception as exc:  # noqa: BLE001 - report, don't crash
-                failures.append(f"{snippet.label}: {type(exc).__name__}: "
-                                f"{exc}")
+                failures.append(render_failure(
+                    snippet, f"{type(exc).__name__}: {exc}"))
     return ran, skipped, failures
 
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run the live engine clean and under ``--chaos``, prove they match.
+
+The CI gate behind the live-platform determinism contract
+(``docs/live.md``): a ``repro run live`` must be bit-identical across
+``--jobs`` settings and under injected chaos.  The probe runs the same
+live experiment three times in child processes — clean, clean with a
+different ``--jobs``, and under a chaos profile — all with the cache
+disabled so every run steps the engine for real, and asserts:
+
+1. every run exits 0 (injected ``live.tick`` faults absorbed by retry);
+2. all stdouts are byte-identical (same series, same digest);
+3. the clean and chaos journals canonicalize to the same event stream
+   (tick telemetry and retries live only in volatile events);
+4. the chaos run actually journaled at least one ``live_retry`` when
+   the profile arms the ``live.tick`` failpoint — a gate that cannot
+   fire is no gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/live_probe.py --ticks 200
+    PYTHONPATH=src python scripts/live_probe.py --profile harsh
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_cli(scale: str, ticks: int, jobs: int, root: Path, name: str,
+            chaos: str | None, faults: str | None) -> tuple[bytes, Path]:
+    """One ``repro run live`` in a child; returns (stdout, journal)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env.pop("REPRO_FAILPOINTS", None)  # the child decides its own chaos
+    journal = root / f"{name}.jsonl"
+    argv = [sys.executable, "-m", "repro", "run", "live",
+            "--scale", scale, "--ticks", str(ticks), "--jobs", str(jobs),
+            "--no-cache", "--log-json", str(journal)]
+    if chaos is not None:
+        argv += ["--chaos", chaos]
+    if faults is not None:
+        argv += ["--faults", faults]
+    proc = subprocess.run(argv, env=env, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        raise SystemExit(f"live probe: FAILED, {name} run exited "
+                         f"{proc.returncode}")
+    return proc.stdout, journal
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="ci",
+                        help="chaos profile for the faulty run")
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--ticks", type=int, default=200)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="the alternate --jobs for the equality check")
+    parser.add_argument("--faults", default=None,
+                        help="also interleave this fault profile "
+                             "(simulation weather, not harness chaos)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import canonical_events, read_journal
+    from repro.resilience import chaos_spec
+
+    spec = chaos_spec(args.profile)
+    with tempfile.TemporaryDirectory(prefix="live-probe-") as tmp:
+        root = Path(tmp)
+        clean_out, clean_journal = run_cli(
+            args.scale, args.ticks, 1, root, "clean", None, args.faults)
+        jobs_out, _ = run_cli(
+            args.scale, args.ticks, args.jobs, root, "jobs", None,
+            args.faults)
+        chaos_out, chaos_journal = run_cli(
+            args.scale, args.ticks, 1, root, "chaos", args.profile,
+            args.faults)
+
+        if clean_out != jobs_out:
+            print(f"live probe: FAILED, --jobs {args.jobs} run produced "
+                  "different stdout")
+            return 1
+        print(f"live probe: stdout identical across --jobs 1/{args.jobs}")
+        if clean_out != chaos_out:
+            print("live probe: FAILED, chaos run produced different stdout")
+            return 1
+        print(f"live probe: stdout identical under --chaos {args.profile} "
+              f"(sha256 {hashlib.sha256(clean_out).hexdigest()[:12]})")
+
+        clean_events, warnings_a = read_journal(clean_journal)
+        chaos_events, warnings_b = read_journal(chaos_journal)
+        if warnings_a or warnings_b:
+            print(f"live probe: FAILED, journal warnings: "
+                  f"{warnings_a + warnings_b}")
+            return 1
+        if canonical_events(clean_events) != canonical_events(chaos_events):
+            print("live probe: FAILED, canonical journals differ")
+            return 1
+        print("live probe: canonical journals identical")
+
+        retries = sum(1 for e in chaos_events if e["type"] == "live_retry")
+        print(f"live probe: chaos run absorbed {retries} live.tick "
+              f"fault(s) via retry")
+        if "live.tick" in spec and not retries:
+            print("live probe: FAILED, profile arms live.tick but no "
+                  "live_retry was journaled")
+            return 1
+    print(f"live probe: OK, live run is bit-identical across --jobs and "
+          f"--chaos {args.profile}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

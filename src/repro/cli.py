@@ -21,10 +21,10 @@ from pathlib import Path
 from typing import Sequence
 
 from .cache import ArtifactCache, default_cache_dir
-from .config import ABR_POLICIES, FAULT_PROFILES
+from .config import ABR_POLICIES, AUTOSCALE_MODES, FAULT_PROFILES
 from .errors import ReproError
-from .obs import RunJournal, diff_journals, read_journal, render_show, \
-    render_summary
+from .obs import RunJournal, canonical_events, diff_journals, \
+    read_journal, render_show, render_summary
 from .reports import REPORTS
 from .resilience import CHAOS_PROFILES, chaos_spec, install
 from .study import SCALES, EdgeStudy, scenario_for, study_for
@@ -56,6 +56,8 @@ DESCRIPTIONS = {
     "availability": "site availability, probe failures, MTTR (needs "
                     "--faults)",
     "qoe-sessions": "session-scale edge CDN vs cloud QoE distributions",
+    "live": "event-driven live-platform run (arrivals, faults, "
+            "autoscaling per tick)",
 }
 
 
@@ -87,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--abr", choices=ABR_POLICIES, default=None,
                      help="qoe-sessions: bitrate adaptation policy "
                           "(default: throughput)")
+    run.add_argument("--ticks", type=int, default=None, metavar="N",
+                     help="live: tick count (default: the scale's "
+                          "live_ticks)")
+    run.add_argument("--arrival", type=float, default=None, metavar="RATE",
+                     help="live: mean VM arrivals per tick before "
+                          "diurnal/flash-crowd modulation")
+    run.add_argument("--autoscale", choices=AUTOSCALE_MODES, default=None,
+                     help="live: per-server slot autoscaling (default: on)")
     _add_scenario_args(run)
 
     export = sub.add_parser(
@@ -175,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="journal.jsonl path(s); diff takes exactly two")
     trace.add_argument("--limit", type=int, default=None, metavar="N",
                        help="show at most N events (show action only)")
+    trace.add_argument("--raw", action="store_true",
+                       help="diff only: compare raw event streams instead "
+                            "of the canonical view (volatile telemetry "
+                            "like retries and per-tick events included)")
     return parser
 
 
@@ -267,6 +281,18 @@ def _qoe_overrides(args: argparse.Namespace) -> dict[str, object]:
     return overrides
 
 
+def _live_overrides(args: argparse.Namespace) -> dict[str, object]:
+    """Scenario overrides from the live-engine knobs (empty if unused)."""
+    overrides: dict[str, object] = {}
+    if getattr(args, "ticks", None) is not None:
+        overrides["live_ticks"] = args.ticks
+    if getattr(args, "arrival", None) is not None:
+        overrides["live_arrival_rate"] = args.arrival
+    if getattr(args, "autoscale", None) is not None:
+        overrides["live_autoscale"] = args.autoscale
+    return overrides
+
+
 def _study(args: argparse.Namespace,
            journal: RunJournal | None = None) -> EdgeStudy:
     """The study for the CLI args, sharing the module-level cache.
@@ -280,7 +306,7 @@ def _study(args: argparse.Namespace,
     memo — it is keyed on the named scale alone.
     """
     resume = getattr(args, "resume", False)
-    overrides = _qoe_overrides(args)
+    overrides = {**_qoe_overrides(args), **_live_overrides(args)}
     if journal is None and not resume and not overrides:
         return study_for(args.scale, args.seed, getattr(args, "faults", None),
                          jobs=getattr(args, "jobs", 1),
@@ -435,8 +461,11 @@ def _command_cache(args: argparse.Namespace) -> int:
           f"{'shards':>7}{'size':>11}  key")
     for entry in entries:
         shards = str(entry.shards) if entry.shards else "-"
+        # Always MiB — matching docs/performance.md — so sharded and
+        # monolithic entries line up in one sortable unit.
+        size = f"{entry.bytes / 1048576:.1f} MiB"
         print(f"{entry.created_at:<21}{entry.artifact:<22}{entry.kind:<16}"
-              f"{shards:>7}{_human_bytes(entry.bytes):>11}  {entry.key[:16]}")
+              f"{shards:>7}{size:>11}  {entry.key[:16]}")
     return 0
 
 
@@ -526,6 +555,11 @@ def _command_trace(args: argparse.Namespace) -> int:
             print(f"warning: {path}: {warning}", file=sys.stderr)
     if args.action == "diff":
         (events_a, _), (events_b, _) = loaded
+        if not args.raw:
+            # Behavioural compare: volatile telemetry (retries, tick
+            # events, spills) differs between equivalent runs by design.
+            events_a = canonical_events(events_a)
+            events_b = canonical_events(events_b)
         print(diff_journals(events_a, events_b,
                             str(args.journals[0]), str(args.journals[1])))
         return 0

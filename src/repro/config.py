@@ -38,6 +38,10 @@ ABR_POLICIES = ("throughput", "buffer")
 #: :attr:`Scenario.qoe_cache_eviction` (see :mod:`repro.cdn`).
 CACHE_EVICTIONS = ("lru", "ttl")
 
+#: Autoscaling modes accepted by :attr:`Scenario.live_autoscale` (the
+#: CLI's ``--autoscale``); the policy lives in :mod:`repro.live`.
+AUTOSCALE_MODES = ("on", "off")
+
 
 class RandomState:
     """A root seed plus a family of named, independent substreams.
@@ -131,6 +135,16 @@ class Scenario:
     # --- billing study (§4.5) -------------------------------------------
     heaviest_app_count: int = 50
 
+    # --- live platform engine (beyond the paper: repro.live) -------------
+    live_ticks: int = 720
+    live_tick_minutes: int = 1
+    live_arrival_rate: float = 6.0        # mean VM arrivals per tick
+    live_mean_lifetime_ticks: int = 180   # mean VM dwell time, in ticks
+    live_autoscale: str = "on"
+    live_flash_crowds: int = 2            # flash-crowd windows per run
+    live_flash_magnitude: float = 4.0     # peak arrival multiplier
+    live_diurnal_amplitude: float = 0.6   # 0 = flat demand, <1
+
     # --- fault injection (availability study) ---------------------------
     fault_profile: str = "off"
 
@@ -147,7 +161,8 @@ class Scenario:
             "prediction_train_days", "prediction_test_days",
             "heaviest_app_count", "qoe_session_count",
             "qoe_session_ticks", "qoe_cache_mb", "qoe_catalog_objects",
-            "qoe_cache_ttl_s",
+            "qoe_cache_ttl_s", "live_ticks", "live_tick_minutes",
+            "live_mean_lifetime_ticks",
         )
         for name in positive_fields:
             value = getattr(self, name)
@@ -177,6 +192,26 @@ class Scenario:
             raise ConfigurationError(
                 f"qoe_cache_eviction must be one of {CACHE_EVICTIONS}, "
                 f"got {self.qoe_cache_eviction!r}")
+        if self.live_arrival_rate <= 0:
+            raise ConfigurationError(
+                f"live_arrival_rate must be positive, "
+                f"got {self.live_arrival_rate}")
+        if self.live_autoscale not in AUTOSCALE_MODES:
+            raise ConfigurationError(
+                f"live_autoscale must be one of {AUTOSCALE_MODES}, "
+                f"got {self.live_autoscale!r}")
+        if self.live_flash_crowds < 0:
+            raise ConfigurationError(
+                f"live_flash_crowds must be non-negative, "
+                f"got {self.live_flash_crowds}")
+        if self.live_flash_magnitude < 1.0:
+            raise ConfigurationError(
+                f"live_flash_magnitude must be >= 1, "
+                f"got {self.live_flash_magnitude}")
+        if not 0.0 <= self.live_diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                f"live_diurnal_amplitude must be in [0, 1), "
+                f"got {self.live_diurnal_amplitude}")
 
     @property
     def random(self) -> RandomState:
@@ -231,6 +266,8 @@ class Scenario:
             azure_vm_count=20_000,
             prediction_vm_sample=512,
             qoe_session_count=20_000,
+            live_ticks=2880,
+            live_arrival_rate=60.0,
         )
 
     @classmethod
@@ -256,6 +293,9 @@ class Scenario:
             prediction_vm_sample=512,
             qoe_session_count=1_000_000,
             qoe_catalog_objects=50_000,
+            live_ticks=1440,
+            live_arrival_rate=700.0,
+            live_mean_lifetime_ticks=360,
         )
 
     @classmethod
@@ -279,6 +319,9 @@ class Scenario:
             prediction_train_days=5,
             prediction_test_days=2,
             heaviest_app_count=10,
+            live_ticks=240,
+            live_arrival_rate=3.0,
+            live_mean_lifetime_ticks=90,
         )
 
 

@@ -24,6 +24,7 @@ schedule is a pure function of (seed, profile, topology).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -251,6 +252,63 @@ class FaultSchedule:
             if episode.covers(minute):
                 return episode
         return None
+
+    # ---- live-engine integration ----------------------------------------
+
+    def tick_transitions(self, tick_minutes: int, n_ticks: int,
+                         site_ranges: dict[str, tuple[int, int]],
+                         server_index: dict[str, int]
+                         ) -> list[tuple[int, int, int, int]]:
+        """Outages and crashes lowered to per-tick down/up transitions.
+
+        The live engine advances a flat server axis; this turns every
+        outage window (all servers of a site) and server crash (one
+        server) into ``(tick, lo, hi, delta)`` range events — ``delta``
+        +1 when the range goes down at ``tick`` and -1 when it
+        recovers.  A server is down at tick ``t`` while the sum of
+        deltas applied through ``t`` is positive, which composes
+        overlapping site- and server-level windows correctly.  Events
+        outside the horizon are clipped; the list is sorted by
+        ``(tick, lo, hi, delta)`` so replay order is deterministic.
+
+        ``site_ranges`` maps a site id to its contiguous ``[lo, hi)``
+        server-index range and ``server_index`` a server id to its flat
+        index (both from :meth:`Platform.live_inventory
+        <repro.platform.cluster.Platform.live_inventory>`); sites and
+        servers the maps do not know (cloud regions) are skipped.
+
+        Raises:
+            FaultError: when ``tick_minutes`` or ``n_ticks`` is not
+                positive.
+        """
+        if tick_minutes <= 0 or n_ticks <= 0:
+            raise FaultError(
+                f"tick grid must be positive, got {tick_minutes} min x "
+                f"{n_ticks} ticks")
+        events: list[tuple[int, int, int, int]] = []
+
+        def add(lo: int, hi: int, start_min: float, end_min: float) -> None:
+            # covers() is half-open on minutes; tick t samples minute
+            # t * tick_minutes, so the covered ticks are exactly
+            # ceil(start/tick) <= t < ceil(end/tick).
+            start = max(math.ceil(start_min / tick_minutes), 0)
+            end = min(math.ceil(end_min / tick_minutes), n_ticks)
+            if start >= end or start >= n_ticks:
+                return
+            events.append((start, lo, hi, 1))
+            if end < n_ticks:
+                events.append((end, lo, hi, -1))
+
+        for outage in self.outages:
+            span = site_ranges.get(outage.site_id)
+            if span is not None:
+                add(span[0], span[1], outage.start_min, outage.end_min)
+        for crash in self.server_crashes:
+            index = server_index.get(crash.server_id)
+            if index is not None:
+                add(index, index + 1, crash.crash_min, crash.recovery_min)
+        events.sort()
+        return events
 
     # ---- availability integration ---------------------------------------
 

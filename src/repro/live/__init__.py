@@ -1,0 +1,24 @@
+"""Event-driven live-platform engine (beyond the paper).
+
+The batch pipeline measures the platform as a static snapshot; this
+package advances it tick by tick — arrivals, departures, evacuation,
+autoscaling — as vectorized array ops with faults interleaved as
+events.  See ``docs/live.md`` for the event model and determinism
+contract.
+"""
+
+from .engine import (LiveInputs, LiveResult, build_live_inputs,
+                     demand_curve, digest_series, run_live,
+                     run_live_engine)
+from .reference import run_reference_engine
+
+__all__ = [
+    "LiveInputs",
+    "LiveResult",
+    "build_live_inputs",
+    "demand_curve",
+    "digest_series",
+    "run_live",
+    "run_live_engine",
+    "run_reference_engine",
+]

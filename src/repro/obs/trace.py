@@ -79,6 +79,8 @@ class JournalSummary:
     probe_stats: dict[str, dict] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
     event_counts: dict[str, int] = field(default_factory=dict)
+    live: dict = field(default_factory=dict)       # live_summary payload
+    live_faults: list[dict] = field(default_factory=list)
 
     @property
     def status(self) -> str:
@@ -145,6 +147,10 @@ def summarize_journal(events: list[dict],
             pool["vms"] += int(event.get("vms", 0))
         elif etype == "fault_schedule":
             summary.faults = payload
+        elif etype == "live_summary":
+            summary.live = payload
+        elif etype == "live_fault":
+            summary.live_faults.append(payload)
         elif etype == "probe_stats":
             summary.probe_stats[str(payload.get("probe", "?"))] = payload
         elif etype == "warning":
@@ -276,6 +282,16 @@ def render_summary(events: list[dict],
             parts.append("resumed run")
         lines.append("resilience: " + ", ".join(parts))
 
+    if summary.live:
+        live = summary.live
+        lines.append(
+            f"live: {live.get('ticks')} ticks over "
+            f"{live.get('servers')} servers, "
+            f"{live.get('fault_ticks')} fault ticks, "
+            f"{live.get('rejected')} rejected, "
+            f"{live.get('displaced')} displaced, "
+            f"digest {str(live.get('digest', ''))[:16]}")
+
     if summary.faults is not None:
         faults = summary.faults
         lines.append(
@@ -323,29 +339,37 @@ def diff_journals(events_a: list[dict], events_b: list[dict],
 
     Wall-clock deltas are reported for shared phases; structural
     differences (phases, cache events, event types present in only one
-    run) are called out explicitly, since those are what a determinism
-    or cache regression looks like.
+    run, diverging live-engine fault timelines) are called out
+    explicitly, since those are what a determinism or cache regression
+    looks like.  When nothing structural differs the report ends with a
+    ``result: no behavioural differences`` verdict — timing deltas
+    alone never count as a difference.
     """
     a = summarize_journal(events_a)
     b = summarize_journal(events_b)
+    structural = False
     lines = [f"diff: {label_a} -> {label_b}"]
     run_a, run_b = a.run, b.run
     for field_name in ("seed", "fault_profile", "code_version"):
         if run_a.get(field_name) != run_b.get(field_name):
+            structural = True
             lines.append(f"  {field_name}: {run_a.get(field_name)} -> "
                          f"{run_b.get(field_name)}")
     if a.status != b.status:
+        structural = True
         lines.append(f"  status: {a.status} -> {b.status}")
 
     lines.append("phases:")
     for name in dict.fromkeys(list(a.phases) + list(b.phases)):
         pa, pb = a.phases.get(name), b.phases.get(name)
         if pa is None or pb is None:
+            structural = True
             lines.append(f"  {name:<22} only in "
                          f"{label_a if pb is None else label_b}")
             continue
         cached = ""
         if pa.get("cached") != pb.get("cached"):
+            structural = True
             cached = (f"  cache: {_cached_word(pa)} -> {_cached_word(pb)}")
         lines.append(f"  {name:<22} "
                      f"{_delta(pa.get('wall_s'), pb.get('wall_s'))}{cached}")
@@ -353,6 +377,7 @@ def diff_journals(events_a: list[dict], events_b: list[dict],
     counts_a = {k: len(v) for k, v in a.cache.items()}
     counts_b = {k: len(v) for k, v in b.cache.items()}
     if counts_a != counts_b:
+        structural = True
         lines.append("cache: " + " ".join(
             f"{kind}:{counts_a[kind]}->{counts_b[kind]}"
             for kind in counts_a if counts_a[kind] != counts_b[kind]))
@@ -365,8 +390,14 @@ def diff_journals(events_a: list[dict], events_b: list[dict],
         na, nb = a.event_counts.get(etype, 0), b.event_counts.get(etype, 0)
         if na != nb:
             diffs.append(f"{etype}:{na}->{nb}")
+    if diffs:
+        structural = True
     lines.append("events: " + (" ".join(diffs) if diffs
                                else "identical type counts"))
+
+    live_lines, live_diverged = _diff_live(a, b, label_a, label_b)
+    structural = structural or live_diverged
+    lines.extend(live_lines)
 
     ca = (a.end.get("counters") or {})
     cb = (b.end.get("counters") or {})
@@ -374,8 +405,57 @@ def diff_journals(events_a: list[dict], events_b: list[dict],
                      for name in dict.fromkeys(list(ca) + list(cb))
                      if ca.get(name, 0) != cb.get(name, 0)]
     if counter_diffs:
+        structural = True
         lines.append("counters: " + " ".join(counter_diffs))
+    lines.append("result: " + ("behavioural differences found" if structural
+                               else "no behavioural differences"))
     return "\n".join(lines)
+
+
+def _diff_live(a: JournalSummary, b: JournalSummary,
+               label_a: str, label_b: str) -> tuple[list[str], bool]:
+    """Live-engine divergence, localized to the first differing tick.
+
+    Compares the canonical ``live_fault`` timelines tick by tick and
+    the ``live_summary`` digests; a fault-interleaved run diffed
+    against a clean one is pinned to its first fault tick.
+    """
+    if not a.live and not b.live:
+        return [], False
+    lines: list[str] = []
+    diverged = False
+    ticks_a = {int(f.get("tick", -1)): f for f in a.live_faults}
+    ticks_b = {int(f.get("tick", -1)): f for f in b.live_faults}
+    for tick in sorted(set(ticks_a) | set(ticks_b)):
+        fa, fb = ticks_a.get(tick), ticks_b.get(tick)
+        if fa == fb:
+            continue
+        diverged = True
+        if fa is None or fb is None:
+            lines.append(
+                f"live: fault timeline diverges at tick {tick} "
+                f"(fault only in {label_a if fb is None else label_b}: "
+                f"down={(fa or fb).get('down')} "
+                f"evacuated={(fa or fb).get('evacuated')} "
+                f"displaced={(fa or fb).get('displaced')})")
+        else:
+            lines.append(
+                f"live: fault tick {tick} differs: "
+                f"down {fa.get('down')}->{fb.get('down')} "
+                f"evacuated {fa.get('evacuated')}->{fb.get('evacuated')} "
+                f"displaced {fa.get('displaced')}->{fb.get('displaced')}")
+        break
+    digest_a = str(a.live.get("digest", ""))
+    digest_b = str(b.live.get("digest", ""))
+    if digest_a != digest_b:
+        diverged = True
+        lines.append(f"live: series digest {digest_a[:16] or '(none)'} -> "
+                     f"{digest_b[:16] or '(none)'}")
+    if not diverged:
+        lines.append(
+            f"live: identical timeline ({len(a.live_faults)} fault ticks, "
+            f"digest {digest_a[:16] or '(none)'})")
+    return lines, diverged
 
 
 def _cached_word(entry: dict) -> str:

@@ -144,6 +144,39 @@ class Platform:
         order = np.argsort(distances, kind="stable")[:count]
         return [self.sites[i] for i in order]
 
+    def live_inventory(self, cores_per_slot: int = 4
+                       ) -> tuple[np.ndarray, np.ndarray,
+                                  tuple[str, ...], tuple[str, ...]]:
+        """The flat per-server array view the live engine advances.
+
+        Returns ``(site_of_server, base_slots, site_ids, server_ids)``:
+        servers flattened in site order (so one site is a contiguous
+        index range), ``site_of_server[j]`` the owning site's index,
+        and ``base_slots[j]`` the server's VM capacity in
+        ``cores_per_slot``-core slots (at least one).  Pure topology —
+        current VM placement is deliberately not consulted, since the
+        live engine owns its own population.
+
+        Raises:
+            TopologyError: when ``cores_per_slot`` is not positive.
+        """
+        if cores_per_slot <= 0:
+            raise TopologyError(
+                f"cores_per_slot must be positive, got {cores_per_slot}")
+        site_of: list[int] = []
+        slots: list[int] = []
+        server_ids: list[str] = []
+        for index, site in enumerate(self.sites):
+            for server in site.servers:
+                site_of.append(index)
+                slots.append(max(
+                    1, int(server.capacity.cpu_cores) // cores_per_slot))
+                server_ids.append(server.server_id)
+        return (np.asarray(site_of, dtype=np.int64),
+                np.asarray(slots, dtype=np.int64),
+                tuple(s.site_id for s in self.sites),
+                tuple(server_ids))
+
     # ---- platform-wide statistics (§4.1 sales rates) --------------------
 
     def site_cpu_sales_rates(self) -> list[float]:

@@ -424,6 +424,11 @@ def qoe_sessions(study: EdgeStudy) -> str:
     return study.qoe_sessions.format()
 
 
+def live(study: EdgeStudy) -> str:
+    """Event-driven live-platform run: fleet series tick by tick."""
+    return study.live.format()
+
+
 #: CLI registry: experiment id -> report function.
 REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "table1": table1,
@@ -449,4 +454,5 @@ REPORTS: dict[str, Callable[[EdgeStudy], str]] = {
     "findings": findings,
     "availability": availability,
     "qoe-sessions": qoe_sessions,
+    "live": live,
 }

@@ -32,6 +32,7 @@ from .core.latency_analysis import PerUserLatency, per_user_latency
 from .errors import ConfigurationError, ReproError
 from .faults.failover import FailoverReport, simulate_failover
 from .faults.schedule import FaultSchedule, build_fault_schedule
+from .live import LiveResult, run_live
 from .measurement.campaign import CampaignResults, CrowdCampaign, Participant
 from .measurement.qoe.testbed import QoETestbed
 from .obs import RunJournal
@@ -50,7 +51,7 @@ from .workload.streaming import WorkloadSink, resolve_streaming
 #: skipped by a resumed run.  Order matches the natural execution order.
 RESUMABLE_PHASES = ("workload_nep", "workload_azure",
                     "campaign_latency", "campaign_throughput",
-                    "qoe_sessions")
+                    "qoe_sessions", "live")
 
 
 class EdgeStudy:
@@ -361,6 +362,30 @@ class EdgeStudy:
                 self._campaign_cache_store("qoe_sessions", result)
         self.perf.count("qoe_sessions_simulated",
                         result.sessions * len(result.arms))
+        return result
+
+    # ---- live platform engine --------------------------------------------------
+
+    @cached_property
+    def live(self) -> LiveResult:
+        """Event-driven live-platform run (beyond the paper; repro.live).
+
+        Advances the whole NEP fleet tick by tick — VM arrivals,
+        departures, evacuation off faulted servers, autoscaling — as
+        vectorized array ops, with the scenario's fault profile
+        interleaved as down/up events.  Sequential by construction, so
+        the result ignores ``jobs`` and is bit-identical across any
+        ``--jobs`` setting.
+        """
+        cached = self._campaign_cache_peek("live")
+        with self.perf.span("live"), self.phases.track("live"):
+            if cached is not None:
+                result = cached
+            else:
+                result = run_live(self.scenario, jobs=self.jobs,
+                                  journal=self.journal)
+                self._campaign_cache_store("live", result)
+        self.perf.count("live_ticks", result.ticks)
         return result
 
     # ---- billing ---------------------------------------------------------------

@@ -70,10 +70,14 @@ def run_analysis(name: str, study) -> AnalysisResult:
     if report is None:
         raise ConfigurationError(f"unknown analysis {name!r}")
     text = report(study)
-    # The session-QoE report is the one figure report with a natural
-    # numeric surface — its distribution summary feeds the cross-cell
-    # comparison columns like an ablation's metrics do.
-    metrics = (study.qoe_sessions.metrics() if name == "qoe-sessions"
-               else {})
+    # The session-QoE and live-engine reports are the figure reports
+    # with a natural numeric surface — their summaries feed the
+    # cross-cell comparison columns like an ablation's metrics do.
+    if name == "qoe-sessions":
+        metrics = study.qoe_sessions.metrics()
+    elif name == "live":
+        metrics = study.live.metrics()
+    else:
+        metrics = {}
     return AnalysisResult(name=name, text=text, metrics=metrics,
                           checks_ok=0, checks_total=0)

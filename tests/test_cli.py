@@ -13,7 +13,7 @@ class TestRegistry:
     def test_covers_all_paper_experiments(self):
         expected = {"table1", "table2", "table3", "table6", "sales",
                     "findings", "categories", "availability",
-                    "qoe-sessions"} | {
+                    "qoe-sessions", "live"} | {
             f"fig{i}" for i in range(3, 15)
         } | {"fig2a", "fig2b"}
         assert set(REPORTS) == expected
@@ -186,6 +186,19 @@ class TestCacheCommand:
         info_out = capsys.readouterr().out
         assert "sharded:" in info_out
         assert "2 entries" in info_out  # both platform workloads streamed
+
+    def test_ls_sizes_always_in_mib(self, capsys, tmp_path):
+        # regression: entry sizes used to auto-scale (B/KiB/MiB) while
+        # docs/performance.md quoted MiB — the column is MiB, always
+        assert main(["run", "fig8", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if "workload_" in line]
+        assert rows
+        for row in rows:
+            assert "MiB" in row, row
+            assert "KiB" not in row
 
     def test_no_cache_leaves_cache_untouched(self, capsys, tmp_path):
         assert main(["run", "table1", "--no-cache",

@@ -244,3 +244,29 @@ class TestResume:
         assert "workload_azure" in resumes[0]["pending"]
         # Volatile: a resumed run canonicalizes equal to a clean one.
         assert canonical_events(resumes) == []
+
+
+class TestLivePhase:
+    def test_live_is_resumable(self):
+        from repro.study import RESUMABLE_PHASES
+
+        assert "live" in RESUMABLE_PHASES
+
+    def test_cache_roundtrip_preserves_digest(self, tmp_path):
+        from repro import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        scenario = Scenario.smoke_scale().with_overrides(seed=808)
+        cold = EdgeStudy(scenario, cache=cache)
+        digest = cold.live.digest
+        assert "cache_hit:live" not in cold.perf.counters
+        warm = EdgeStudy(scenario, cache=cache)
+        assert warm.live.digest == digest
+        assert warm.perf.counters["cache_hit:live"] == 1
+
+    def test_report_renders(self, study):
+        from repro.reports import REPORTS
+
+        text = REPORTS["live"](study)
+        assert "Live platform run" in text
+        assert "digest:" in text
